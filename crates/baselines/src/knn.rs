@@ -1,0 +1,71 @@
+//! Conventional Euclidean k-nearest-neighbour search on mean vectors.
+//!
+//! This is the "ordinary similarity search" of the paper's effectiveness
+//! experiment (Figure 6): it ignores the uncertainty values entirely and
+//! ranks database objects by the Euclidean distance between mean vectors —
+//! which §3 shows retrieves the wrong object whenever uncertain features
+//! dominate the distance.
+
+use pfv::Pfv;
+
+/// Returns the indices of the `k` database objects with the smallest
+/// Euclidean distance between mean vectors, ascending by distance
+/// (ties by index).
+///
+/// # Panics
+/// Panics on dimensionality mismatch between `q` and any database object.
+#[must_use]
+pub fn euclidean_knn(db: &[Pfv], q: &Pfv, k: usize) -> Vec<(usize, f64)> {
+    let mut scored: Vec<(usize, f64)> = db
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i, q.euclidean_mean_distance(v)))
+        .collect();
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Vec<Pfv> {
+        vec![
+            Pfv::new(vec![0.0, 0.0], vec![0.1, 0.1]).unwrap(),
+            Pfv::new(vec![1.0, 0.0], vec![5.0, 5.0]).unwrap(),
+            Pfv::new(vec![10.0, 10.0], vec![0.1, 0.1]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn ranks_by_distance() {
+        let q = Pfv::new(vec![0.4, 0.0], vec![0.1, 0.1]).unwrap();
+        let got = euclidean_knn(&db(), &q, 3);
+        assert_eq!(got[0].0, 0);
+        assert_eq!(got[1].0, 1);
+        assert_eq!(got[2].0, 2);
+        assert!((got[0].1 - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_uncertainty_entirely() {
+        // Object 1 is closer in means but hugely uncertain; Euclidean NN
+        // picks it anyway — the failure mode the paper motivates with.
+        let q = Pfv::new(vec![0.9, 0.0], vec![0.1, 0.1]).unwrap();
+        let got = euclidean_knn(&db(), &q, 1);
+        assert_eq!(got[0].0, 1);
+    }
+
+    #[test]
+    fn k_larger_than_db() {
+        let q = Pfv::new(vec![0.0, 0.0], vec![0.1, 0.1]).unwrap();
+        assert_eq!(euclidean_knn(&db(), &q, 10).len(), 3);
+    }
+
+    #[test]
+    fn k_zero() {
+        let q = Pfv::new(vec![0.0, 0.0], vec![0.1, 0.1]).unwrap();
+        assert!(euclidean_knn(&db(), &q, 0).is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Axis-aligned hyper-rectangles in the *feature* space (not the parameter
+//! space) — the approximation geometry of the X-tree baseline.
+
+use pfv::Pfv;
+
+/// A d-dimensional axis-aligned box `[lo_i, hi_i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rect {
+    lo: Box<[f64]>,
+    hi: Box<[f64]>,
+}
+
+impl Rect {
+    /// Builds a box from corner vectors.
+    ///
+    /// # Panics
+    /// Panics on empty input, length mismatch, reversed or non-finite bounds.
+    #[must_use]
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "corner length mismatch");
+        assert!(!lo.is_empty(), "a rect needs at least one dimension");
+        for (i, (&l, &h)) in lo.iter().zip(hi.iter()).enumerate() {
+            assert!(
+                l.is_finite() && h.is_finite() && l <= h,
+                "invalid bounds in dim {i}: [{l}, {h}]"
+            );
+        }
+        Self {
+            lo: lo.into_boxed_slice(),
+            hi: hi.into_boxed_slice(),
+        }
+    }
+
+    /// The `coverage`-central quantile box of a pfv (the paper uses 95 %).
+    #[must_use]
+    pub fn quantile_box(v: &Pfv, coverage: f64) -> Self {
+        let (lo, hi) = v.quantile_box(coverage);
+        Self::new(lo, hi)
+    }
+
+    /// Dimensionality.
+    #[inline]
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower corner.
+    #[inline]
+    #[must_use]
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper corner.
+    #[inline]
+    #[must_use]
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Whether the boxes intersect (closed intervals).
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch.
+    #[must_use]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        assert_eq!(self.dims(), other.dims(), "dimensionality mismatch");
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .zip(other.lo.iter().zip(other.hi.iter()))
+            .all(|((l, h), (ol, oh))| l <= oh && ol <= h)
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    #[must_use]
+    pub fn contains(&self, other: &Rect) -> bool {
+        assert_eq!(self.dims(), other.dims(), "dimensionality mismatch");
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .zip(other.lo.iter().zip(other.hi.iter()))
+            .all(|((l, h), (ol, oh))| l <= ol && oh <= h)
+    }
+
+    /// Smallest box containing both.
+    #[must_use]
+    pub fn union(&self, other: &Rect) -> Rect {
+        assert_eq!(self.dims(), other.dims(), "dimensionality mismatch");
+        Rect {
+            lo: self
+                .lo
+                .iter()
+                .zip(other.lo.iter())
+                .map(|(a, b)| a.min(*b))
+                .collect(),
+            hi: self
+                .hi
+                .iter()
+                .zip(other.hi.iter())
+                .map(|(a, b)| a.max(*b))
+                .collect(),
+        }
+    }
+
+    /// Extends in place to cover `other`.
+    pub fn extend(&mut self, other: &Rect) {
+        assert_eq!(self.dims(), other.dims(), "dimensionality mismatch");
+        for i in 0..self.lo.len() {
+            self.lo[i] = self.lo[i].min(other.lo[i]);
+            self.hi[i] = self.hi[i].max(other.hi[i]);
+        }
+    }
+
+    /// Volume (product of extents). Zero-extent dimensions make it 0.
+    #[must_use]
+    pub fn volume(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .map(|(l, h)| h - l)
+            .product()
+    }
+
+    /// Sum of side lengths (the R\*-tree's "margin").
+    #[must_use]
+    pub fn margin(&self) -> f64 {
+        self.lo.iter().zip(self.hi.iter()).map(|(l, h)| h - l).sum()
+    }
+
+    /// Volume of the intersection (0 when disjoint).
+    #[must_use]
+    pub fn overlap_volume(&self, other: &Rect) -> f64 {
+        assert_eq!(self.dims(), other.dims(), "dimensionality mismatch");
+        let mut vol = 1.0;
+        for i in 0..self.lo.len() {
+            let l = self.lo[i].max(other.lo[i]);
+            let h = self.hi[i].min(other.hi[i]);
+            if h <= l {
+                return 0.0;
+            }
+            vol *= h - l;
+        }
+        vol
+    }
+
+    /// Volume increase if extended to cover `other`.
+    #[must_use]
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).volume() - self.volume()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: &[f64], hi: &[f64]) -> Rect {
+        Rect::new(lo.to_vec(), hi.to_vec())
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = r(&[0.0, 0.0], &[2.0, 2.0]);
+        let b = r(&[1.0, 1.0], &[3.0, 3.0]);
+        let c = r(&[5.0, 5.0], &[6.0, 6.0]);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        // Touching edges count as intersecting (closed intervals).
+        let d = r(&[2.0, 0.0], &[3.0, 2.0]);
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = r(&[0.0], &[10.0]);
+        let inner = r(&[2.0], &[3.0]);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.contains(&outer));
+    }
+
+    #[test]
+    fn union_and_volume() {
+        let a = r(&[0.0, 0.0], &[1.0, 1.0]);
+        let b = r(&[2.0, 2.0], &[3.0, 4.0]);
+        let u = a.union(&b);
+        assert_eq!(u.lo(), &[0.0, 0.0]);
+        assert_eq!(u.hi(), &[3.0, 4.0]);
+        assert_eq!(u.volume(), 12.0);
+        assert_eq!(a.volume(), 1.0);
+        assert_eq!(b.volume(), 2.0);
+        assert_eq!(u.margin(), 7.0);
+    }
+
+    #[test]
+    fn overlap_volume_cases() {
+        let a = r(&[0.0, 0.0], &[2.0, 2.0]);
+        let b = r(&[1.0, 1.0], &[3.0, 3.0]);
+        assert_eq!(a.overlap_volume(&b), 1.0);
+        let c = r(&[9.0, 9.0], &[10.0, 10.0]);
+        assert_eq!(a.overlap_volume(&c), 0.0);
+    }
+
+    #[test]
+    fn enlargement() {
+        let a = r(&[0.0], &[1.0]);
+        let b = r(&[3.0], &[4.0]);
+        assert_eq!(a.enlargement(&b), 3.0);
+        assert_eq!(a.enlargement(&a), 0.0);
+    }
+
+    #[test]
+    fn quantile_box_covers_mean() {
+        let v = Pfv::new(vec![5.0, -3.0], vec![1.0, 0.5]).unwrap();
+        let b = Rect::quantile_box(&v, 0.95);
+        assert!(b.lo()[0] < 5.0 && 5.0 < b.hi()[0]);
+        // width = 2·z·σ with z ≈ 1.96
+        assert!((b.hi()[0] - b.lo()[0] - 2.0 * 1.959_964).abs() < 1e-4);
+        assert!((b.hi()[1] - b.lo()[1] - 1.959_964).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bounds")]
+    fn rejects_reversed() {
+        let _ = r(&[1.0], &[0.0]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Criterion microbenchmarks for the core operations on the query path:
+//! hull-bound evaluation (Lemma 2/3), Lemma-1 combination, node splits,
+//! incremental insert, and end-to-end k-MLIQ / TIQ on a mid-sized tree.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use gauss_baselines::PfvFile;
+use gauss_storage::{AccessStats, BufferPool, MemStore, DEFAULT_PAGE_SIZE};
+use gauss_tree::{GaussTree, SplitStrategy, TreeConfig};
+use gauss_workloads::{generate_queries, uniform_dataset, SigmaSpec};
+use pfv::hull::{DimBounds, ParamRect};
+use pfv::{combine, CombineMode, Pfv};
+use std::hint::black_box;
+
+fn bench_hull(c: &mut Criterion) {
+    let b = DimBounds::new(3.0, 4.0, 0.6, 0.9);
+    c.bench_function("hull/log_upper", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                acc += b.log_upper(black_box(2.0 + i as f64 * 0.04));
+            }
+            acc
+        })
+    });
+    c.bench_function("hull/log_lower", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                acc += b.log_lower(black_box(2.0 + i as f64 * 0.04));
+            }
+            acc
+        })
+    });
+    c.bench_function("hull/integral_closed_form", |bench| {
+        bench.iter(|| black_box(&b).hull_integral())
+    });
+
+    let rect = ParamRect::from_dims(
+        (0..27)
+            .map(|i| DimBounds::new(i as f64, i as f64 + 1.0, 0.1, 0.5))
+            .collect(),
+    );
+    let q = Pfv::new((0..27).map(|i| i as f64 + 0.3).collect::<Vec<_>>(), vec![0.2; 27]).unwrap();
+    c.bench_function("hull/27d_query_upper", |bench| {
+        bench.iter(|| rect.log_upper_for_query(black_box(&q), CombineMode::Convolution))
+    });
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let v = Pfv::new(vec![0.5; 27], vec![0.1; 27]).unwrap();
+    let q = Pfv::new(vec![0.52; 27], vec![0.15; 27]).unwrap();
+    c.bench_function("combine/log_joint_27d", |bench| {
+        bench.iter(|| combine::log_joint(CombineMode::Convolution, black_box(&v), black_box(&q)))
+    });
+}
+
+fn bench_split(c: &mut Criterion) {
+    use gauss_tree::split::split_items;
+    let entries: Vec<gauss_tree::node::LeafEntry> = (0..40)
+        .map(|i| gauss_tree::node::LeafEntry {
+            id: i,
+            pfv: Pfv::new(
+                vec![(i as f64 * 0.37).sin() * 10.0, (i as f64 * 0.7).cos() * 10.0],
+                vec![0.05 + (i % 7) as f64 * 0.1, 0.05 + (i % 3) as f64 * 0.2],
+            )
+            .unwrap(),
+        })
+        .collect();
+    let mut group = c.benchmark_group("split");
+    for strategy in [
+        SplitStrategy::HullIntegral,
+        SplitStrategy::WidestMu,
+        SplitStrategy::MinVolume,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |bench, &strategy| {
+                bench.iter_batched(
+                    || entries.clone(),
+                    |es| split_items(strategy, es),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("tree/insert_1000_x_5d", |bench| {
+        bench.iter_batched(
+            || {
+                let pool = BufferPool::new(
+                    MemStore::new(DEFAULT_PAGE_SIZE),
+                    4096,
+                    AccessStats::new_shared(),
+                );
+                GaussTree::create(pool, TreeConfig::new(5)).unwrap()
+            },
+            |mut tree| {
+                for i in 0..1000u64 {
+                    let means: Vec<f64> =
+                        (0..5).map(|d| ((i + d) as f64 * 0.61).sin() * 10.0).collect();
+                    let sigmas: Vec<f64> = (0..5).map(|d| 0.05 + ((i + d) % 5) as f64 * 0.1).collect();
+                    tree.insert(i, &Pfv::new(means, sigmas).unwrap()).unwrap();
+                }
+                tree.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let dataset = uniform_dataset(10_000, 10, SigmaSpec::uniform(0.02, 0.25), 7);
+    let queries = generate_queries(&dataset, 16, SigmaSpec::uniform(0.02, 0.25), 9);
+    let pool = BufferPool::new(
+        MemStore::new(DEFAULT_PAGE_SIZE),
+        1 << 14,
+        AccessStats::new_shared(),
+    );
+    let mut tree = GaussTree::bulk_load(pool, TreeConfig::new(10), dataset.items()).unwrap();
+    let pool = BufferPool::new(
+        MemStore::new(DEFAULT_PAGE_SIZE),
+        1 << 14,
+        AccessStats::new_shared(),
+    );
+    let mut file = PfvFile::build(pool, 10, dataset.items()).unwrap();
+
+    let mut qi = 0usize;
+    c.bench_function("query/gauss_tree_1mliq_10k", |bench| {
+        bench.iter(|| {
+            qi = (qi + 1) % queries.len();
+            tree.k_mliq(&queries[qi].query, 1).unwrap()
+        })
+    });
+    c.bench_function("query/gauss_tree_tiq02_10k", |bench| {
+        bench.iter(|| {
+            qi = (qi + 1) % queries.len();
+            tree.tiq(&queries[qi].query, 0.2, 1e-3).unwrap()
+        })
+    });
+    c.bench_function("query/seq_scan_1mliq_10k", |bench| {
+        bench.iter(|| {
+            qi = (qi + 1) % queries.len();
+            file.k_mliq(&queries[qi].query, 1, CombineMode::Convolution)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Trimmed sampling: the harness runs on a single core and the
+    // operations are deterministic.
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_hull, bench_combine, bench_split, bench_insert, bench_queries
+}
+criterion_main!(benches);

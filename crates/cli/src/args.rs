@@ -1,0 +1,182 @@
+//! Minimal flag parsing and pfv literal parsing (no external arg crates).
+
+use pfv::Pfv;
+use std::fmt;
+
+/// A parsing/validation error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl From<String> for ArgError {
+    fn from(s: String) -> Self {
+        ArgError(s)
+    }
+}
+
+/// Parsed `--flag value` pairs plus positional words.
+#[derive(Debug, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv` (after the subcommand) into flag/value pairs.
+    ///
+    /// # Errors
+    /// A dangling `--flag` without a value is an error unless it is a known
+    /// boolean switch (none currently).
+    pub fn parse(argv: &[String]) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let Some(value) = argv.get(i + 1) else {
+                    return Err(ArgError(format!("flag --{name} needs a value")));
+                };
+                out.pairs.push((name.to_string(), value.clone()));
+                i += 2;
+            } else if let Some(name) = a.strip_prefix('-') {
+                let Some(value) = argv.get(i + 1) else {
+                    return Err(ArgError(format!("flag -{name} needs a value")));
+                };
+                out.pairs.push((name.to_string(), value.clone()));
+                i += 2;
+            } else {
+                out.flags.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Raw string value of a flag.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Required string value.
+    ///
+    /// # Errors
+    /// Missing flag.
+    pub fn required(&self, name: &str) -> Result<&str, ArgError> {
+        self.get(name)
+            .ok_or_else(|| ArgError(format!("missing required flag --{name}")))
+    }
+
+    /// Parsed numeric value with default.
+    ///
+    /// # Errors
+    /// Unparseable value.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse '{v}'"))),
+        }
+    }
+
+    /// Required parsed numeric value.
+    ///
+    /// # Errors
+    /// Missing flag or unparseable value.
+    pub fn num_required<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
+        let v = self.required(name)?;
+        v.parse()
+            .map_err(|_| ArgError(format!("--{name}: cannot parse '{v}'")))
+    }
+}
+
+/// Parses a pfv literal `m1,m2,...;s1,s2,...`.
+///
+/// # Errors
+/// Malformed literal or invalid components.
+pub fn parse_pfv(s: &str) -> Result<Pfv, ArgError> {
+    let (means_str, sigmas_str) = s
+        .split_once(';')
+        .ok_or_else(|| ArgError(format!("query '{s}' must be 'means;sigmas'")))?;
+    let means = parse_vec(means_str)?;
+    let sigmas = parse_vec(sigmas_str)?;
+    Pfv::new(means, sigmas).map_err(|e| ArgError(format!("invalid pfv: {e}")))
+}
+
+/// Parses a comma-separated float vector.
+///
+/// # Errors
+/// Empty input or unparseable components.
+pub fn parse_vec(s: &str) -> Result<Vec<f64>, ArgError> {
+    let parts: Result<Vec<f64>, _> = s
+        .split(',')
+        .map(|p| p.trim().parse::<f64>())
+        .collect();
+    let v = parts.map_err(|_| ArgError(format!("cannot parse vector '{s}'")))?;
+    if v.is_empty() {
+        return Err(ArgError("empty vector".into()));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_values() {
+        let a = Args::parse(&argv(&["--index", "x.gt", "-k", "5"])).unwrap();
+        assert_eq!(a.get("index"), Some("x.gt"));
+        assert_eq!(a.num::<usize>("k", 1).unwrap(), 5);
+        assert_eq!(a.num::<usize>("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn later_flags_win() {
+        let a = Args::parse(&argv(&["--n", "1", "--n", "2"])).unwrap();
+        assert_eq!(a.num::<usize>("n", 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn dangling_flag_is_error() {
+        assert!(Args::parse(&argv(&["--index"])).is_err());
+    }
+
+    #[test]
+    fn missing_required_reports_name() {
+        let a = Args::parse(&argv(&[])).unwrap();
+        let err = a.required("index").unwrap_err();
+        assert!(err.0.contains("--index"));
+    }
+
+    #[test]
+    fn parses_pfv_literal() {
+        let v = parse_pfv("1.0, 2.5;0.1,0.2").unwrap();
+        assert_eq!(v.means(), &[1.0, 2.5]);
+        assert_eq!(v.sigmas(), &[0.1, 0.2]);
+    }
+
+    #[test]
+    fn rejects_bad_pfv_literals() {
+        assert!(parse_pfv("1.0,2.5").is_err()); // no sigmas
+        assert!(parse_pfv("1.0;0.1,0.2").is_err()); // length mismatch
+        assert!(parse_pfv("a;b").is_err());
+        assert!(parse_pfv("1.0;-0.5").is_err()); // negative sigma
+    }
+}

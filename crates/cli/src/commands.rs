@@ -1,0 +1,306 @@
+//! Subcommand implementations.
+
+use crate::args::{parse_pfv, parse_vec, ArgError, Args};
+use crate::csvio;
+use gauss_storage::{AccessStats, BufferPool, FileStore, DEFAULT_PAGE_SIZE};
+use gauss_tree::{DeleteOutcome, GaussTree, SplitStrategy, TreeConfig};
+use gauss_workloads::{histogram_dataset, uniform_dataset, SigmaSpec};
+use std::path::Path;
+
+/// Top-level usage text.
+pub const USAGE: &str = "usage:
+  gauss-cli generate --out FILE --kind histogram|uniform --n N --dims D
+                     [--seed S] [--sigma-min X] [--sigma-max Y]
+  gauss-cli build    --data FILE.csv --index FILE.gtree
+                     [--page-size BYTES] [--split hull|mu|volume] [--bulk true|false]
+  gauss-cli info     --index FILE.gtree [--check true]
+  gauss-cli mliq     --index FILE.gtree --query 'm1,..;s1,..' [-k K] [--accuracy A]
+  gauss-cli tiq      --index FILE.gtree --query 'm1,..;s1,..' --theta T [--accuracy A]
+  gauss-cli boxq     --index FILE.gtree --lo a,b,.. --hi c,d,.. --tau T
+  gauss-cli delete   --index FILE.gtree --id N --query 'm1,..;s1,..'";
+
+/// Dispatches a full argv (subcommand first).
+///
+/// # Errors
+/// Any parse, I/O or index error, as a displayable message.
+pub fn dispatch(argv: &[String]) -> Result<(), ArgError> {
+    let Some(cmd) = argv.first() else {
+        return Err(ArgError("no subcommand given".into()));
+    };
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "generate" => generate(&args),
+        "build" => build(&args),
+        "info" => info(&args),
+        "mliq" => mliq(&args),
+        "tiq" => tiq(&args),
+        "boxq" => boxq(&args),
+        "delete" => delete(&args),
+        other => Err(ArgError(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+fn generate(args: &Args) -> Result<(), ArgError> {
+    let out = args.required("out")?;
+    let kind = args.get("kind").unwrap_or("uniform");
+    let n: usize = args.num("n", 1000)?;
+    let dims: usize = args.num("dims", 10)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let smin: f64 = args.num("sigma-min", 0.01)?;
+    let smax: f64 = args.num("sigma-max", 0.3)?;
+    if smin <= 0.0 || smin > smax {
+        return Err(ArgError(format!("bad sigma range [{smin}, {smax}]")));
+    }
+    let sigma = SigmaSpec::log_uniform(smin, smax);
+    let dataset = match kind {
+        "histogram" => histogram_dataset(n, dims, sigma, seed),
+        "uniform" => uniform_dataset(n, dims, sigma, seed),
+        other => return Err(ArgError(format!("unknown kind '{other}'"))),
+    };
+    csvio::write_csv(Path::new(out), &dataset.items())?;
+    println!("wrote {} objects ({dims} dims) to {out}", dataset.len());
+    Ok(())
+}
+
+fn open_tree(args: &Args) -> Result<GaussTree<FileStore>, ArgError> {
+    let index = args.required("index")?;
+    let page_size: usize = args.num("page-size", DEFAULT_PAGE_SIZE)?;
+    let store = FileStore::open(index, page_size)
+        .map_err(|e| ArgError(format!("cannot open {index}: {e}")))?;
+    let pool = BufferPool::with_byte_budget(store, 50 * 1024 * 1024, AccessStats::new_shared());
+    GaussTree::open(pool).map_err(|e| ArgError(format!("cannot open index: {e}")))
+}
+
+fn build(args: &Args) -> Result<(), ArgError> {
+    let data = args.required("data")?;
+    let index = args.required("index")?;
+    let page_size: usize = args.num("page-size", DEFAULT_PAGE_SIZE)?;
+    let bulk: bool = args.num("bulk", true)?;
+    let split = match args.get("split").unwrap_or("hull") {
+        "hull" => SplitStrategy::HullIntegral,
+        "mu" => SplitStrategy::WidestMu,
+        "volume" => SplitStrategy::MinVolume,
+        other => return Err(ArgError(format!("unknown split strategy '{other}'"))),
+    };
+
+    let items = csvio::read_csv(Path::new(data))?;
+    if items.is_empty() {
+        return Err(ArgError("data file holds no objects".into()));
+    }
+    let dims = items[0].1.dims();
+    let config = TreeConfig::new(dims).with_split(split);
+
+    let store = FileStore::create(index, page_size)
+        .map_err(|e| ArgError(format!("cannot create {index}: {e}")))?;
+    let pool = BufferPool::with_byte_budget(store, 50 * 1024 * 1024, AccessStats::new_shared());
+
+    let t0 = std::time::Instant::now();
+    let mut tree = if bulk {
+        GaussTree::bulk_load(pool, config, items).map_err(|e| ArgError(e.to_string()))?
+    } else {
+        let mut tree =
+            GaussTree::create(pool, config).map_err(|e| ArgError(e.to_string()))?;
+        for (id, v) in items {
+            tree.insert(id, &v).map_err(|e| ArgError(e.to_string()))?;
+        }
+        tree
+    };
+    tree.flush().map_err(|e| ArgError(e.to_string()))?;
+    println!(
+        "built {index}: {} objects, {} dims, height {}, {} pages, {:.2}s",
+        tree.len(),
+        tree.dims(),
+        tree.height(),
+        tree.pool_mut().num_pages(),
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn info(args: &Args) -> Result<(), ArgError> {
+    let mut tree = open_tree(args)?;
+    println!("objects:        {}", tree.len());
+    println!("dimensionality: {}", tree.dims());
+    println!("height:         {}", tree.height());
+    println!("pages:          {}", tree.pool_mut().num_pages());
+    println!("leaf capacity:  {}", tree.leaf_capacity());
+    println!("inner capacity: {}", tree.inner_capacity());
+    println!("combine mode:   {:?}", tree.config().combine);
+    println!("split strategy: {:?}", tree.config().split);
+    let check: bool = args.num("check", false)?;
+    if check {
+        let errors = tree
+            .check_invariants(false)
+            .map_err(|e| ArgError(e.to_string()))?;
+        if errors.is_empty() {
+            println!("invariants:     ok");
+        } else {
+            println!("invariants:     {} violations", errors.len());
+            for e in errors.iter().take(10) {
+                println!("  - {e}");
+            }
+            return Err(ArgError("invariant check failed".into()));
+        }
+    }
+    Ok(())
+}
+
+fn mliq(args: &Args) -> Result<(), ArgError> {
+    let mut tree = open_tree(args)?;
+    let q = parse_pfv(args.required("query")?)?;
+    let k: usize = args.num("k", 1)?;
+    let accuracy: f64 = args.num("accuracy", 1e-4)?;
+    let t0 = std::time::Instant::now();
+    let hits = tree
+        .k_mliq_refined(&q, k, accuracy)
+        .map_err(|e| ArgError(e.to_string()))?;
+    let elapsed = t0.elapsed();
+    for h in &hits {
+        println!(
+            "id={} P={:.4} [{:.4}, {:.4}] log_density={:.4}",
+            h.id, h.probability, h.prob_lo, h.prob_hi, h.log_density
+        );
+    }
+    let snap = tree.stats().snapshot();
+    eprintln!(
+        "({} results, {:.2} ms, {} page reads)",
+        hits.len(),
+        1e3 * elapsed.as_secs_f64(),
+        snap.logical_reads
+    );
+    Ok(())
+}
+
+fn tiq(args: &Args) -> Result<(), ArgError> {
+    let mut tree = open_tree(args)?;
+    let q = parse_pfv(args.required("query")?)?;
+    let theta: f64 = args.num_required("theta")?;
+    let accuracy: f64 = args.num("accuracy", 1e-4)?;
+    let hits = tree
+        .tiq(&q, theta, accuracy)
+        .map_err(|e| ArgError(e.to_string()))?;
+    for h in &hits {
+        println!("id={} P={:.4} [{:.4}, {:.4}]", h.id, h.probability, h.prob_lo, h.prob_hi);
+    }
+    eprintln!("({} results)", hits.len());
+    Ok(())
+}
+
+fn boxq(args: &Args) -> Result<(), ArgError> {
+    let mut tree = open_tree(args)?;
+    let lo = parse_vec(args.required("lo")?)?;
+    let hi = parse_vec(args.required("hi")?)?;
+    let tau: f64 = args.num_required("tau")?;
+    let hits = tree
+        .probabilistic_box_query(&lo, &hi, tau)
+        .map_err(|e| ArgError(e.to_string()))?;
+    for h in &hits {
+        println!("id={} P={:.4}", h.id, h.probability);
+    }
+    eprintln!("({} results)", hits.len());
+    Ok(())
+}
+
+fn delete(args: &Args) -> Result<(), ArgError> {
+    let mut tree = open_tree(args)?;
+    let id: u64 = args.num_required("id")?;
+    let v = parse_pfv(args.required("query")?)?;
+    match tree.delete(id, &v).map_err(|e| ArgError(e.to_string()))? {
+        DeleteOutcome::Deleted => {
+            tree.flush().map_err(|e| ArgError(e.to_string()))?;
+            println!("deleted id={id}; {} objects remain", tree.len());
+            Ok(())
+        }
+        DeleteOutcome::NotFound => Err(ArgError(format!(
+            "no entry with id={id} and the given parameters"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new() -> Self {
+            let d = std::env::temp_dir().join(format!(
+                "gauss-cli-cmd-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::create_dir_all(&d).unwrap();
+            Self(d)
+        }
+        fn p(&self, n: &str) -> String {
+            self.0.join(n).to_string_lossy().into_owned()
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn run(args: &[&str]) -> Result<(), ArgError> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        dispatch(&argv)
+    }
+
+    #[test]
+    fn full_cli_lifecycle() {
+        let tmp = TempDir::new();
+        let csv = tmp.p("data.csv");
+        let idx = tmp.p("data.gtree");
+
+        run(&["generate", "--out", &csv, "--kind", "uniform", "--n", "300", "--dims", "3"])
+            .unwrap();
+        run(&["build", "--data", &csv, "--index", &idx]).unwrap();
+        run(&["info", "--index", &idx, "--check", "true"]).unwrap();
+        run(&[
+            "mliq", "--index", &idx, "--query", "0.5,0.5,0.5;0.1,0.1,0.1", "-k", "3",
+        ])
+        .unwrap();
+        run(&[
+            "tiq", "--index", &idx, "--query", "0.5,0.5,0.5;0.1,0.1,0.1", "--theta", "0.01",
+        ])
+        .unwrap();
+        run(&[
+            "boxq", "--index", &idx, "--lo", "0,0,0", "--hi", "1,1,1", "--tau", "0.5",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn incremental_build_and_delete() {
+        let tmp = TempDir::new();
+        let csv = tmp.p("d.csv");
+        let idx = tmp.p("d.gtree");
+        run(&["generate", "--out", &csv, "--n", "50", "--dims", "2", "--seed", "9"]).unwrap();
+        run(&["build", "--data", &csv, "--index", &idx, "--bulk", "false"]).unwrap();
+
+        // Read back the csv to learn object 0's exact parameters.
+        let rows = csvio::read_csv(std::path::Path::new(&csv)).unwrap();
+        let (id, v) = &rows[0];
+        let lit = format!(
+            "{};{}",
+            v.means().iter().map(f64::to_string).collect::<Vec<_>>().join(","),
+            v.sigmas().iter().map(f64::to_string).collect::<Vec<_>>().join(","),
+        );
+        run(&["delete", "--index", &idx, "--id", &id.to_string(), "--query", &lit]).unwrap();
+        // Deleting again fails cleanly.
+        assert!(run(&["delete", "--index", &idx, "--id", &id.to_string(), "--query", &lit])
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_reported() {
+        let err = run(&["frobnicate"]).unwrap_err();
+        assert!(err.0.contains("frobnicate"));
+    }
+
+    #[test]
+    fn build_rejects_missing_file() {
+        assert!(run(&["build", "--data", "/nonexistent.csv", "--index", "/tmp/x.gt"]).is_err());
+    }
+}

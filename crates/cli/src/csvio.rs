@@ -1,0 +1,137 @@
+//! CSV import/export of pfv data sets.
+//!
+//! Format: a header `id,m0..m{d-1},s0..s{d-1}` followed by one row per
+//! object. Plain `std` parsing — the format is fully under our control.
+
+use crate::args::ArgError;
+use pfv::Pfv;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Writes `(id, pfv)` rows to `path`.
+///
+/// # Errors
+/// I/O errors.
+pub fn write_csv(path: &Path, items: &[(u64, Pfv)]) -> Result<(), ArgError> {
+    let file = std::fs::File::create(path)
+        .map_err(|e| ArgError(format!("cannot create {}: {e}", path.display())))?;
+    let mut w = BufWriter::new(file);
+    let dims = items.first().map_or(0, |(_, v)| v.dims());
+    let mut header = String::from("id");
+    for i in 0..dims {
+        header.push_str(&format!(",m{i}"));
+    }
+    for i in 0..dims {
+        header.push_str(&format!(",s{i}"));
+    }
+    writeln!(w, "{header}").map_err(|e| ArgError(e.to_string()))?;
+    for (id, v) in items {
+        let mut row = id.to_string();
+        for m in v.means() {
+            row.push_str(&format!(",{m}"));
+        }
+        for s in v.sigmas() {
+            row.push_str(&format!(",{s}"));
+        }
+        writeln!(w, "{row}").map_err(|e| ArgError(e.to_string()))?;
+    }
+    w.flush().map_err(|e| ArgError(e.to_string()))?;
+    Ok(())
+}
+
+/// Reads `(id, pfv)` rows from `path`.
+///
+/// # Errors
+/// I/O errors or malformed rows.
+pub fn read_csv(path: &Path) -> Result<Vec<(u64, Pfv)>, ArgError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| ArgError(format!("cannot open {}: {e}", path.display())))?;
+    let mut lines = std::io::BufReader::new(file).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| ArgError("empty csv".into()))?
+        .map_err(|e| ArgError(e.to_string()))?;
+    let cols = header.split(',').count();
+    if cols < 3 || (cols - 1) % 2 != 0 {
+        return Err(ArgError(format!(
+            "header has {cols} columns; expected id + d means + d sigmas"
+        )));
+    }
+    let dims = (cols - 1) / 2;
+
+    let mut out = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| ArgError(e.to_string()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let id: u64 = parts
+            .next()
+            .unwrap_or_default()
+            .trim()
+            .parse()
+            .map_err(|_| ArgError(format!("row {}: bad id", lineno + 2)))?;
+        let values: Result<Vec<f64>, _> = parts.map(|p| p.trim().parse::<f64>()).collect();
+        let values =
+            values.map_err(|_| ArgError(format!("row {}: bad number", lineno + 2)))?;
+        if values.len() != 2 * dims {
+            return Err(ArgError(format!(
+                "row {}: {} values, expected {}",
+                lineno + 2,
+                values.len(),
+                2 * dims
+            )));
+        }
+        let (means, sigmas) = values.split_at(dims);
+        let v = Pfv::new(means.to_vec(), sigmas.to_vec())
+            .map_err(|e| ArgError(format!("row {}: {e}", lineno + 2)))?;
+        out.push((id, v));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gauss-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip() {
+        let items = vec![
+            (0u64, Pfv::new(vec![1.0, 2.0], vec![0.1, 0.2]).unwrap()),
+            (7, Pfv::new(vec![-3.5, 0.25], vec![0.4, 1.5]).unwrap()),
+        ];
+        let p = tmp("roundtrip.csv");
+        write_csv(&p, &items).unwrap();
+        let back = read_csv(&p).unwrap();
+        assert_eq!(back, items);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let p = tmp("bad.csv");
+        std::fs::write(&p, "id,m0,s0\n1,2.0\n").unwrap();
+        assert!(read_csv(&p).is_err());
+        std::fs::write(&p, "id,m0,s0\nx,2.0,0.1\n").unwrap();
+        assert!(read_csv(&p).is_err());
+        std::fs::write(&p, "id,m0\n").unwrap();
+        assert!(read_csv(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let p = tmp("blank.csv");
+        std::fs::write(&p, "id,m0,s0\n1,2.0,0.1\n\n2,3.0,0.2\n").unwrap();
+        let rows = read_csv(&p).unwrap();
+        assert_eq!(rows.len(), 2);
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,32 @@
+//! `gauss-cli` — build, inspect and query persistent Gauss-tree indexes.
+//!
+//! ```text
+//! gauss-cli generate --out data.csv --kind histogram --n 5000 --dims 27
+//! gauss-cli build    --data data.csv --index faces.gtree
+//! gauss-cli info     --index faces.gtree
+//! gauss-cli mliq     --index faces.gtree --query "1.0,2.0;0.1,0.2" -k 5
+//! gauss-cli tiq      --index faces.gtree --query "1.0,2.0;0.1,0.2" --theta 0.1
+//! gauss-cli boxq     --index faces.gtree --lo 0,0 --hi 1,1 --tau 0.5
+//! gauss-cli delete   --index faces.gtree --id 7 --query "1.0,2.0;0.1,0.2"
+//! ```
+//!
+//! Queries are written `means;sigmas` with comma-separated components.
+
+mod args;
+mod commands;
+mod csvio;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Tree configuration: dimensionality, capacities, strategies.
+
+use pfv::CombineMode;
+
+/// Split strategies for node overflow (paper §5.3 plus two ablation
+/// baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitStrategy {
+    /// The paper's strategy: tentative median splits in every μ- and
+    /// σ-dimension; keep the split minimising the summed hull integrals
+    /// `∫ N̂(x) dx` of the two children.
+    #[default]
+    HullIntegral,
+    /// R-tree-style baseline: median split along the μ-dimension with the
+    /// widest extent, ignoring σ (what a conventional index would do).
+    WidestMu,
+    /// R\*-style baseline: tentative median splits on all 2d axes, cost =
+    /// sum of the children's parameter-space volumes.
+    MinVolume,
+}
+
+impl SplitStrategy {
+    /// Stable on-disk tag.
+    #[must_use]
+    pub fn to_tag(self) -> u8 {
+        match self {
+            SplitStrategy::HullIntegral => 0,
+            SplitStrategy::WidestMu => 1,
+            SplitStrategy::MinVolume => 2,
+        }
+    }
+
+    /// Parses an on-disk tag.
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(SplitStrategy::HullIntegral),
+            1 => Some(SplitStrategy::WidestMu),
+            2 => Some(SplitStrategy::MinVolume),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of a [`crate::GaussTree`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Dimensionality `d` of the indexed pfv.
+    pub dims: usize,
+    /// Lemma-1 combination mode used by all queries.
+    pub combine: CombineMode,
+    /// Node split strategy.
+    pub split: SplitStrategy,
+    /// Optional cap on leaf entries (defaults to what fits in a page).
+    pub max_leaf_entries: Option<usize>,
+    /// Optional cap on inner entries (defaults to what fits in a page).
+    pub max_inner_entries: Option<usize>,
+}
+
+impl TreeConfig {
+    /// Default configuration for dimensionality `dims`.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0`.
+    #[must_use]
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "dimensionality must be positive");
+        Self {
+            dims,
+            combine: CombineMode::default(),
+            split: SplitStrategy::default(),
+            max_leaf_entries: None,
+            max_inner_entries: None,
+        }
+    }
+
+    /// Sets the Lemma-1 combination mode.
+    #[must_use]
+    pub fn with_combine(mut self, mode: CombineMode) -> Self {
+        self.combine = mode;
+        self
+    }
+
+    /// Sets the split strategy.
+    #[must_use]
+    pub fn with_split(mut self, split: SplitStrategy) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// Caps node capacities (mainly for tests that want tiny nodes).
+    #[must_use]
+    pub fn with_capacities(mut self, leaf: usize, inner: usize) -> Self {
+        assert!(leaf >= 2 && inner >= 2, "capacities must be at least 2");
+        self.max_leaf_entries = Some(leaf);
+        self.max_inner_entries = Some(inner);
+        self
+    }
+
+    /// Bytes of one serialised leaf entry: object id + `d` means + `d` σs.
+    #[must_use]
+    pub fn leaf_entry_bytes(&self) -> usize {
+        8 + 16 * self.dims
+    }
+
+    /// Bytes of one serialised inner entry: child page + subtree count +
+    /// `4d` bounds.
+    #[must_use]
+    pub fn inner_entry_bytes(&self) -> usize {
+        16 + 32 * self.dims
+    }
+
+    /// Maximum leaf entries for a given page size (paper: `2M`).
+    ///
+    /// # Panics
+    /// Panics if the page cannot hold at least two entries.
+    #[must_use]
+    pub fn leaf_capacity(&self, page_size: usize) -> usize {
+        let cap = (page_size - crate::node::NODE_HEADER_BYTES) / self.leaf_entry_bytes();
+        let cap = self.max_leaf_entries.map_or(cap, |m| m.min(cap));
+        assert!(
+            cap >= 2,
+            "page size {page_size} too small for 2 leaf entries of dimension {}",
+            self.dims
+        );
+        cap
+    }
+
+    /// Maximum inner entries for a given page size (paper: `M`).
+    ///
+    /// # Panics
+    /// Panics if the page cannot hold at least two entries.
+    #[must_use]
+    pub fn inner_capacity(&self, page_size: usize) -> usize {
+        let cap = (page_size - crate::node::NODE_HEADER_BYTES) / self.inner_entry_bytes();
+        let cap = self.max_inner_entries.map_or(cap, |m| m.min(cap));
+        assert!(
+            cap >= 2,
+            "page size {page_size} too small for 2 inner entries of dimension {}",
+            self.dims
+        );
+        cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_scale_with_page_size() {
+        let c = TreeConfig::new(27);
+        // entry: 8 + 16*27 = 440 bytes; 8 KiB page minus header.
+        let leaf = c.leaf_capacity(8192);
+        assert_eq!(leaf, (8192 - crate::node::NODE_HEADER_BYTES) / 440);
+        assert!(leaf >= 18);
+        // inner: 16 + 32*27 = 880 bytes
+        let inner = c.inner_capacity(8192);
+        assert_eq!(inner, (8192 - crate::node::NODE_HEADER_BYTES) / 880);
+        // The paper's M / 2M relation holds approximately by construction.
+        assert!(leaf >= 2 * inner - 1);
+    }
+
+    #[test]
+    fn explicit_caps_win_when_smaller() {
+        let c = TreeConfig::new(2).with_capacities(4, 3);
+        assert_eq!(c.leaf_capacity(8192), 4);
+        assert_eq!(c.inner_capacity(8192), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_pages_are_rejected() {
+        let c = TreeConfig::new(27);
+        let _ = c.leaf_capacity(256);
+    }
+
+    #[test]
+    fn split_strategy_tags_round_trip() {
+        for s in [
+            SplitStrategy::HullIntegral,
+            SplitStrategy::WidestMu,
+            SplitStrategy::MinVolume,
+        ] {
+            assert_eq!(SplitStrategy::from_tag(s.to_tag()), Some(s));
+        }
+        assert_eq!(SplitStrategy::from_tag(99), None);
+    }
+}

@@ -1,0 +1,278 @@
+//! Incremental ranking cursor (extension).
+//!
+//! `k_mliq` answers a fixed-k query; many applications instead consume
+//! matches lazily until some application-defined condition holds ("until a
+//! human operator confirms", "until cumulative probability exceeds 99 %").
+//! [`RankingCursor`] wraps the same Hjaltason–Samet best-first traversal and
+//! yields objects one at a time in non-increasing density order, reading
+//! only the pages needed so far.
+
+use crate::node::Node;
+use crate::query::MliqResult;
+use crate::tree::{GaussTree, TreeError};
+use gauss_storage::store::PageStore;
+use gauss_storage::PageId;
+use pfv::{combine, Pfv};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An element of the traversal frontier: either an unexpanded node or a
+/// concrete object, ordered by its (bound on the) log density.
+#[derive(Debug, Clone, Copy)]
+enum Frontier {
+    NodeBound { log_upper: f64, page: PageId },
+    Object { log_density: f64, id: u64 },
+}
+
+impl Frontier {
+    fn key(&self) -> f64 {
+        match self {
+            Frontier::NodeBound { log_upper, .. } => *log_upper,
+            Frontier::Object { log_density, .. } => *log_density,
+        }
+    }
+}
+
+impl PartialEq for Frontier {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for Frontier {}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on the key; objects win ties against node bounds so an
+        // object equal to a bound is emitted without expanding the node.
+        self.key().total_cmp(&other.key()).then_with(|| {
+            let rank = |f: &Frontier| match f {
+                Frontier::Object { .. } => 1,
+                Frontier::NodeBound { .. } => 0,
+            };
+            rank(self).cmp(&rank(other))
+        })
+    }
+}
+
+/// Lazy best-first ranking over a [`GaussTree`].
+///
+/// Created by [`GaussTree::ranking_cursor`]; call [`RankingCursor::next_hit`]
+/// repeatedly. Holds the query and frontier; borrows the tree mutably for
+/// page access.
+#[derive(Debug)]
+pub struct RankingCursor<'t, S: PageStore> {
+    tree: &'t mut GaussTree<S>,
+    query: Pfv,
+    heap: BinaryHeap<Frontier>,
+    emitted: u64,
+}
+
+impl<'t, S: PageStore> RankingCursor<'t, S> {
+    /// Number of objects emitted so far.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Returns the next-most-likely object, or `None` when the database is
+    /// exhausted.
+    ///
+    /// # Errors
+    /// Storage / codec errors while expanding nodes.
+    pub fn next_hit(&mut self) -> Result<Option<MliqResult>, TreeError> {
+        let mode = self.tree.config().combine;
+        while let Some(top) = self.heap.pop() {
+            match top {
+                Frontier::Object { log_density, id } => {
+                    self.emitted += 1;
+                    return Ok(Some(MliqResult { id, log_density }));
+                }
+                Frontier::NodeBound { page, .. } => match self.tree.read_node(page)? {
+                    Node::Leaf(es) => {
+                        for e in &es {
+                            self.heap.push(Frontier::Object {
+                                log_density: combine::log_joint(mode, &e.pfv, &self.query),
+                                id: e.id,
+                            });
+                        }
+                    }
+                    Node::Inner(es) => {
+                        for e in &es {
+                            self.heap.push(Frontier::NodeBound {
+                                log_upper: e.rect.log_upper_for_query(&self.query, mode),
+                                page: e.child,
+                            });
+                        }
+                    }
+                },
+            }
+        }
+        Ok(None)
+    }
+
+    /// Drains hits until the closure returns `false` (inclusive of the last
+    /// inspected hit).
+    ///
+    /// # Errors
+    /// Storage / codec errors.
+    pub fn take_while(
+        &mut self,
+        mut keep_going: impl FnMut(&MliqResult) -> bool,
+    ) -> Result<Vec<MliqResult>, TreeError> {
+        let mut out = Vec::new();
+        while let Some(hit) = self.next_hit()? {
+            let more = keep_going(&hit);
+            out.push(hit);
+            if !more {
+                break;
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl<S: PageStore> GaussTree<S> {
+    /// Starts a lazy best-first ranking for `q` (highest relative
+    /// probability first).
+    ///
+    /// # Errors
+    /// Dimensionality mismatch.
+    pub fn ranking_cursor(&mut self, q: &Pfv) -> Result<RankingCursor<'_, S>, TreeError> {
+        if q.dims() != self.dims() {
+            return Err(TreeError::DimMismatch {
+                expected: self.dims(),
+                got: q.dims(),
+            });
+        }
+        let mut heap = BinaryHeap::new();
+        if !self.is_empty() {
+            heap.push(Frontier::NodeBound {
+                log_upper: f64::INFINITY,
+                page: self.root_page(),
+            });
+        }
+        Ok(RankingCursor {
+            tree: self,
+            query: q.clone(),
+            heap,
+            emitted: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TreeConfig;
+    use gauss_storage::{AccessStats, BufferPool, MemStore};
+    use pfv::CombineMode;
+
+    fn build(n: u64) -> (GaussTree<MemStore>, Vec<Pfv>) {
+        let pool = BufferPool::new(MemStore::new(8192), 4096, AccessStats::new_shared());
+        let mut tree =
+            GaussTree::create(pool, TreeConfig::new(2).with_capacities(5, 4)).unwrap();
+        let mut db = Vec::new();
+        for i in 0..n {
+            let v = Pfv::new(
+                vec![(i as f64 * 0.71).sin() * 10.0, (i as f64 * 0.37).cos() * 10.0],
+                vec![0.1 + (i % 4) as f64 * 0.2, 0.15],
+            )
+            .unwrap();
+            tree.insert(i, &v).unwrap();
+            db.push(v);
+        }
+        (tree, db)
+    }
+
+    #[test]
+    fn cursor_yields_full_ranking_in_order() {
+        let (mut tree, db) = build(120);
+        let q = Pfv::new(vec![2.0, -1.0], vec![0.3, 0.3]).unwrap();
+        let mut cursor = tree.ranking_cursor(&q).unwrap();
+        let mut got = Vec::new();
+        while let Some(hit) = cursor.next_hit().unwrap() {
+            got.push(hit);
+        }
+        assert_eq!(got.len(), 120);
+        // Non-increasing densities.
+        for w in got.windows(2) {
+            assert!(w[0].log_density >= w[1].log_density - 1e-12);
+        }
+        // Matches brute force exactly.
+        let mut want: Vec<f64> = db
+            .iter()
+            .map(|v| combine::log_joint(CombineMode::Convolution, v, &q))
+            .collect();
+        want.sort_by(|a, b| b.total_cmp(a));
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert!((g.log_density - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cursor_prefix_equals_k_mliq() {
+        let (mut tree, _) = build(200);
+        let q = Pfv::new(vec![0.0, 5.0], vec![0.2, 0.4]).unwrap();
+        let fixed = tree.k_mliq(&q, 7).unwrap();
+        let mut cursor = tree.ranking_cursor(&q).unwrap();
+        for want in &fixed {
+            let got = cursor.next_hit().unwrap().unwrap();
+            assert!((got.log_density - want.log_density).abs() < 1e-12);
+        }
+        assert_eq!(cursor.emitted(), 7);
+    }
+
+    #[test]
+    fn lazy_cursor_reads_fewer_pages_than_full_ranking() {
+        let (mut tree, _) = build(2000);
+        let q = Pfv::new(vec![2.0, -1.0], vec![0.05, 0.05]).unwrap();
+        tree.pool_mut().clear_cache();
+        tree.stats().reset();
+        {
+            let mut cursor = tree.ranking_cursor(&q).unwrap();
+            let _ = cursor.next_hit().unwrap().unwrap();
+        }
+        let lazy = tree.stats().snapshot().physical_reads;
+        let total = tree.pool_mut().num_pages();
+        assert!(
+            lazy * 3 < total,
+            "first hit read {lazy} of {total} pages — not lazy"
+        );
+    }
+
+    #[test]
+    fn take_while_cumulative_probability() {
+        let (mut tree, db) = build(50);
+        let q = Pfv::new(db[13].means().to_vec(), vec![0.1, 0.1]).unwrap();
+        // First collect the denominator for normalisation.
+        let posteriors = pfv::posteriors(CombineMode::Convolution, &db, &q);
+        let denom: f64 = pfv::log_sum_exp(
+            &posteriors.iter().map(|p| p.log_density).collect::<Vec<_>>(),
+        );
+        let mut cum = 0.0;
+        let mut cursor = tree.ranking_cursor(&q).unwrap();
+        let hits = cursor
+            .take_while(|h| {
+                cum += (h.log_density - denom).exp();
+                cum < 0.99
+            })
+            .unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.len() < 50, "0.99 mass should need few objects");
+        assert_eq!(hits[0].id, 13);
+    }
+
+    #[test]
+    fn empty_tree_cursor() {
+        let pool = BufferPool::new(MemStore::new(8192), 16, AccessStats::new_shared());
+        let mut tree =
+            GaussTree::create(pool, TreeConfig::new(2).with_capacities(4, 3)).unwrap();
+        let q = Pfv::new(vec![0.0, 0.0], vec![0.1, 0.1]).unwrap();
+        let mut cursor = tree.ranking_cursor(&q).unwrap();
+        assert!(cursor.next_hit().unwrap().is_none());
+    }
+}

@@ -1,0 +1,62 @@
+//! The Gauss-tree — an index for probabilistic feature vectors.
+//!
+//! Implements the index structure of *"The Gauss-Tree: Efficient Object
+//! Identification in Databases of Probabilistic Feature Vectors"* (Böhm,
+//! Pryakhin, Schubert — ICDE 2006, §5):
+//!
+//! * a balanced tree from the R-tree family that indexes not the Gaussians
+//!   as spatial objects but the **parameter space** `(μᵢ, σᵢ)` of their
+//!   means and uncertainties (Definition 4);
+//! * conservative per-node bounds from Lemmas 2/3 (see [`pfv::hull`]);
+//! * best-first query processing over a priority queue
+//!   (Hjaltason–Samet style) for
+//!   [k-most-likely identification queries](GaussTree::k_mliq),
+//!   [probability-refined k-MLIQ](GaussTree::k_mliq_refined) (§5.2.2) and
+//!   [threshold identification queries](GaussTree::tiq) (§5.2.3, Figure 5);
+//! * the insertion strategy of §5.3 (exact-fit preference, then minimal
+//!   hull-cost enlargement) and the split strategy that minimises the
+//!   integral `∫ N̂(x) dx` of the resulting hull functions, for which the
+//!   closed form lives in [`pfv::hull::DimBounds::hull_integral`];
+//! * an STR-style [bulk loader](GaussTree::bulk_load) (an extension — the
+//!   paper only describes incremental insertion);
+//! * [structural invariant checking](GaussTree::check_invariants).
+//!
+//! Nodes live in fixed-size pages behind a [`gauss_storage::BufferPool`], so
+//! every query reports the same page-access statistics the paper measures.
+//!
+//! # Example
+//!
+//! ```
+//! use gauss_tree::{GaussTree, TreeConfig};
+//! use gauss_storage::{BufferPool, MemStore, AccessStats};
+//! use pfv::Pfv;
+//!
+//! let config = TreeConfig::new(2);
+//! let pool = BufferPool::new(MemStore::new(4096), 64, AccessStats::new_shared());
+//! let mut tree = GaussTree::create(pool, config).unwrap();
+//!
+//! tree.insert(1, &Pfv::new(vec![1.0, 2.0], vec![0.1, 0.2]).unwrap()).unwrap();
+//! tree.insert(2, &Pfv::new(vec![5.0, 6.0], vec![0.3, 0.1]).unwrap()).unwrap();
+//!
+//! let q = Pfv::new(vec![1.1, 2.1], vec![0.2, 0.2]).unwrap();
+//! let hits = tree.k_mliq(&q, 1).unwrap();
+//! assert_eq!(hits[0].id, 1);
+//! ```
+
+pub mod check;
+pub mod config;
+pub mod cursor;
+pub mod delete;
+pub mod interval;
+pub mod node;
+pub mod query;
+pub mod split;
+pub mod tree;
+
+pub use check::InvariantError;
+pub use config::{SplitStrategy, TreeConfig};
+pub use cursor::RankingCursor;
+pub use delete::DeleteOutcome;
+pub use interval::BoxQueryResult;
+pub use query::{MliqResult, RefinedResult, TiqResult};
+pub use tree::{GaussTree, TreeError};

@@ -1,0 +1,354 @@
+//! Node layouts and page (de)serialisation.
+//!
+//! A page holds exactly one node. Layout:
+//!
+//! ```text
+//! [kind: u8] [count: u16] [reserved: 5 bytes]
+//! leaf entry  := [id: u64] [means: d × f64] [sigmas: d × f64]
+//! inner entry := [child: u64] [subtree count: u64]
+//!                [per dim: mu_lo, mu_hi, sigma_lo, sigma_hi : f64]
+//! ```
+
+use gauss_storage::{PageId, Reader, Writer};
+use pfv::{DimBounds, ParamRect, Pfv};
+
+/// Bytes reserved at the start of every node page.
+pub const NODE_HEADER_BYTES: usize = 8;
+
+const KIND_LEAF: u8 = 0;
+const KIND_INNER: u8 = 1;
+
+/// Entry of a leaf node: one pfv plus the external object id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafEntry {
+    /// External object identifier.
+    pub id: u64,
+    /// The stored probabilistic feature vector.
+    pub pfv: Pfv,
+}
+
+/// Entry of an inner node: a child pointer, the number of pfv in the child's
+/// subtree (needed for the `n·Ň ≤ Σ ≤ n·N̂` sum bounds of §5.2.2), and the
+/// parameter-space MBR of the subtree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InnerEntry {
+    /// Child page.
+    pub child: PageId,
+    /// Number of pfv stored below `child`.
+    pub count: u64,
+    /// Parameter-space bounds of the subtree.
+    pub rect: ParamRect,
+}
+
+/// A deserialised node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// Leaf level: stores pfv.
+    Leaf(Vec<LeafEntry>),
+    /// Inner level: stores child descriptors.
+    Inner(Vec<InnerEntry>),
+}
+
+/// Errors from node (de)serialisation.
+#[derive(Debug)]
+pub enum NodeCodecError {
+    /// The page did not contain a valid node.
+    Corrupt(&'static str),
+    /// Buffer ran short while decoding.
+    Short(gauss_storage::codec::ShortBuffer),
+}
+
+impl std::fmt::Display for NodeCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeCodecError::Corrupt(what) => write!(f, "corrupt node page: {what}"),
+            NodeCodecError::Short(e) => write!(f, "corrupt node page: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeCodecError {}
+
+impl From<gauss_storage::codec::ShortBuffer> for NodeCodecError {
+    fn from(e: gauss_storage::codec::ShortBuffer) -> Self {
+        NodeCodecError::Short(e)
+    }
+}
+
+impl Node {
+    /// Whether this is a leaf node.
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+
+    /// Number of entries in the node.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf(es) => es.len(),
+            Node::Inner(es) => es.len(),
+        }
+    }
+
+    /// Whether the node has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of pfv stored in the subtree rooted at this node.
+    #[must_use]
+    pub fn subtree_count(&self) -> u64 {
+        match self {
+            Node::Leaf(es) => es.len() as u64,
+            Node::Inner(es) => es.iter().map(|e| e.count).sum(),
+        }
+    }
+
+    /// Parameter-space MBR of everything below this node.
+    ///
+    /// # Panics
+    /// Panics on an empty node (an empty node has no bounds).
+    #[must_use]
+    pub fn bounding_rect(&self) -> ParamRect {
+        match self {
+            Node::Leaf(es) => {
+                assert!(!es.is_empty(), "empty leaf has no bounds");
+                ParamRect::covering(es.iter().map(|e| &e.pfv))
+            }
+            Node::Inner(es) => {
+                assert!(!es.is_empty(), "empty inner node has no bounds");
+                let mut rect = es[0].rect.clone();
+                for e in &es[1..] {
+                    rect.extend_rect(&e.rect);
+                }
+                rect
+            }
+        }
+    }
+
+    /// Serialises the node into a page buffer.
+    ///
+    /// # Panics
+    /// Panics if the node does not fit the page (capacity violations are
+    /// caught by the tree before writing).
+    pub fn write_to(&self, dims: usize, page: &mut [u8]) {
+        let mut w = Writer::new(page);
+        match self {
+            Node::Leaf(es) => {
+                w.put_u8(KIND_LEAF);
+                w.put_u16(u16::try_from(es.len()).expect("node entry count fits u16"));
+                for _ in 0..(NODE_HEADER_BYTES - 3) {
+                    w.put_u8(0);
+                }
+                for e in es {
+                    debug_assert_eq!(e.pfv.dims(), dims);
+                    w.put_u64(e.id);
+                    w.put_f64_slice(e.pfv.means());
+                    w.put_f64_slice(e.pfv.sigmas());
+                }
+            }
+            Node::Inner(es) => {
+                w.put_u8(KIND_INNER);
+                w.put_u16(u16::try_from(es.len()).expect("node entry count fits u16"));
+                for _ in 0..(NODE_HEADER_BYTES - 3) {
+                    w.put_u8(0);
+                }
+                for e in es {
+                    debug_assert_eq!(e.rect.dims(), dims);
+                    w.put_u64(e.child.index());
+                    w.put_u64(e.count);
+                    for d in e.rect.as_slice() {
+                        w.put_f64(d.mu_lo);
+                        w.put_f64(d.mu_hi);
+                        w.put_f64(d.sigma_lo);
+                        w.put_f64(d.sigma_hi);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deserialises a node from a page buffer.
+    ///
+    /// # Errors
+    /// [`NodeCodecError`] on malformed pages.
+    pub fn read_from(dims: usize, page: &[u8]) -> Result<Node, NodeCodecError> {
+        let mut r = Reader::new(page);
+        let kind = r.get_u8()?;
+        let count = r.get_u16()? as usize;
+        for _ in 0..(NODE_HEADER_BYTES - 3) {
+            let _ = r.get_u8()?;
+        }
+        match kind {
+            KIND_LEAF => {
+                let mut es = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let id = r.get_u64()?;
+                    let means = r.get_f64_vec(dims)?;
+                    let sigmas = r.get_f64_vec(dims)?;
+                    let pfv = Pfv::new(means, sigmas)
+                        .map_err(|_| NodeCodecError::Corrupt("invalid pfv in leaf"))?;
+                    es.push(LeafEntry { id, pfv });
+                }
+                Ok(Node::Leaf(es))
+            }
+            KIND_INNER => {
+                let mut es = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let child = PageId(r.get_u64()?);
+                    if !child.is_valid() {
+                        return Err(NodeCodecError::Corrupt("invalid child pointer"));
+                    }
+                    let node_count = r.get_u64()?;
+                    let mut ds = Vec::with_capacity(dims);
+                    for _ in 0..dims {
+                        let mu_lo = r.get_f64()?;
+                        let mu_hi = r.get_f64()?;
+                        let sigma_lo = r.get_f64()?;
+                        let sigma_hi = r.get_f64()?;
+                        if !(mu_lo.is_finite()
+                            && mu_hi.is_finite()
+                            && sigma_lo.is_finite()
+                            && sigma_hi.is_finite())
+                            || mu_lo > mu_hi
+                            || sigma_lo > sigma_hi
+                        {
+                            return Err(NodeCodecError::Corrupt("invalid bounds"));
+                        }
+                        ds.push(DimBounds::new(mu_lo, mu_hi, sigma_lo, sigma_hi));
+                    }
+                    es.push(InnerEntry {
+                        child,
+                        count: node_count,
+                        rect: ParamRect::from_dims(ds),
+                    });
+                }
+                Ok(Node::Inner(es))
+            }
+            _ => Err(NodeCodecError::Corrupt("unknown node kind")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_leaf() -> Node {
+        Node::Leaf(vec![
+            LeafEntry {
+                id: 7,
+                pfv: Pfv::new(vec![1.0, 2.0], vec![0.1, 0.2]).unwrap(),
+            },
+            LeafEntry {
+                id: 42,
+                pfv: Pfv::new(vec![-3.5, 0.0], vec![0.5, 1.5]).unwrap(),
+            },
+        ])
+    }
+
+    fn sample_inner() -> Node {
+        Node::Inner(vec![
+            InnerEntry {
+                child: PageId(3),
+                count: 10,
+                rect: ParamRect::from_dims(vec![
+                    DimBounds::new(0.0, 1.0, 0.1, 0.2),
+                    DimBounds::new(-1.0, 2.0, 0.3, 0.9),
+                ]),
+            },
+            InnerEntry {
+                child: PageId(9),
+                count: 4,
+                rect: ParamRect::from_dims(vec![
+                    DimBounds::new(5.0, 6.0, 0.1, 0.1),
+                    DimBounds::new(5.0, 5.0, 0.2, 0.4),
+                ]),
+            },
+        ])
+    }
+
+    #[test]
+    fn leaf_round_trip() {
+        let node = sample_leaf();
+        let mut page = vec![0u8; 4096];
+        node.write_to(2, &mut page);
+        let back = Node::read_from(2, &page).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn inner_round_trip() {
+        let node = sample_inner();
+        let mut page = vec![0u8; 4096];
+        node.write_to(2, &mut page);
+        let back = Node::read_from(2, &page).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn subtree_counts() {
+        assert_eq!(sample_leaf().subtree_count(), 2);
+        assert_eq!(sample_inner().subtree_count(), 14);
+    }
+
+    #[test]
+    fn bounding_rect_covers_entries() {
+        let node = sample_leaf();
+        let rect = node.bounding_rect();
+        if let Node::Leaf(es) = &node {
+            for e in es {
+                assert!(rect.contains_pfv(&e.pfv));
+            }
+        }
+        let inner = sample_inner();
+        let rect = inner.bounding_rect();
+        if let Node::Inner(es) = &inner {
+            for e in es {
+                assert!(rect.contains_rect(&e.rect));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let mut page = vec![0u8; 64];
+        page[0] = 9;
+        assert!(Node::read_from(2, &page).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_page() {
+        let node = sample_leaf();
+        let mut page = vec![0u8; 4096];
+        node.write_to(2, &mut page);
+        // Cut the page short mid-entry.
+        assert!(Node::read_from(2, &page[..40]).is_err());
+    }
+
+    #[test]
+    fn rejects_reversed_bounds() {
+        let node = sample_inner();
+        let mut page = vec![0u8; 4096];
+        node.write_to(2, &mut page);
+        // Swap mu_lo/mu_hi of the first dim of the first entry:
+        // header(8) + child(8) + count(8) = offset 24 for mu_lo.
+        let mu_lo = f64::from_le_bytes(page[24..32].try_into().unwrap());
+        let mu_hi = f64::from_le_bytes(page[32..40].try_into().unwrap());
+        page[24..32].copy_from_slice(&mu_hi.to_le_bytes());
+        page[32..40].copy_from_slice(&mu_lo.to_le_bytes());
+        assert!(Node::read_from(2, &page).is_err());
+    }
+
+    #[test]
+    fn header_size_matches_constant() {
+        // If the header layout changes, capacity maths must change with it.
+        let node = Node::Leaf(vec![]);
+        let mut page = vec![0u8; 64];
+        node.write_to(2, &mut page);
+        let r = Node::read_from(2, &page).unwrap();
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,837 @@
+//! Query processing on the Gauss-tree (paper §5.2).
+//!
+//! All three algorithms run best-first over a priority queue of *active
+//! nodes* ordered by the conservative upper bound `N̂` of the node's
+//! Gaussians evaluated for the query (Hjaltason–Samet, as in §5.2.1):
+//!
+//! * [`GaussTree::k_mliq`] — the plain k-most-likely identification query:
+//!   finds the k objects with maximal relative probability (density); stops
+//!   when every candidate beats the bound of the best unexplored node;
+//! * [`GaussTree::k_mliq_refined`] — §5.2.2: additionally reports the
+//!   *actual* identification probability `P(v|q)` by maintaining lower and
+//!   upper bounds `n·Ň ≤ Σ ≤ n·N̂` on the contribution of unexplored
+//!   subtrees to the Bayes denominator, refining until the probability
+//!   interval is narrower than the caller's accuracy;
+//! * [`GaussTree::tiq`] — §5.2.3 / Figure 5: the threshold identification
+//!   query; candidates are pruned once their probability upper bound drops
+//!   below the threshold, and processing stops when no unexplored node can
+//!   contain a qualifying object and every candidate is decided.
+
+use crate::node::Node;
+use crate::tree::{GaussTree, TreeError};
+use gauss_storage::store::PageStore;
+use gauss_storage::PageId;
+use pfv::logsum::{log_add_exp, LogSumAcc, ScaledSum};
+use pfv::{combine, Pfv};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a plain k-MLIQ: ranked by relative probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MliqResult {
+    /// External object id.
+    pub id: u64,
+    /// `ln p(q|v)` — the relative (unnormalised) log density.
+    pub log_density: f64,
+}
+
+/// Result of a probability-refined k-MLIQ (§5.2.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefinedResult {
+    /// External object id.
+    pub id: u64,
+    /// `ln p(q|v)`.
+    pub log_density: f64,
+    /// Identification probability `P(v|q)` (midpoint of the bound interval).
+    pub probability: f64,
+    /// Guaranteed lower bound on `P(v|q)`.
+    pub prob_lo: f64,
+    /// Guaranteed upper bound on `P(v|q)`.
+    pub prob_hi: f64,
+}
+
+/// Result of a threshold identification query (§5.2.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TiqResult {
+    /// External object id.
+    pub id: u64,
+    /// `ln p(q|v)`.
+    pub log_density: f64,
+    /// Identification probability `P(v|q)` (midpoint of the bound interval).
+    pub probability: f64,
+    /// Guaranteed lower bound on `P(v|q)`.
+    pub prob_lo: f64,
+    /// Guaranteed upper bound on `P(v|q)`.
+    pub prob_hi: f64,
+}
+
+/// Priority-queue entry: an active node ordered by its upper bound.
+#[derive(Debug, Clone, Copy)]
+struct ActiveNode {
+    log_upper: f64,
+    log_lower: f64,
+    count: u64,
+    page: PageId,
+}
+
+impl PartialEq for ActiveNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.log_upper == other.log_upper && self.page == other.page
+    }
+}
+impl Eq for ActiveNode {}
+impl PartialOrd for ActiveNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ActiveNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on the upper bound; page id only to make Ord total.
+        self.log_upper
+            .total_cmp(&other.log_upper)
+            .then_with(|| self.page.cmp(&other.page))
+    }
+}
+
+/// Candidate ordered ascending by (density, id) so a `BinaryHeap<Reverse<_>>`
+/// keeps the k best and peeks the worst kept.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    log_density: f64,
+    id: u64,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.log_density == other.log_density && self.id == other.id
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.log_density
+            .total_cmp(&other.log_density)
+            // Larger ids considered "worse" on ties so ordering is stable.
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// Running lower/upper bounds on the Bayes denominator
+/// `Σ_{w ∈ DB} p(q|w)`.
+///
+/// `exact` accumulates the densities of objects already examined; `min_rem`
+/// / `max_rem` accumulate `n·Ň` / `n·N̂` of not-yet-expanded subtrees.
+struct DenomBounds {
+    exact: LogSumAcc,
+    min_rem: ScaledSum,
+    max_rem: ScaledSum,
+}
+
+impl DenomBounds {
+    fn new(anchor: f64) -> Self {
+        Self {
+            exact: LogSumAcc::new(),
+            min_rem: ScaledSum::new(anchor),
+            max_rem: ScaledSum::new(anchor),
+        }
+    }
+
+    fn add_object(&mut self, log_density: f64) {
+        self.exact.add(log_density);
+    }
+
+    fn add_node(&mut self, node: &ActiveNode) {
+        // Re-anchor before a term that would overflow the current scale.
+        if node.log_upper - self.max_rem.anchor() > 600.0 {
+            self.min_rem.reanchor(node.log_upper);
+            self.max_rem.reanchor(node.log_upper);
+        }
+        self.min_rem.add(node.log_lower, node.count as f64);
+        self.max_rem.add(node.log_upper, node.count as f64);
+    }
+
+    fn remove_node(&mut self, node: &ActiveNode) {
+        self.min_rem.sub(node.log_lower, node.count as f64);
+        self.max_rem.sub(node.log_upper, node.count as f64);
+    }
+
+    /// `ln` of the guaranteed lower bound on the denominator.
+    fn log_lo(&self) -> f64 {
+        log_add_exp(self.exact.value(), self.min_rem.log_value())
+    }
+
+    /// `ln` of the guaranteed upper bound on the denominator.
+    fn log_hi(&self) -> f64 {
+        log_add_exp(self.exact.value(), self.max_rem.log_value())
+    }
+
+    /// `ln` of the interval midpoint (in linear space).
+    fn log_mid(&self) -> f64 {
+        log_add_exp(self.log_lo(), self.log_hi()) - std::f64::consts::LN_2
+    }
+
+    /// Width of the probability interval of an object with log density `ld`.
+    fn prob_width(&self, ld: f64) -> f64 {
+        (ld - self.log_lo()).exp() - (ld - self.log_hi()).exp()
+    }
+}
+
+impl<S: PageStore> GaussTree<S> {
+    fn check_query(&self, q: &Pfv) -> Result<(), TreeError> {
+        if q.dims() != self.dims() {
+            return Err(TreeError::DimMismatch {
+                expected: self.dims(),
+                got: q.dims(),
+            });
+        }
+        Ok(())
+    }
+
+    /// k-most-likely identification query (§5.2.1, Definition 3).
+    ///
+    /// Returns up to `k` objects ranked by descending relative probability
+    /// `p(q|v)`. Does not compute normalised probabilities — use
+    /// [`GaussTree::k_mliq_refined`] when you need `P(v|q)`.
+    ///
+    /// # Errors
+    /// Dimensionality mismatch or storage errors.
+    pub fn k_mliq(&mut self, q: &Pfv, k: usize) -> Result<Vec<MliqResult>, TreeError> {
+        self.check_query(q)?;
+        if k == 0 || self.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mode = self.config().combine;
+        let target = k.min(self.len() as usize);
+
+        let mut active: BinaryHeap<ActiveNode> = BinaryHeap::new();
+        active.push(ActiveNode {
+            log_upper: f64::INFINITY,
+            log_lower: f64::NEG_INFINITY,
+            count: self.len(),
+            page: self.root_page(),
+        });
+        // Min-heap keeping the k best candidates.
+        let mut best: BinaryHeap<std::cmp::Reverse<Candidate>> = BinaryHeap::new();
+
+        while let Some(top) = active.pop() {
+            if best.len() == target {
+                let worst = best.peek().expect("non-empty").0.log_density;
+                if worst >= top.log_upper {
+                    break;
+                }
+            }
+            match self.read_node(top.page)? {
+                Node::Leaf(es) => {
+                    for e in &es {
+                        let ld = combine::log_joint(mode, &e.pfv, q);
+                        let cand = Candidate {
+                            log_density: ld,
+                            id: e.id,
+                        };
+                        if best.len() < target {
+                            best.push(std::cmp::Reverse(cand));
+                        } else if cand > best.peek().expect("non-empty").0 {
+                            best.pop();
+                            best.push(std::cmp::Reverse(cand));
+                        }
+                    }
+                }
+                Node::Inner(es) => {
+                    for e in &es {
+                        let up = e.rect.log_upper_for_query(q, mode);
+                        if best.len() == target
+                            && up <= best.peek().expect("non-empty").0.log_density
+                        {
+                            continue;
+                        }
+                        active.push(ActiveNode {
+                            log_upper: up,
+                            log_lower: e.rect.log_lower_for_query(q, mode),
+                            count: e.count,
+                            page: e.child,
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut out: Vec<MliqResult> = best
+            .into_iter()
+            .map(|std::cmp::Reverse(c)| MliqResult {
+                id: c.id,
+                log_density: c.log_density,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.log_density
+                .total_cmp(&a.log_density)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        Ok(out)
+    }
+
+    /// Probability-refined k-MLIQ (§5.2.2).
+    ///
+    /// Like [`GaussTree::k_mliq`] but also determines the identification
+    /// probability `P(v|q)` of every answer with guaranteed bounds whose
+    /// width is at most `accuracy` (e.g. `1e-3` for three digits, as the
+    /// paper puts it: "exact … according to user's specification of
+    /// exactness").
+    ///
+    /// # Errors
+    /// Dimensionality mismatch or storage errors.
+    ///
+    /// # Panics
+    /// Panics if `accuracy <= 0`.
+    pub fn k_mliq_refined(
+        &mut self,
+        q: &Pfv,
+        k: usize,
+        accuracy: f64,
+    ) -> Result<Vec<RefinedResult>, TreeError> {
+        assert!(accuracy > 0.0, "accuracy must be positive");
+        self.check_query(q)?;
+        if k == 0 || self.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mode = self.config().combine;
+        let target = k.min(self.len() as usize);
+
+        // Expand the root eagerly so an anchor for the scaled accumulators
+        // is known before anything enters the queue.
+        let root = self.read_node(self.root_page())?;
+        let mut active: BinaryHeap<ActiveNode> = BinaryHeap::new();
+        let mut best: BinaryHeap<std::cmp::Reverse<Candidate>> = BinaryHeap::new();
+        let mut best_ld = f64::NEG_INFINITY;
+
+        let mut denom;
+        match root {
+            Node::Leaf(es) => {
+                denom = DenomBounds::new(0.0);
+                for e in &es {
+                    let ld = combine::log_joint(mode, &e.pfv, q);
+                    denom.add_object(ld);
+                    push_candidate(&mut best, target, ld, e.id);
+                    best_ld = best_ld.max(ld);
+                }
+            }
+            Node::Inner(es) => {
+                let children: Vec<ActiveNode> = es
+                    .iter()
+                    .map(|e| ActiveNode {
+                        log_upper: e.rect.log_upper_for_query(q, mode),
+                        log_lower: e.rect.log_lower_for_query(q, mode),
+                        count: e.count,
+                        page: e.child,
+                    })
+                    .collect();
+                let anchor = children
+                    .iter()
+                    .map(|c| c.log_upper)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                denom = DenomBounds::new(if anchor.is_finite() { anchor } else { 0.0 });
+                for c in children {
+                    denom.add_node(&c);
+                    active.push(c);
+                }
+            }
+        }
+
+        loop {
+            let settled = best.len() == target
+                && active
+                    .peek()
+                    .is_none_or(|t| best.peek().expect("non-empty").0.log_density >= t.log_upper);
+            if settled && denom.prob_width(best_ld) <= accuracy {
+                break;
+            }
+            let Some(top) = active.pop() else { break };
+            denom.remove_node(&top);
+            match self.read_node(top.page)? {
+                Node::Leaf(es) => {
+                    for e in &es {
+                        let ld = combine::log_joint(mode, &e.pfv, q);
+                        denom.add_object(ld);
+                        push_candidate(&mut best, target, ld, e.id);
+                        best_ld = best_ld.max(ld);
+                    }
+                }
+                Node::Inner(es) => {
+                    for e in &es {
+                        let child = ActiveNode {
+                            log_upper: e.rect.log_upper_for_query(q, mode),
+                            log_lower: e.rect.log_lower_for_query(q, mode),
+                            count: e.count,
+                            page: e.child,
+                        };
+                        denom.add_node(&child);
+                        active.push(child);
+                    }
+                }
+            }
+        }
+
+        let (lo, hi, mid) = (denom.log_lo(), denom.log_hi(), denom.log_mid());
+        let mut out: Vec<RefinedResult> = best
+            .into_iter()
+            .map(|std::cmp::Reverse(c)| RefinedResult {
+                id: c.id,
+                log_density: c.log_density,
+                probability: (c.log_density - mid).exp(),
+                prob_lo: (c.log_density - hi).exp(),
+                prob_hi: (c.log_density - lo).exp(),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.log_density
+                .total_cmp(&a.log_density)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        Ok(out)
+    }
+
+    /// Threshold identification query (§5.2.3, Figure 5, Definition 2):
+    /// every object with `P(v|q) ≥ p_theta`, with probability bounds of
+    /// width at most `accuracy`, and with every boundary candidate decided
+    /// exactly.
+    ///
+    /// # Errors
+    /// Dimensionality mismatch or storage errors.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p_theta <= 1` and `accuracy > 0`.
+    pub fn tiq(
+        &mut self,
+        q: &Pfv,
+        p_theta: f64,
+        accuracy: f64,
+    ) -> Result<Vec<TiqResult>, TreeError> {
+        self.tiq_impl(q, p_theta, Some(accuracy))
+    }
+
+    /// The literal Figure-5 algorithm: stops as soon as no unexplored node
+    /// can contain a qualifying object, keeps every candidate whose
+    /// probability *could* reach the threshold, and reports the conservative
+    /// probability `p / (maxSum + sum)`. Cheaper than [`GaussTree::tiq`] but
+    /// boundary candidates may be reported whose exact probability is
+    /// slightly below the threshold (their `prob_lo`/`prob_hi` interval
+    /// straddles it).
+    ///
+    /// # Errors
+    /// Dimensionality mismatch or storage errors.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p_theta <= 1`.
+    pub fn tiq_anytime(&mut self, q: &Pfv, p_theta: f64) -> Result<Vec<TiqResult>, TreeError> {
+        self.tiq_impl(q, p_theta, None)
+    }
+
+    fn tiq_impl(
+        &mut self,
+        q: &Pfv,
+        p_theta: f64,
+        accuracy: Option<f64>,
+    ) -> Result<Vec<TiqResult>, TreeError> {
+        assert!(
+            p_theta > 0.0 && p_theta <= 1.0,
+            "threshold must be in (0,1], got {p_theta}"
+        );
+        assert!(
+            accuracy.is_none_or(|a| a > 0.0),
+            "accuracy must be positive"
+        );
+        self.check_query(q)?;
+        if self.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mode = self.config().combine;
+        let ln_theta = p_theta.ln();
+
+        let root = self.read_node(self.root_page())?;
+        let mut active: BinaryHeap<ActiveNode> = BinaryHeap::new();
+        let mut cands: Vec<(u64, f64)> = Vec::new();
+
+        let mut denom;
+        match root {
+            Node::Leaf(es) => {
+                denom = DenomBounds::new(0.0);
+                for e in &es {
+                    let ld = combine::log_joint(mode, &e.pfv, q);
+                    denom.add_object(ld);
+                    cands.push((e.id, ld));
+                }
+            }
+            Node::Inner(es) => {
+                let children: Vec<ActiveNode> = es
+                    .iter()
+                    .map(|e| ActiveNode {
+                        log_upper: e.rect.log_upper_for_query(q, mode),
+                        log_lower: e.rect.log_lower_for_query(q, mode),
+                        count: e.count,
+                        page: e.child,
+                    })
+                    .collect();
+                let anchor = children
+                    .iter()
+                    .map(|c| c.log_upper)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                denom = DenomBounds::new(if anchor.is_finite() { anchor } else { 0.0 });
+                for c in children {
+                    denom.add_node(&c);
+                    active.push(c);
+                }
+            }
+        }
+
+        loop {
+            let denom_lo = denom.log_lo();
+            let denom_hi = denom.log_hi();
+            // Figure 5's "delete unnecessary candidates": prune every
+            // candidate whose probability upper bound is below the threshold.
+            cands.retain(|&(_, ld)| ld - denom_lo >= ln_theta);
+
+            let explore_more = active
+                .peek()
+                .is_some_and(|t| t.log_upper - denom_lo >= ln_theta);
+            let refine_more = match accuracy {
+                // Exact mode: also decide every boundary candidate and meet
+                // the probability accuracy.
+                Some(acc) => {
+                    let any_undecided = cands
+                        .iter()
+                        .any(|&(_, ld)| ld - denom_hi < ln_theta && ld - denom_lo >= ln_theta);
+                    let max_width = cands
+                        .iter()
+                        .map(|&(_, ld)| denom.prob_width(ld))
+                        .fold(0.0, f64::max);
+                    any_undecided || max_width > acc
+                }
+                // Anytime mode (Figure 5 verbatim): no further refinement.
+                None => false,
+            };
+            if !explore_more && !refine_more {
+                break;
+            }
+            let Some(top) = active.pop() else { break };
+            denom.remove_node(&top);
+            match self.read_node(top.page)? {
+                Node::Leaf(es) => {
+                    for e in &es {
+                        let ld = combine::log_joint(mode, &e.pfv, q);
+                        denom.add_object(ld);
+                        // Admit only candidates that could still qualify —
+                        // the retain step above keeps this set tight.
+                        if ld - denom.log_lo() >= ln_theta {
+                            cands.push((e.id, ld));
+                        }
+                    }
+                }
+                Node::Inner(es) => {
+                    for e in &es {
+                        let child = ActiveNode {
+                            log_upper: e.rect.log_upper_for_query(q, mode),
+                            log_lower: e.rect.log_lower_for_query(q, mode),
+                            count: e.count,
+                            page: e.child,
+                        };
+                        denom.add_node(&child);
+                        active.push(child);
+                    }
+                }
+            }
+        }
+
+        let (lo, hi, mid) = (denom.log_lo(), denom.log_hi(), denom.log_mid());
+        let mut out: Vec<TiqResult> = cands
+            .into_iter()
+            .filter(|&(_, ld)| match accuracy {
+                // Exact mode: the candidate provably reaches the threshold.
+                Some(_) => ld - hi >= ln_theta,
+                // Anytime mode: keep candidates that could reach it.
+                None => ld - lo >= ln_theta,
+            })
+            .map(|(id, ld)| TiqResult {
+                id,
+                log_density: ld,
+                probability: if accuracy.is_some() {
+                    (ld - mid).exp()
+                } else {
+                    // Figure 5 reports the conservative value.
+                    (ld - hi).exp()
+                },
+                prob_lo: (ld - hi).exp(),
+                prob_hi: (ld - lo).exp(),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.log_density
+                .total_cmp(&a.log_density)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        Ok(out)
+    }
+}
+
+fn push_candidate(
+    best: &mut BinaryHeap<std::cmp::Reverse<Candidate>>,
+    target: usize,
+    log_density: f64,
+    id: u64,
+) {
+    let cand = Candidate { log_density, id };
+    if best.len() < target {
+        best.push(std::cmp::Reverse(cand));
+    } else if cand > best.peek().expect("non-empty").0 {
+        best.pop();
+        best.push(std::cmp::Reverse(cand));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TreeConfig;
+    use gauss_storage::{AccessStats, BufferPool, MemStore};
+    use pfv::CombineMode;
+
+    /// Deterministic xorshift so tests need no external RNG.
+    struct Rng(u64);
+    impl Rng {
+        fn next_f64(&mut self) -> f64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn random_db(n: usize, dims: usize, seed: u64) -> Vec<(u64, Pfv)> {
+        let mut rng = Rng(seed | 1);
+        (0..n as u64)
+            .map(|id| {
+                let means: Vec<f64> = (0..dims).map(|_| rng.next_f64() * 10.0).collect();
+                let sigmas: Vec<f64> = (0..dims).map(|_| 0.05 + rng.next_f64()).collect();
+                (id, Pfv::new(means, sigmas).unwrap())
+            })
+            .collect()
+    }
+
+    fn build_tree(items: &[(u64, Pfv)], dims: usize) -> GaussTree<MemStore> {
+        let config = TreeConfig::new(dims).with_capacities(6, 4);
+        let pool = BufferPool::new(MemStore::new(8192), 4096, AccessStats::new_shared());
+        let mut tree = GaussTree::create(pool, config).unwrap();
+        for (id, v) in items {
+            tree.insert(*id, v).unwrap();
+        }
+        tree
+    }
+
+    /// Brute-force k-MLIQ over the raw data.
+    fn scan_k_mliq(items: &[(u64, Pfv)], q: &Pfv, k: usize) -> Vec<(u64, f64)> {
+        let mut all: Vec<(u64, f64)> = items
+            .iter()
+            .map(|(id, v)| (*id, combine::log_joint(CombineMode::Convolution, v, q)))
+            .collect();
+        all.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn k_mliq_matches_brute_force() {
+        let items = random_db(300, 3, 42);
+        let mut tree = build_tree(&items, 3);
+        let mut rng = Rng(7);
+        for _ in 0..20 {
+            let q = Pfv::new(
+                vec![rng.next_f64() * 10.0, rng.next_f64() * 10.0, rng.next_f64() * 10.0],
+                vec![0.1 + rng.next_f64(), 0.1 + rng.next_f64(), 0.1 + rng.next_f64()],
+            )
+            .unwrap();
+            for k in [1, 3, 10] {
+                let got = tree.k_mliq(&q, k).unwrap();
+                let want = scan_k_mliq(&items, &q, k);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(want.iter()) {
+                    // Densities must agree exactly (same formula); ids may
+                    // swap only on exact density ties.
+                    assert!(
+                        (g.log_density - w.1).abs() < 1e-9,
+                        "density mismatch: {} vs {}",
+                        g.log_density,
+                        w.1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_mliq_on_empty_tree() {
+        let config = TreeConfig::new(2).with_capacities(4, 4);
+        let pool = BufferPool::new(MemStore::new(8192), 64, AccessStats::new_shared());
+        let mut tree = GaussTree::create(pool, config).unwrap();
+        let q = Pfv::new(vec![0.0, 0.0], vec![0.1, 0.1]).unwrap();
+        assert!(tree.k_mliq(&q, 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_database_returns_everything() {
+        let items = random_db(7, 2, 9);
+        let mut tree = build_tree(&items, 2);
+        let q = Pfv::new(vec![5.0, 5.0], vec![0.5, 0.5]).unwrap();
+        let got = tree.k_mliq(&q, 100).unwrap();
+        assert_eq!(got.len(), 7);
+    }
+
+    #[test]
+    fn refined_probabilities_match_brute_force_bayes() {
+        let items = random_db(200, 2, 1234);
+        let mut tree = build_tree(&items, 2);
+        let db: Vec<Pfv> = items.iter().map(|(_, v)| v.clone()).collect();
+        let mut rng = Rng(99);
+        for _ in 0..10 {
+            let q = Pfv::new(
+                vec![rng.next_f64() * 10.0, rng.next_f64() * 10.0],
+                vec![0.1 + rng.next_f64(), 0.1 + rng.next_f64()],
+            )
+            .unwrap();
+            let got = tree.k_mliq_refined(&q, 3, 1e-6).unwrap();
+            let truth = pfv::posteriors(CombineMode::Convolution, &db, &q);
+            for r in &got {
+                let want = truth[r.id as usize].probability;
+                assert!(
+                    (r.probability - want).abs() <= 1e-5 + 1e-5 * want,
+                    "P mismatch for {}: got {}, want {}",
+                    r.id,
+                    r.probability,
+                    want
+                );
+                assert!(r.prob_lo <= want + 1e-9 && want <= r.prob_hi + 1e-9);
+                assert!(r.prob_hi - r.prob_lo <= 1e-6 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn tiq_matches_brute_force_membership() {
+        let items = random_db(200, 2, 777);
+        let mut tree = build_tree(&items, 2);
+        let db: Vec<Pfv> = items.iter().map(|(_, v)| v.clone()).collect();
+        let mut rng = Rng(5);
+        for _ in 0..10 {
+            // Query near a random database object so results are non-trivial.
+            let target = (rng.next_f64() * 199.0) as usize;
+            let base = &items[target].1;
+            let q = Pfv::new(
+                base.means().to_vec(),
+                vec![0.2 + rng.next_f64() * 0.2, 0.2 + rng.next_f64() * 0.2],
+            )
+            .unwrap();
+            for theta in [0.1, 0.3, 0.7] {
+                let got = tree.tiq(&q, theta, 1e-9).unwrap();
+                let truth = pfv::posteriors(CombineMode::Convolution, &db, &q);
+                let want: Vec<u64> = truth
+                    .iter()
+                    .filter(|p| p.probability >= theta)
+                    .map(|p| p.index as u64)
+                    .collect();
+                let mut got_ids: Vec<u64> = got.iter().map(|r| r.id).collect();
+                got_ids.sort_unstable();
+                let mut want = want;
+                want.sort_unstable();
+                assert_eq!(got_ids, want, "theta={theta}");
+                for r in &got {
+                    let w = truth[r.id as usize].probability;
+                    assert!((r.probability - w).abs() < 1e-6 + 1e-6 * w);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiq_total_probability_never_exceeds_one() {
+        // Property 1 of §4.
+        let items = random_db(100, 2, 31);
+        let mut tree = build_tree(&items, 2);
+        let q = Pfv::new(vec![3.0, 3.0], vec![0.5, 0.5]).unwrap();
+        let got = tree.tiq(&q, 0.01, 1e-9).unwrap();
+        let total: f64 = got.iter().map(|r| r.probability).sum();
+        assert!(total <= 1.0 + 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn tiq_high_threshold_returns_subset_of_low_threshold() {
+        let items = random_db(150, 2, 64);
+        let mut tree = build_tree(&items, 2);
+        let q = Pfv::new(items[0].1.means().to_vec(), vec![0.3, 0.3]).unwrap();
+        let low = tree.tiq(&q, 0.05, 1e-9).unwrap();
+        let high = tree.tiq(&q, 0.5, 1e-9).unwrap();
+        let low_ids: std::collections::HashSet<u64> = low.iter().map(|r| r.id).collect();
+        for r in &high {
+            assert!(low_ids.contains(&r.id));
+        }
+        assert!(high.len() <= low.len());
+    }
+
+    #[test]
+    fn mliq_prunes_pages_versus_full_scan() {
+        // The index must not read every page for a selective query.
+        let items = random_db(2000, 2, 2024);
+        let mut tree = build_tree(&items, 2);
+        tree.pool_mut().clear_cache();
+        tree.stats().reset();
+        let q = Pfv::new(items[100].1.means().to_vec(), vec![0.05, 0.05]).unwrap();
+        let _ = tree.k_mliq(&q, 1).unwrap();
+        let accessed = tree.stats().snapshot().physical_reads;
+        let total_pages = tree.pool_mut().num_pages();
+        assert!(
+            accessed * 3 < total_pages,
+            "k-MLIQ accessed {accessed} of {total_pages} pages — no pruning?"
+        );
+    }
+
+    #[test]
+    fn wrong_dimensionality_is_rejected() {
+        let items = random_db(10, 2, 3);
+        let mut tree = build_tree(&items, 2);
+        let q = Pfv::new(vec![0.0], vec![0.1]).unwrap();
+        assert!(matches!(
+            tree.k_mliq(&q, 1),
+            Err(TreeError::DimMismatch { .. })
+        ));
+        assert!(matches!(
+            tree.tiq(&q, 0.5, 1e-3),
+            Err(TreeError::DimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn additive_sigma_mode_is_honoured_end_to_end() {
+        let items = random_db(100, 2, 55);
+        let config = TreeConfig::new(2)
+            .with_capacities(6, 4)
+            .with_combine(CombineMode::AdditiveSigma);
+        let pool = BufferPool::new(MemStore::new(8192), 1024, AccessStats::new_shared());
+        let mut tree = GaussTree::create(pool, config).unwrap();
+        for (id, v) in &items {
+            tree.insert(*id, v).unwrap();
+        }
+        let q = Pfv::new(vec![5.0, 5.0], vec![0.4, 0.4]).unwrap();
+        let got = tree.k_mliq(&q, 5).unwrap();
+        let mut all: Vec<(u64, f64)> = items
+            .iter()
+            .map(|(id, v)| (*id, combine::log_joint(CombineMode::AdditiveSigma, v, &q)))
+            .collect();
+        all.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (g, w) in got.iter().zip(all.iter()) {
+            assert!((g.log_density - w.1).abs() < 1e-9);
+        }
+    }
+}

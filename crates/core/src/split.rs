@@ -1,0 +1,417 @@
+//! Node split strategies (paper §5.3).
+//!
+//! On overflow the paper tentatively performs a median split in each
+//! μ-dimension and each σ-dimension, computes the bounds of the two
+//! resulting nodes, and keeps the split minimising the summed hull
+//! integrals `∫ N̂(x) dx` — the probability proxy for a node being accessed
+//! by an arbitrary query. Two conventional baselines ([`SplitStrategy::WidestMu`],
+//! [`SplitStrategy::MinVolume`]) are included for the ablation study.
+
+use crate::config::SplitStrategy;
+use crate::node::{InnerEntry, LeafEntry};
+use pfv::{DimBounds, ParamRect};
+
+/// A split axis: the μ or the σ component of one dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Split by feature value of dimension `i`.
+    Mu(usize),
+    /// Split by uncertainty value of dimension `i`.
+    Sigma(usize),
+}
+
+/// Items a node split can operate on (leaf pfv entries or inner child
+/// entries).
+pub trait Splittable {
+    /// Dimensionality.
+    fn dims(&self) -> usize;
+    /// Sort key along `axis` (centre of the item's extent on that axis).
+    fn axis_key(&self, axis: Axis) -> f64;
+    /// The item's parameter bounds in dimension `dim`.
+    fn dim_bounds(&self, dim: usize) -> DimBounds;
+}
+
+impl Splittable for LeafEntry {
+    fn dims(&self) -> usize {
+        self.pfv.dims()
+    }
+
+    fn axis_key(&self, axis: Axis) -> f64 {
+        match axis {
+            Axis::Mu(i) => self.pfv.means()[i],
+            Axis::Sigma(i) => self.pfv.sigmas()[i],
+        }
+    }
+
+    fn dim_bounds(&self, dim: usize) -> DimBounds {
+        let (m, s) = self.pfv.component(dim);
+        DimBounds::point(m, s)
+    }
+}
+
+impl Splittable for InnerEntry {
+    fn dims(&self) -> usize {
+        self.rect.dims()
+    }
+
+    fn axis_key(&self, axis: Axis) -> f64 {
+        match axis {
+            Axis::Mu(i) => {
+                let d = self.rect.dim(i);
+                0.5 * (d.mu_lo + d.mu_hi)
+            }
+            Axis::Sigma(i) => {
+                let d = self.rect.dim(i);
+                0.5 * (d.sigma_lo + d.sigma_hi)
+            }
+        }
+    }
+
+    fn dim_bounds(&self, dim: usize) -> DimBounds {
+        *self.rect.dim(dim)
+    }
+}
+
+/// MBR of a group of splittable items.
+///
+/// # Panics
+/// Panics on an empty group.
+#[must_use]
+pub fn group_rect<T: Splittable>(items: &[T]) -> ParamRect {
+    assert!(!items.is_empty(), "empty group has no bounds");
+    let dims = items[0].dims();
+    let mut ds: Vec<DimBounds> = (0..dims).map(|d| items[0].dim_bounds(d)).collect();
+    for it in &items[1..] {
+        for (d, b) in ds.iter_mut().enumerate() {
+            *b = b.union(&it.dim_bounds(d));
+        }
+    }
+    ParamRect::from_dims(ds)
+}
+
+/// Log-space cost of one node under a strategy's objective.
+///
+/// * Hull-integral strategy: `Σ_dim ln ∫N̂_dim` (log of the product of
+///   per-dimension hull integrals);
+/// * volume strategies: log of the parameter-space volume, with a small ε
+///   floor per extent so degenerate rectangles stay comparable.
+#[must_use]
+pub fn node_cost(strategy: SplitStrategy, rect: &ParamRect) -> f64 {
+    const EPS: f64 = 1e-12;
+    match strategy {
+        SplitStrategy::HullIntegral => rect.log_access_cost(),
+        SplitStrategy::WidestMu | SplitStrategy::MinVolume => rect
+            .as_slice()
+            .iter()
+            .map(|d| (d.mu_extent() + EPS).ln() + (d.sigma_extent() + EPS).ln())
+            .sum(),
+    }
+}
+
+/// `ln(exp(a) + exp(b))` — combines the two child costs for comparison.
+fn log_add(a: f64, b: f64) -> f64 {
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    if lo == f64::NEG_INFINITY {
+        hi
+    } else {
+        hi + (lo - hi).exp().ln_1p()
+    }
+}
+
+/// Outcome of a split: the chosen axis and the two groups.
+#[derive(Debug)]
+pub struct SplitOutcome<T> {
+    /// Axis the split was performed on.
+    pub axis: Axis,
+    /// Left group (keeps the original page).
+    pub left: Vec<T>,
+    /// Right group (goes to a fresh page).
+    pub right: Vec<T>,
+}
+
+/// Splits an overflowing set of items into two groups.
+///
+/// Every candidate axis receives a median split (so both halves satisfy the
+/// minimum fanout by construction); the strategy's cost function picks the
+/// winner.
+///
+/// # Panics
+/// Panics if fewer than two items are supplied.
+#[must_use]
+pub fn split_items<T: Splittable + Clone>(
+    strategy: SplitStrategy,
+    items: Vec<T>,
+) -> SplitOutcome<T> {
+    assert!(items.len() >= 2, "cannot split fewer than two items");
+    let dims = items[0].dims();
+
+    let axes: Vec<Axis> = match strategy {
+        SplitStrategy::WidestMu => {
+            // Only μ axes; choose the one with the widest overall extent.
+            let rect = group_rect(&items);
+            let best = (0..dims)
+                .max_by(|&a, &b| {
+                    rect.dim(a)
+                        .mu_extent()
+                        .total_cmp(&rect.dim(b).mu_extent())
+                })
+                .expect("dims >= 1");
+            vec![Axis::Mu(best)]
+        }
+        SplitStrategy::HullIntegral | SplitStrategy::MinVolume => (0..dims)
+            .flat_map(|i| [Axis::Mu(i), Axis::Sigma(i)])
+            .collect(),
+    };
+
+    let mid = items.len() / 2;
+    let mut best: Option<(f64, Axis, Vec<T>, Vec<T>)> = None;
+    for axis in axes {
+        let mut sorted = items.clone();
+        sorted.sort_by(|a, b| a.axis_key(axis).total_cmp(&b.axis_key(axis)));
+        let right = sorted.split_off(mid);
+        let left = sorted;
+        let cost = log_add(
+            node_cost(strategy, &group_rect(&left)),
+            node_cost(strategy, &group_rect(&right)),
+        );
+        let better = match &best {
+            None => true,
+            Some((c, ..)) => cost < *c,
+        };
+        if better {
+            best = Some((cost, axis, left, right));
+        }
+    }
+    let (_, axis, left, right) = best.expect("at least one candidate axis");
+    SplitOutcome { axis, left, right }
+}
+
+/// Recursively partitions `items` into `⌈n / cap⌉` groups of at most `cap`
+/// items each, choosing split axes with the same cost objective as node
+/// splits. Used by the bulk loader.
+///
+/// # Panics
+/// Panics if `cap < 1` or `items` is empty.
+#[must_use]
+pub fn partition_groups<T: Splittable + Clone>(
+    strategy: SplitStrategy,
+    items: Vec<T>,
+    cap: usize,
+) -> Vec<Vec<T>> {
+    assert!(cap >= 1, "group capacity must be positive");
+    assert!(!items.is_empty(), "cannot partition zero items");
+    let n_groups = items.len().div_ceil(cap);
+    let mut out = Vec::with_capacity(n_groups);
+    partition_rec(strategy, items, n_groups, &mut out);
+    out
+}
+
+fn partition_rec<T: Splittable + Clone>(
+    strategy: SplitStrategy,
+    items: Vec<T>,
+    n_groups: usize,
+    out: &mut Vec<Vec<T>>,
+) {
+    if n_groups <= 1 {
+        out.push(items);
+        return;
+    }
+    let dims = items[0].dims();
+    let g_left = n_groups / 2;
+    let split_at = items.len() * g_left / n_groups;
+
+    let axes: Vec<Axis> = match strategy {
+        SplitStrategy::WidestMu => {
+            let rect = group_rect(&items);
+            let best = (0..dims)
+                .max_by(|&a, &b| rect.dim(a).mu_extent().total_cmp(&rect.dim(b).mu_extent()))
+                .expect("dims >= 1");
+            vec![Axis::Mu(best)]
+        }
+        _ => (0..dims)
+            .flat_map(|i| [Axis::Mu(i), Axis::Sigma(i)])
+            .collect(),
+    };
+
+    let mut best: Option<(f64, Vec<T>, Vec<T>)> = None;
+    for axis in axes {
+        let mut sorted = items.clone();
+        sorted.sort_by(|a, b| a.axis_key(axis).total_cmp(&b.axis_key(axis)));
+        let right = sorted.split_off(split_at);
+        let left = sorted;
+        let cost = log_add(
+            node_cost(strategy, &group_rect(&left)),
+            node_cost(strategy, &group_rect(&right)),
+        );
+        if best.as_ref().is_none_or(|(c, ..)| cost < *c) {
+            best = Some((cost, left, right));
+        }
+    }
+    let (_, left, right) = best.expect("at least one axis");
+    partition_rec(strategy, left, g_left, out);
+    partition_rec(strategy, right, n_groups - g_left, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfv::Pfv;
+
+    fn leaf(id: u64, mu: f64, sigma: f64) -> LeafEntry {
+        LeafEntry {
+            id,
+            pfv: Pfv::new(vec![mu], vec![sigma]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn split_balances_cardinality() {
+        let items: Vec<LeafEntry> = (0..9).map(|i| leaf(i, i as f64, 0.5)).collect();
+        let out = split_items(SplitStrategy::HullIntegral, items);
+        assert_eq!(out.left.len(), 4);
+        assert_eq!(out.right.len(), 5);
+    }
+
+    #[test]
+    fn low_sigma_cluster_splits_by_mu() {
+        // Paper intuition: if σ̂ is low, split by μ.
+        let items: Vec<LeafEntry> = (0..8)
+            .map(|i| leaf(i, i as f64 * 2.0, 0.05 + 0.001 * (i % 2) as f64))
+            .collect();
+        let out = split_items(SplitStrategy::HullIntegral, items);
+        assert!(matches!(out.axis, Axis::Mu(0)), "axis = {:?}", out.axis);
+        // Groups are separated in μ.
+        let max_left = out
+            .left
+            .iter()
+            .map(|e| e.pfv.means()[0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min_right = out
+            .right
+            .iter()
+            .map(|e| e.pfv.means()[0])
+            .fold(f64::INFINITY, f64::min);
+        assert!(max_left <= min_right);
+    }
+
+    #[test]
+    fn mixed_sigma_cluster_splits_by_sigma() {
+        // Paper intuition: with wildly mixed σ and narrow μ, split by σ so
+        // that at least the low-σ node becomes selective.
+        let items: Vec<LeafEntry> = (0..8)
+            .map(|i| {
+                let sigma = if i % 2 == 0 { 0.01 } else { 10.0 };
+                leaf(i, 0.1 * i as f64, sigma)
+            })
+            .collect();
+        let out = split_items(SplitStrategy::HullIntegral, items);
+        assert!(matches!(out.axis, Axis::Sigma(0)), "axis = {:?}", out.axis);
+    }
+
+    #[test]
+    fn hull_split_cost_not_worse_than_alternatives() {
+        // The chosen split must have minimal hull cost among all tentative
+        // median splits (it is an argmin by construction; verify against a
+        // brute-force recomputation).
+        let items: Vec<LeafEntry> = (0..10)
+            .map(|i| leaf(i, (i * i) as f64 * 0.3, 0.05 + 0.3 * (i % 3) as f64))
+            .collect();
+        let out = split_items(SplitStrategy::HullIntegral, items.clone());
+        let chosen = log_add(
+            node_cost(SplitStrategy::HullIntegral, &group_rect(&out.left)),
+            node_cost(SplitStrategy::HullIntegral, &group_rect(&out.right)),
+        );
+        let mid = items.len() / 2;
+        for axis in [Axis::Mu(0), Axis::Sigma(0)] {
+            let mut sorted = items.clone();
+            sorted.sort_by(|a, b| a.axis_key(axis).total_cmp(&b.axis_key(axis)));
+            let right = sorted.split_off(mid);
+            let cost = log_add(
+                node_cost(SplitStrategy::HullIntegral, &group_rect(&sorted)),
+                node_cost(SplitStrategy::HullIntegral, &group_rect(&right)),
+            );
+            assert!(chosen <= cost + 1e-12);
+        }
+    }
+
+    #[test]
+    fn widest_mu_ignores_sigma() {
+        let items: Vec<LeafEntry> = (0..8)
+            .map(|i| {
+                let sigma = if i % 2 == 0 { 0.01 } else { 10.0 };
+                leaf(i, 0.001 * i as f64, sigma)
+            })
+            .collect();
+        let out = split_items(SplitStrategy::WidestMu, items);
+        assert!(matches!(out.axis, Axis::Mu(_)));
+    }
+
+    #[test]
+    fn inner_entries_split_too() {
+        let items: Vec<InnerEntry> = (0..6)
+            .map(|i| InnerEntry {
+                child: gauss_storage::PageId(i),
+                count: 5,
+                rect: ParamRect::from_dims(vec![DimBounds::new(
+                    i as f64,
+                    i as f64 + 0.5,
+                    0.1,
+                    0.2,
+                )]),
+            })
+            .collect();
+        let out = split_items(SplitStrategy::HullIntegral, items);
+        assert_eq!(out.left.len() + out.right.len(), 6);
+        assert!(out.left.len() >= 3 && out.right.len() >= 3);
+    }
+
+    #[test]
+    fn group_rect_is_tight() {
+        let items = vec![leaf(0, 1.0, 0.1), leaf(1, 3.0, 0.4), leaf(2, 2.0, 0.2)];
+        let r = group_rect(&items);
+        assert_eq!(r.dim(0).mu_lo, 1.0);
+        assert_eq!(r.dim(0).mu_hi, 3.0);
+        assert_eq!(r.dim(0).sigma_lo, 0.1);
+        assert_eq!(r.dim(0).sigma_hi, 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than two")]
+    fn split_rejects_singleton() {
+        let _ = split_items(SplitStrategy::HullIntegral, vec![leaf(0, 0.0, 0.1)]);
+    }
+
+    #[test]
+    fn partition_respects_capacity() {
+        let items: Vec<LeafEntry> = (0..103)
+            .map(|i| leaf(i, (i as f64).sin() * 10.0, 0.1 + (i % 4) as f64 * 0.2))
+            .collect();
+        for cap in [2, 5, 7, 16, 200] {
+            let groups = partition_groups(SplitStrategy::HullIntegral, items.clone(), cap);
+            assert_eq!(groups.len(), 103usize.div_ceil(cap));
+            let total: usize = groups.iter().map(Vec::len).sum();
+            assert_eq!(total, 103);
+            for g in &groups {
+                assert!(!g.is_empty());
+                assert!(g.len() <= cap, "group of {} exceeds cap {}", g.len(), cap);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_keeps_every_item_exactly_once() {
+        let items: Vec<LeafEntry> = (0..50).map(|i| leaf(i, i as f64, 0.3)).collect();
+        let groups = partition_groups(SplitStrategy::MinVolume, items, 8);
+        let mut ids: Vec<u64> = groups.iter().flatten().map(|e| e.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_single_group() {
+        let items: Vec<LeafEntry> = (0..5).map(|i| leaf(i, i as f64, 0.3)).collect();
+        let groups = partition_groups(SplitStrategy::HullIntegral, items, 10);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 5);
+    }
+}

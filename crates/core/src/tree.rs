@@ -1,0 +1,711 @@
+//! The Gauss-tree structure: creation, persistence, insertion, bulk loading.
+
+use crate::config::TreeConfig;
+use crate::node::{InnerEntry, LeafEntry, Node, NodeCodecError};
+use crate::split::{group_rect, node_cost, partition_groups, split_items};
+use gauss_storage::{BufferPool, PageId, Reader, Writer};
+use gauss_storage::store::{PageStore, StoreError};
+use pfv::{CombineMode, ParamRect, Pfv};
+
+const META_MAGIC: u32 = 0x4754_5245; // "GTRE"
+const META_VERSION: u32 = 1;
+
+/// Fill factor applied by the bulk loader so bulk-built nodes can absorb a
+/// few inserts before splitting.
+const BULK_FILL: f64 = 0.75;
+
+/// Errors surfaced by the Gauss-tree.
+#[derive(Debug)]
+pub enum TreeError {
+    /// Underlying page store failed.
+    Store(StoreError),
+    /// A page did not decode to a valid node.
+    Codec(NodeCodecError),
+    /// A pfv with the wrong dimensionality was supplied.
+    DimMismatch {
+        /// Tree dimensionality.
+        expected: usize,
+        /// Dimensionality of the offending vector.
+        got: usize,
+    },
+    /// The store does not contain a Gauss-tree (bad magic / version).
+    NotAGaussTree,
+    /// Structural corruption detected while traversing.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::Store(e) => write!(f, "store error: {e}"),
+            TreeError::Codec(e) => write!(f, "codec error: {e}"),
+            TreeError::DimMismatch { expected, got } => {
+                write!(f, "dimensionality mismatch: tree has {expected}, vector has {got}")
+            }
+            TreeError::NotAGaussTree => write!(f, "store does not contain a Gauss-tree"),
+            TreeError::Corrupt(what) => write!(f, "corrupt tree: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+impl From<StoreError> for TreeError {
+    fn from(e: StoreError) -> Self {
+        TreeError::Store(e)
+    }
+}
+
+impl From<NodeCodecError> for TreeError {
+    fn from(e: NodeCodecError) -> Self {
+        TreeError::Codec(e)
+    }
+}
+
+/// The Gauss-tree (Definition 4 of the paper).
+///
+/// See the [crate docs](crate) for an overview and an example.
+#[derive(Debug)]
+pub struct GaussTree<S: PageStore> {
+    pool: BufferPool<S>,
+    config: TreeConfig,
+    leaf_cap: usize,
+    inner_cap: usize,
+    meta_page: PageId,
+    root: PageId,
+    height: u32,
+    len: u64,
+}
+
+/// Result of a recursive insert below some node.
+enum ChildUpdate {
+    /// Child absorbed the entry; new rect and count.
+    Updated(ParamRect, u64),
+    /// Child split in two.
+    Split {
+        left: (ParamRect, u64),
+        right_page: PageId,
+        right: (ParamRect, u64),
+    },
+}
+
+impl<S: PageStore> GaussTree<S> {
+    /// Creates an empty Gauss-tree in a fresh store.
+    ///
+    /// # Errors
+    /// Propagates store errors; fails if the page size cannot hold two
+    /// entries of the configured dimensionality.
+    pub fn create(mut pool: BufferPool<S>, config: TreeConfig) -> Result<Self, TreeError> {
+        let page_size = pool.page_size();
+        let leaf_cap = config.leaf_capacity(page_size);
+        let inner_cap = config.inner_capacity(page_size);
+        let meta_page = pool.allocate()?;
+        let root = pool.allocate()?;
+        let mut tree = Self {
+            pool,
+            config,
+            leaf_cap,
+            inner_cap,
+            meta_page,
+            root,
+            height: 0,
+            len: 0,
+        };
+        tree.write_node(root, &Node::Leaf(Vec::new()))?;
+        tree.flush()?;
+        Ok(tree)
+    }
+
+    /// Opens an existing Gauss-tree from its store.
+    ///
+    /// # Errors
+    /// [`TreeError::NotAGaussTree`] if the metadata page is missing or
+    /// invalid; store errors otherwise.
+    pub fn open(mut pool: BufferPool<S>) -> Result<Self, TreeError> {
+        if pool.num_pages() == 0 {
+            return Err(TreeError::NotAGaussTree);
+        }
+        let page = pool.page(PageId(0))?;
+        let mut r = Reader::new(page);
+        let parse = (|| -> Result<(TreeConfig, PageId, u32, u64), NodeCodecError> {
+            let magic = r.get_u32()?;
+            let version = r.get_u32()?;
+            if magic != META_MAGIC || version != META_VERSION {
+                return Err(NodeCodecError::Corrupt("bad magic/version"));
+            }
+            let dims = r.get_u32()? as usize;
+            let combine = match r.get_u8()? {
+                0 => CombineMode::Convolution,
+                1 => CombineMode::AdditiveSigma,
+                _ => return Err(NodeCodecError::Corrupt("bad combine mode")),
+            };
+            let split = crate::config::SplitStrategy::from_tag(r.get_u8()?)
+                .ok_or(NodeCodecError::Corrupt("bad split strategy"))?;
+            let leaf_cap = r.get_u32()? as usize;
+            let inner_cap = r.get_u32()? as usize;
+            let root = PageId(r.get_u64()?);
+            let height = r.get_u32()?;
+            let len = r.get_u64()?;
+            if dims == 0 || leaf_cap < 2 || inner_cap < 2 || !root.is_valid() {
+                return Err(NodeCodecError::Corrupt("bad metadata values"));
+            }
+            let mut config = TreeConfig::new(dims).with_combine(combine).with_split(split);
+            config.max_leaf_entries = Some(leaf_cap);
+            config.max_inner_entries = Some(inner_cap);
+            Ok((config, root, height, len))
+        })();
+        let (config, root, height, len) = parse.map_err(|_| TreeError::NotAGaussTree)?;
+        let leaf_cap = config.leaf_capacity(pool.page_size());
+        let inner_cap = config.inner_capacity(pool.page_size());
+        Ok(Self {
+            pool,
+            config,
+            leaf_cap,
+            inner_cap,
+            meta_page: PageId(0),
+            root,
+            height,
+            len,
+        })
+    }
+
+    /// Bulk-loads a tree from `(id, pfv)` pairs (STR-style recursive
+    /// partitioning driven by the configured split cost — an extension over
+    /// the paper's incremental insertion).
+    ///
+    /// # Errors
+    /// Propagates store errors; rejects dimensionality mismatches.
+    pub fn bulk_load(
+        pool: BufferPool<S>,
+        config: TreeConfig,
+        items: impl IntoIterator<Item = (u64, Pfv)>,
+    ) -> Result<Self, TreeError> {
+        let mut tree = Self::create(pool, config)?;
+        let mut entries = Vec::new();
+        for (id, pfv) in items {
+            if pfv.dims() != tree.config.dims {
+                return Err(TreeError::DimMismatch {
+                    expected: tree.config.dims,
+                    got: pfv.dims(),
+                });
+            }
+            entries.push(LeafEntry { id, pfv });
+        }
+        if entries.is_empty() {
+            return Ok(tree);
+        }
+        tree.len = entries.len() as u64;
+
+        let leaf_target = ((tree.leaf_cap as f64 * BULK_FILL) as usize).max(2);
+        let inner_target = ((tree.inner_cap as f64 * BULK_FILL) as usize).max(2);
+
+        // Level 0: pack pfv into leaves.
+        let groups = partition_groups(tree.config.split, entries, leaf_target);
+        let mut level: Vec<InnerEntry> = Vec::with_capacity(groups.len());
+        let mut reuse_root = Some(tree.root);
+        for g in groups {
+            let page = match reuse_root.take() {
+                Some(p) => p,
+                None => tree.pool.allocate()?,
+            };
+            let rect = group_rect(&g);
+            let count = g.len() as u64;
+            tree.write_node(page, &Node::Leaf(g))?;
+            level.push(InnerEntry {
+                child: page,
+                count,
+                rect,
+            });
+        }
+
+        // Upper levels until everything fits under one root.
+        let mut height = 0;
+        while level.len() > 1 {
+            height += 1;
+            if level.len() <= tree.inner_cap {
+                let page = tree.pool.allocate()?;
+                tree.write_node(page, &Node::Inner(level))?;
+                tree.root = page;
+                tree.height = height;
+                tree.flush()?;
+                return Ok(tree);
+            }
+            let groups = partition_groups(tree.config.split, level, inner_target);
+            let mut next: Vec<InnerEntry> = Vec::with_capacity(groups.len());
+            for g in groups {
+                let page = tree.pool.allocate()?;
+                let rect = group_rect(&g);
+                let count = g.iter().map(|e| e.count).sum();
+                tree.write_node(page, &Node::Inner(g))?;
+                next.push(InnerEntry {
+                    child: page,
+                    count,
+                    rect,
+                });
+            }
+            level = next;
+        }
+        // Single leaf: root stays the (reused) leaf page.
+        tree.root = level[0].child;
+        tree.height = 0;
+        tree.flush()?;
+        Ok(tree)
+    }
+
+    /// Number of stored pfv.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (0 = the root is a leaf).
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Dimensionality of the indexed pfv.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.config.dims
+    }
+
+    /// The tree's configuration.
+    #[must_use]
+    pub fn config(&self) -> &TreeConfig {
+        &self.config
+    }
+
+    /// Maximum number of entries in a leaf node (`2M` in the paper).
+    #[must_use]
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_cap
+    }
+
+    /// Maximum number of entries in an inner node (`M` in the paper).
+    #[must_use]
+    pub fn inner_capacity(&self) -> usize {
+        self.inner_cap
+    }
+
+    /// Root page id.
+    #[must_use]
+    pub fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    /// Access to the buffer pool (stats, cold start).
+    pub fn pool_mut(&mut self) -> &mut BufferPool<S> {
+        &mut self.pool
+    }
+
+    /// Shared access statistics of the buffer pool.
+    #[must_use]
+    pub fn stats(&self) -> &std::sync::Arc<gauss_storage::AccessStats> {
+        self.pool.stats()
+    }
+
+    /// Writes the metadata page. Call after building; queries never dirty
+    /// the tree.
+    ///
+    /// # Errors
+    /// Propagates store errors.
+    pub fn flush(&mut self) -> Result<(), TreeError> {
+        let mut page = vec![0u8; self.pool.page_size()];
+        let mut w = Writer::new(&mut page);
+        w.put_u32(META_MAGIC);
+        w.put_u32(META_VERSION);
+        w.put_u32(u32::try_from(self.config.dims).expect("dims fit u32"));
+        w.put_u8(match self.config.combine {
+            CombineMode::Convolution => 0,
+            CombineMode::AdditiveSigma => 1,
+        });
+        w.put_u8(self.config.split.to_tag());
+        w.put_u32(u32::try_from(self.leaf_cap).expect("leaf cap fits u32"));
+        w.put_u32(u32::try_from(self.inner_cap).expect("inner cap fits u32"));
+        w.put_u64(self.root.index());
+        w.put_u32(self.height);
+        w.put_u64(self.len);
+        self.pool.write(self.meta_page, &page)?;
+        Ok(())
+    }
+
+    /// Inserts one pfv with external id `id` (paper §5.3 descent rules).
+    ///
+    /// # Errors
+    /// [`TreeError::DimMismatch`] for wrong dimensionality; store errors.
+    pub fn insert(&mut self, id: u64, v: &Pfv) -> Result<(), TreeError> {
+        if v.dims() != self.config.dims {
+            return Err(TreeError::DimMismatch {
+                expected: self.config.dims,
+                got: v.dims(),
+            });
+        }
+        match self.insert_rec(self.root, self.height, id, v)? {
+            ChildUpdate::Updated(..) => {}
+            ChildUpdate::Split {
+                left,
+                right_page,
+                right,
+            } => {
+                // Grow a new root.
+                let old_root = self.root;
+                let new_root = self.pool.allocate()?;
+                let node = Node::Inner(vec![
+                    InnerEntry {
+                        child: old_root,
+                        count: left.1,
+                        rect: left.0,
+                    },
+                    InnerEntry {
+                        child: right_page,
+                        count: right.1,
+                        rect: right.0,
+                    },
+                ]);
+                self.write_node(new_root, &node)?;
+                self.root = new_root;
+                self.height += 1;
+            }
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    fn insert_rec(
+        &mut self,
+        page: PageId,
+        level: u32,
+        id: u64,
+        v: &Pfv,
+    ) -> Result<ChildUpdate, TreeError> {
+        let node = self.read_node(page)?;
+        if level == 0 {
+            let Node::Leaf(mut entries) = node else {
+                return Err(TreeError::Corrupt("expected leaf at level 0"));
+            };
+            entries.push(LeafEntry {
+                id,
+                pfv: v.clone(),
+            });
+            if entries.len() <= self.leaf_cap {
+                let rect = group_rect(&entries);
+                let count = entries.len() as u64;
+                self.write_node(page, &Node::Leaf(entries))?;
+                Ok(ChildUpdate::Updated(rect, count))
+            } else {
+                let out = split_items(self.config.split, entries);
+                let right_page = self.pool.allocate()?;
+                let left_rect = group_rect(&out.left);
+                let right_rect = group_rect(&out.right);
+                let left_count = out.left.len() as u64;
+                let right_count = out.right.len() as u64;
+                self.write_node(page, &Node::Leaf(out.left))?;
+                self.write_node(right_page, &Node::Leaf(out.right))?;
+                Ok(ChildUpdate::Split {
+                    left: (left_rect, left_count),
+                    right_page,
+                    right: (right_rect, right_count),
+                })
+            }
+        } else {
+            let Node::Inner(mut entries) = node else {
+                return Err(TreeError::Corrupt("expected inner node above level 0"));
+            };
+            if entries.is_empty() {
+                return Err(TreeError::Corrupt("empty inner node"));
+            }
+            let idx = self.choose_subtree(&entries, v);
+            let child_page = entries[idx].child;
+            match self.insert_rec(child_page, level - 1, id, v)? {
+                ChildUpdate::Updated(rect, count) => {
+                    entries[idx].rect = rect;
+                    entries[idx].count = count;
+                }
+                ChildUpdate::Split {
+                    left,
+                    right_page,
+                    right,
+                } => {
+                    entries[idx] = InnerEntry {
+                        child: child_page,
+                        count: left.1,
+                        rect: left.0,
+                    };
+                    entries.push(InnerEntry {
+                        child: right_page,
+                        count: right.1,
+                        rect: right.0,
+                    });
+                }
+            }
+            if entries.len() <= self.inner_cap {
+                let rect = group_rect(&entries);
+                let count = entries.iter().map(|e| e.count).sum();
+                self.write_node(page, &Node::Inner(entries))?;
+                Ok(ChildUpdate::Updated(rect, count))
+            } else {
+                let out = split_items(self.config.split, entries);
+                let right_page = self.pool.allocate()?;
+                let left_rect = group_rect(&out.left);
+                let right_rect = group_rect(&out.right);
+                let left_count = out.left.iter().map(|e| e.count).sum();
+                let right_count = out.right.iter().map(|e| e.count).sum();
+                self.write_node(page, &Node::Inner(out.left))?;
+                self.write_node(right_page, &Node::Inner(out.right))?;
+                Ok(ChildUpdate::Split {
+                    left: (left_rect, left_count),
+                    right_page,
+                    right: (right_rect, right_count),
+                })
+            }
+        }
+    }
+
+    /// Insertion path selection (paper §5.3):
+    /// 1. if exactly one child rectangle contains the new pfv, follow it;
+    /// 2. if several contain it, follow the most selective one (minimal
+    ///    hull cost — the greedy single-path realisation of the paper's
+    ///    "follow all paths and find a node it exactly fits");
+    /// 3. otherwise follow the child whose cost increases least.
+    fn choose_subtree(&self, entries: &[InnerEntry], v: &Pfv) -> usize {
+        debug_assert!(!entries.is_empty());
+        let strategy = self.config.split;
+        let mut best_containing: Option<(f64, usize)> = None;
+        for (i, e) in entries.iter().enumerate() {
+            if e.rect.contains_pfv(v) {
+                let cost = node_cost(strategy, &e.rect);
+                if best_containing.is_none_or(|(c, _)| cost < c) {
+                    best_containing = Some((cost, i));
+                }
+            }
+        }
+        if let Some((_, i)) = best_containing {
+            return i;
+        }
+        // No child contains it: minimal cost increase, ties by smaller cost.
+        let mut best = (f64::INFINITY, f64::INFINITY, 0usize);
+        for (i, e) in entries.iter().enumerate() {
+            let before = node_cost(strategy, &e.rect);
+            let mut extended = e.rect.clone();
+            extended.extend_pfv(v);
+            let delta = node_cost(strategy, &extended) - before;
+            if delta < best.0 || (delta == best.0 && before < best.1) {
+                best = (delta, before, i);
+            }
+        }
+        best.2
+    }
+
+    /// Reads and decodes the node stored at `page`.
+    ///
+    /// # Errors
+    /// Store / codec errors.
+    pub(crate) fn read_node(&mut self, page: PageId) -> Result<Node, TreeError> {
+        let dims = self.config.dims;
+        let bytes = self.pool.page(page)?;
+        Ok(Node::read_from(dims, bytes)?)
+    }
+
+    /// Serialises `node` into `page` (crate-internal; used by deletion).
+    pub(crate) fn write_node_pub(&mut self, page: PageId, node: &Node) -> Result<(), TreeError> {
+        self.write_node(page, node)
+    }
+
+    /// Minimum fill of a non-root leaf (`M` in the paper's `[M, 2M]`).
+    pub(crate) fn leaf_min_fill(&self) -> usize {
+        (self.leaf_cap / 2).max(1)
+    }
+
+    /// Minimum fill of a non-root inner node (`M/2`).
+    pub(crate) fn inner_min_fill(&self) -> usize {
+        (self.inner_cap / 2).max(1)
+    }
+
+    /// Overrides the stored length (deletion bookkeeping).
+    pub(crate) fn set_len(&mut self, len: u64) {
+        self.len = len;
+    }
+
+    /// Replaces the root pointer and height (root collapse on deletion).
+    pub(crate) fn set_root(&mut self, root: PageId, height: u32) {
+        self.root = root;
+        self.height = height;
+    }
+
+    fn write_node(&mut self, page: PageId, node: &Node) -> Result<(), TreeError> {
+        let mut buf = vec![0u8; self.pool.page_size()];
+        node.write_to(self.config.dims, &mut buf);
+        self.pool.write(page, &buf)?;
+        Ok(())
+    }
+
+    /// Visits every stored `(id, pfv)` pair (in tree order).
+    ///
+    /// # Errors
+    /// Store / codec errors.
+    pub fn for_each_entry(
+        &mut self,
+        mut f: impl FnMut(u64, &Pfv),
+    ) -> Result<(), TreeError> {
+        let mut stack = vec![(self.root, self.height)];
+        while let Some((page, level)) = stack.pop() {
+            match self.read_node(page)? {
+                Node::Leaf(es) => {
+                    for e in &es {
+                        f(e.id, &e.pfv);
+                    }
+                }
+                Node::Inner(es) => {
+                    if level == 0 {
+                        return Err(TreeError::Corrupt("inner node at leaf level"));
+                    }
+                    for e in &es {
+                        stack.push((e.child, level - 1));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gauss_storage::{AccessStats, MemStore};
+
+    fn mem_tree(dims: usize, leaf: usize, inner: usize) -> GaussTree<MemStore> {
+        let config = TreeConfig::new(dims).with_capacities(leaf, inner);
+        let pool = BufferPool::new(MemStore::new(8192), 1024, AccessStats::new_shared());
+        GaussTree::create(pool, config).unwrap()
+    }
+
+    fn pfv1(mu: f64, sigma: f64) -> Pfv {
+        Pfv::new(vec![mu], vec![sigma]).unwrap()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = mem_tree(1, 4, 4);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn insert_grows_len_and_keeps_entries() {
+        let mut t = mem_tree(1, 4, 4);
+        for i in 0..50u64 {
+            t.insert(i, &pfv1(i as f64, 0.1 + (i % 5) as f64 * 0.05))
+                .unwrap();
+        }
+        assert_eq!(t.len(), 50);
+        assert!(t.height() >= 1, "50 entries with cap 4 must split");
+        let mut seen = Vec::new();
+        t.for_each_entry(|id, _| seen.push(id)).unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_wrong_dimensionality() {
+        let mut t = mem_tree(2, 4, 4);
+        let err = t
+            .insert(0, &pfv1(0.0, 0.1))
+            .unwrap_err();
+        assert!(matches!(err, TreeError::DimMismatch { expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn persistence_round_trip() {
+        let config = TreeConfig::new(2).with_capacities(4, 3);
+        let pool = BufferPool::new(MemStore::new(8192), 1024, AccessStats::new_shared());
+        let mut t = GaussTree::create(pool, config).unwrap();
+        for i in 0..30u64 {
+            let v = Pfv::new(vec![i as f64, -(i as f64)], vec![0.2, 0.3]).unwrap();
+            t.insert(i, &v).unwrap();
+        }
+        t.flush().unwrap();
+        let store = {
+            let GaussTree { pool, .. } = t;
+            pool.into_store()
+        };
+        let pool = BufferPool::new(store, 1024, AccessStats::new_shared());
+        let mut t2 = GaussTree::open(pool).unwrap();
+        assert_eq!(t2.len(), 30);
+        assert_eq!(t2.dims(), 2);
+        let mut n = 0;
+        t2.for_each_entry(|_, _| n += 1).unwrap();
+        assert_eq!(n, 30);
+    }
+
+    #[test]
+    fn open_rejects_non_tree() {
+        let pool = BufferPool::new(MemStore::new(8192), 16, AccessStats::new_shared());
+        assert!(matches!(
+            GaussTree::open(pool),
+            Err(TreeError::NotAGaussTree)
+        ));
+        let mut store = MemStore::new(8192);
+        store.allocate().unwrap(); // garbage page 0
+        let pool = BufferPool::new(store, 16, AccessStats::new_shared());
+        assert!(matches!(
+            GaussTree::open(pool),
+            Err(TreeError::NotAGaussTree)
+        ));
+    }
+
+    #[test]
+    fn bulk_load_matches_inserted_content() {
+        let items: Vec<(u64, Pfv)> = (0..200u64)
+            .map(|i| (i, pfv1((i % 37) as f64, 0.05 + (i % 7) as f64 * 0.1)))
+            .collect();
+        let config = TreeConfig::new(1).with_capacities(8, 6);
+        let pool = BufferPool::new(MemStore::new(8192), 1024, AccessStats::new_shared());
+        let mut t = GaussTree::bulk_load(pool, config, items.clone()).unwrap();
+        assert_eq!(t.len(), 200);
+        let mut seen = Vec::new();
+        t.for_each_entry(|id, _| seen.push(id)).unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bulk_load_single_leaf() {
+        let items = vec![(1u64, pfv1(0.0, 0.1)), (2, pfv1(1.0, 0.2))];
+        let config = TreeConfig::new(1).with_capacities(8, 6);
+        let pool = BufferPool::new(MemStore::new(8192), 16, AccessStats::new_shared());
+        let t = GaussTree::bulk_load(pool, config, items).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn bulk_load_empty() {
+        let config = TreeConfig::new(1).with_capacities(8, 6);
+        let pool = BufferPool::new(MemStore::new(8192), 16, AccessStats::new_shared());
+        let t = GaussTree::bulk_load(pool, config, Vec::new()).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn insert_after_bulk_load() {
+        let items: Vec<(u64, Pfv)> = (0..100u64).map(|i| (i, pfv1(i as f64, 0.1))).collect();
+        let config = TreeConfig::new(1).with_capacities(8, 6);
+        let pool = BufferPool::new(MemStore::new(8192), 1024, AccessStats::new_shared());
+        let mut t = GaussTree::bulk_load(pool, config, items).unwrap();
+        for i in 100..150u64 {
+            t.insert(i, &pfv1(i as f64 * 0.5, 0.2)).unwrap();
+        }
+        assert_eq!(t.len(), 150);
+        let mut n = 0;
+        t.for_each_entry(|_, _| n += 1).unwrap();
+        assert_eq!(n, 150);
+    }
+}

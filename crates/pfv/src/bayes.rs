@@ -1,0 +1,175 @@
+//! Bayesian identification probabilities (paper §3/§4).
+//!
+//! Given a query pfv `q` and a database `DB = {v₁ … vₙ}` of pfv, the
+//! probability that `q` and `v` describe the same real-world object — under
+//! the condition that `q` matches *some* database object and with uniform
+//! priors `P(v)` — is
+//!
+//! ```text
+//! P(v|q) = p(q|v) / Σ_{w ∈ DB} p(q|w)
+//! ```
+//!
+//! The densities `p(q|v)` come from Lemma 1 (`combine`). The posterior sum
+//! over all retrieved objects never exceeds 1 (Property 1 of §4), equals
+//! `1/n` in the limit of total ignorance (Property 3), and tends to 0 for
+//! disjoint Gaussians (Property 4). These properties are exercised in the
+//! unit tests below.
+
+use crate::combine::{log_joint, CombineMode};
+use crate::logsum::log_sum_exp;
+use crate::vector::Pfv;
+
+/// The posterior of one database object for a given query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posterior {
+    /// Index of the object in the database slice passed in.
+    pub index: usize,
+    /// `ln p(q|v)` — the relative (unnormalised) log density.
+    pub log_density: f64,
+    /// `P(v|q)` — the normalised identification probability.
+    pub probability: f64,
+}
+
+/// Computes `P(vᵢ|q)` for every object of `db`.
+///
+/// Runs the §4 "general solution": one pass for the densities, one log-sum-exp
+/// for the denominator. `O(n·d)` time, `O(n)` space.
+///
+/// # Panics
+/// Panics if any object's dimensionality differs from the query's.
+#[must_use]
+pub fn posteriors(mode: CombineMode, db: &[Pfv], q: &Pfv) -> Vec<Posterior> {
+    let log_densities: Vec<f64> = db.iter().map(|v| log_joint(mode, v, q)).collect();
+    let log_denominator = log_sum_exp(&log_densities);
+    log_densities
+        .into_iter()
+        .enumerate()
+        .map(|(index, log_density)| Posterior {
+            index,
+            log_density,
+            probability: if log_denominator == f64::NEG_INFINITY {
+                0.0
+            } else {
+                (log_density - log_denominator).exp()
+            },
+        })
+        .collect()
+}
+
+/// Posterior of a single object given a precomputed log denominator.
+#[inline]
+#[must_use]
+pub fn posterior(log_density: f64, log_denominator: f64) -> f64 {
+    if log_denominator == f64::NEG_INFINITY {
+        0.0
+    } else {
+        (log_density - log_denominator).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db3() -> Vec<Pfv> {
+        vec![
+            Pfv::new(vec![0.0, 0.0], vec![0.5, 0.5]).unwrap(),
+            Pfv::new(vec![5.0, 5.0], vec![0.5, 0.5]).unwrap(),
+            Pfv::new(vec![-5.0, 5.0], vec![0.5, 0.5]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn posteriors_sum_to_one() {
+        // Property 1: Σ P(v|q) == 1 over the whole database.
+        let db = db3();
+        let q = Pfv::new(vec![0.2, -0.1], vec![0.3, 0.3]).unwrap();
+        let ps = posteriors(CombineMode::Convolution, &db, &q);
+        let total: f64 = ps.iter().map(|p| p.probability).sum();
+        assert!((total - 1.0).abs() < 1e-12, "total {total}");
+    }
+
+    #[test]
+    fn close_match_dominates() {
+        let db = db3();
+        let q = Pfv::new(vec![0.1, 0.0], vec![0.2, 0.2]).unwrap();
+        let ps = posteriors(CombineMode::Convolution, &db, &q);
+        assert!(ps[0].probability > 0.999);
+    }
+
+    #[test]
+    fn total_ignorance_tends_to_uniform() {
+        // Property 3: σq → ∞ ⇒ P(v|q) → 1/n.
+        let db = db3();
+        let q = Pfv::new(vec![0.0, 0.0], vec![1e6, 1e6]).unwrap();
+        let ps = posteriors(CombineMode::Convolution, &db, &q);
+        for p in &ps {
+            assert!(
+                (p.probability - 1.0 / 3.0).abs() < 1e-3,
+                "expected ~1/3, got {}",
+                p.probability
+            );
+        }
+    }
+
+    #[test]
+    fn uncertain_database_object_tends_to_uniform_too() {
+        // Property 3 also holds when the *database* objects are uncertain.
+        let db = vec![
+            Pfv::new(vec![0.0], vec![1e6]).unwrap(),
+            Pfv::new(vec![100.0], vec![1e6]).unwrap(),
+        ];
+        let q = Pfv::new(vec![0.0], vec![0.1]).unwrap();
+        let ps = posteriors(CombineMode::Convolution, &db, &q);
+        assert!((ps[0].probability - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn disjoint_gaussians_probability_near_zero() {
+        // Property 4.
+        let db = vec![
+            Pfv::new(vec![0.0], vec![0.1]).unwrap(),
+            Pfv::new(vec![100.0], vec![0.1]).unwrap(),
+        ];
+        let q = Pfv::new(vec![0.0], vec![0.1]).unwrap();
+        let ps = posteriors(CombineMode::Convolution, &db, &q);
+        assert!(ps[1].probability < 1e-100);
+    }
+
+    #[test]
+    fn empty_database_yields_no_posteriors() {
+        let q = Pfv::new(vec![0.0], vec![0.1]).unwrap();
+        assert!(posteriors(CombineMode::Convolution, &[], &q).is_empty());
+    }
+
+    #[test]
+    fn ranking_by_probability_equals_ranking_by_density() {
+        // The denominator is shared, so the orderings must agree — this is
+        // why k-MLIQ only needs relative densities (paper §5.2.1).
+        let db = db3();
+        let q = Pfv::new(vec![1.0, 2.0], vec![0.4, 0.4]).unwrap();
+        let ps = posteriors(CombineMode::Convolution, &db, &q);
+        let mut by_density: Vec<usize> = (0..ps.len()).collect();
+        by_density.sort_by(|&a, &b| ps[b].log_density.total_cmp(&ps[a].log_density));
+        let mut by_prob: Vec<usize> = (0..ps.len()).collect();
+        by_prob.sort_by(|&a, &b| ps[b].probability.total_cmp(&ps[a].probability));
+        assert_eq!(by_density, by_prob);
+    }
+
+    #[test]
+    fn high_dimensional_posteriors_remain_normalised() {
+        // 27 dims like data set 1: linear-space densities would underflow.
+        let d = 27;
+        let db: Vec<Pfv> = (0..10)
+            .map(|i| {
+                let means = vec![i as f64; d];
+                Pfv::new(means, vec![0.01; d]).unwrap()
+            })
+            .collect();
+        let q = Pfv::new(vec![3.0; d], vec![0.01; d]).unwrap();
+        let ps = posteriors(CombineMode::Convolution, &db, &q);
+        let total: f64 = ps.iter().map(|p| p.probability).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(ps[3].probability > 0.999_999);
+    }
+}

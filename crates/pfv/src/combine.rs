@@ -1,0 +1,200 @@
+//! Lemma 1 — the joint probability of two probabilistic features.
+//!
+//! For a database feature `v = (μv, σv)` and a query feature `q = (μq, σq)`
+//! the probability density that both observations stem from the *same* true
+//! value is
+//!
+//! ```text
+//! p(q|v) = ∫ N_{μv,σv}(x) · N_{μq,σq}(x) dx
+//! ```
+//!
+//! The paper states the result as `N_{μv, σv+σq}(μq)`, but its pdf notation
+//! is ambiguous about σ vs σ². The exact value of this integral is a
+//! Gaussian in `μq − μv` with **variance** `σv² + σq²`:
+//!
+//! ```text
+//! ∫ N_{μv,σv}(x)·N_{μq,σq}(x) dx = N(μv, √(σv²+σq²))(μq)
+//! ```
+//!
+//! (the convolution of the two Gaussians evaluated at the mean difference).
+//! We support both readings via [`CombineMode`]:
+//!
+//! * [`CombineMode::Convolution`] — the mathematically exact combination
+//!   (default);
+//! * [`CombineMode::AdditiveSigma`] — the literal formula printed in the
+//!   paper, which adds standard deviations.
+//!
+//! Both are monotone in σv for fixed σq, which is all the Gauss-tree's
+//! conservative bounds require (see `hull`), so correctness of the index is
+//! unaffected by the choice; only the absolute probability values differ.
+//! The `ablation_combine` benchmark quantifies the difference.
+
+use crate::vector::Pfv;
+
+/// How the uncertainties of query and database object are combined when
+/// evaluating Lemma 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CombineMode {
+    /// Exact product-integral: combined spread `√(σv² + σq²)`.
+    #[default]
+    Convolution,
+    /// Paper-literal: combined spread `σv + σq`.
+    AdditiveSigma,
+}
+
+impl CombineMode {
+    /// Combined standard deviation of a database σ and a query σ.
+    #[inline]
+    #[must_use]
+    pub fn combine_sigma(self, sigma_v: f64, sigma_q: f64) -> f64 {
+        match self {
+            CombineMode::Convolution => (sigma_v * sigma_v + sigma_q * sigma_q).sqrt(),
+            CombineMode::AdditiveSigma => sigma_v + sigma_q,
+        }
+    }
+}
+
+/// `ln p(qᵢ|vᵢ)` for one probabilistic feature (Lemma 1).
+#[inline]
+#[must_use]
+pub fn log_joint_1d(mode: CombineMode, mu_v: f64, sigma_v: f64, mu_q: f64, sigma_q: f64) -> f64 {
+    let s = mode.combine_sigma(sigma_v, sigma_q);
+    crate::gaussian::log_pdf(mu_v, s, mu_q)
+}
+
+/// Linear-space `p(qᵢ|vᵢ)` for one feature.
+#[inline]
+#[must_use]
+pub fn joint_1d(mode: CombineMode, mu_v: f64, sigma_v: f64, mu_q: f64, sigma_q: f64) -> f64 {
+    log_joint_1d(mode, mu_v, sigma_v, mu_q, sigma_q).exp()
+}
+
+/// `ln p(q|v) = Σᵢ ln p(qᵢ|vᵢ)` — the multivariate joint log density of a
+/// query pfv and a database pfv.
+///
+/// # Panics
+/// Panics if dimensionalities differ.
+#[must_use]
+pub fn log_joint(mode: CombineMode, v: &Pfv, q: &Pfv) -> f64 {
+    assert_eq!(v.dims(), q.dims(), "dimensionality mismatch");
+    let mut acc = 0.0;
+    for i in 0..v.dims() {
+        let (mv, sv) = v.component(i);
+        let (mq, sq) = q.component(i);
+        acc += log_joint_1d(mode, mv, sv, mq, sq);
+    }
+    acc
+}
+
+/// Linear-space `p(q|v)`. Underflows for high dimensionality; prefer
+/// [`log_joint`].
+#[must_use]
+pub fn joint(mode: CombineMode, v: &Pfv, q: &Pfv) -> f64 {
+    log_joint(mode, v, q).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrature::integrate_adaptive;
+
+    /// The defining integral of Lemma 1, evaluated numerically.
+    fn numeric_joint(mu_v: f64, sigma_v: f64, mu_q: f64, sigma_q: f64) -> f64 {
+        let lo = (mu_v - 10.0 * sigma_v).min(mu_q - 10.0 * sigma_q);
+        let hi = (mu_v + 10.0 * sigma_v).max(mu_q + 10.0 * sigma_q);
+        integrate_adaptive(
+            |x| crate::gaussian::pdf(mu_v, sigma_v, x) * crate::gaussian::pdf(mu_q, sigma_q, x),
+            lo,
+            hi,
+            1e-12,
+        )
+    }
+
+    #[test]
+    fn convolution_matches_defining_integral() {
+        for &(mv, sv, mq, sq) in &[
+            (0.0, 1.0, 0.0, 1.0),
+            (0.0, 1.0, 2.0, 0.5),
+            (3.0, 0.2, 3.1, 0.9),
+            (-5.0, 4.0, 5.0, 4.0),
+            (0.0, 0.05, 0.2, 0.01),
+        ] {
+            let exact = joint_1d(CombineMode::Convolution, mv, sv, mq, sq);
+            let numeric = numeric_joint(mv, sv, mq, sq);
+            assert!(
+                (exact - numeric).abs() <= 1e-8 * numeric.max(1e-30),
+                "Lemma 1 mismatch at ({mv},{sv},{mq},{sq}): exact={exact}, numeric={numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn additive_mode_differs_but_is_close_for_small_sigma() {
+        // When one σ dominates, both modes approach each other.
+        let a = joint_1d(CombineMode::Convolution, 0.0, 1.0, 0.5, 1e-6);
+        let b = joint_1d(CombineMode::AdditiveSigma, 0.0, 1.0, 0.5, 1e-6);
+        assert!((a - b).abs() < 1e-5 * a);
+        // With comparable σ they differ measurably.
+        let a = joint_1d(CombineMode::Convolution, 0.0, 1.0, 0.5, 1.0);
+        let b = joint_1d(CombineMode::AdditiveSigma, 0.0, 1.0, 0.5, 1.0);
+        assert!((a - b).abs() > 1e-3 * a);
+    }
+
+    #[test]
+    fn joint_is_symmetric_in_query_and_object() {
+        // p(q|v) == p(v|q) by symmetry of the defining integral.
+        let v = Pfv::new(vec![1.0, 2.0], vec![0.3, 0.4]).unwrap();
+        let q = Pfv::new(vec![1.5, 1.0], vec![0.7, 0.2]).unwrap();
+        for mode in [CombineMode::Convolution, CombineMode::AdditiveSigma] {
+            assert!((log_joint(mode, &v, &q) - log_joint(mode, &q, &v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn joint_decreases_with_increasing_uncertainty_at_match() {
+        // Property 2 of §4: with μq == μv, increasing σ lowers the density.
+        let mut prev = f64::INFINITY;
+        for i in 1..20 {
+            let s = i as f64 * 0.1;
+            let p = joint_1d(CombineMode::Convolution, 0.0, s, 0.0, 0.1);
+            assert!(p < prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn joint_increases_with_uncertainty_when_disjoint() {
+        // Property 4 of §4: for quite-disjoint Gaussians the density slightly
+        // increases with σ (the object can no longer be excluded).
+        let far = 10.0;
+        let p_small = joint_1d(CombineMode::Convolution, 0.0, 0.1, far, 0.1);
+        let p_large = joint_1d(CombineMode::Convolution, 0.0, 2.0, far, 0.1);
+        assert!(p_large > p_small);
+    }
+
+    #[test]
+    fn multivariate_is_product_of_univariate() {
+        let v = Pfv::new(vec![0.0, 1.0, 2.0], vec![0.5, 0.6, 0.7]).unwrap();
+        let q = Pfv::new(vec![0.1, 0.9, 2.2], vec![0.2, 0.3, 0.4]).unwrap();
+        let want: f64 = (0..3)
+            .map(|i| {
+                let (mv, sv) = v.component(i);
+                let (mq, sq) = q.component(i);
+                log_joint_1d(CombineMode::Convolution, mv, sv, mq, sq)
+            })
+            .sum();
+        assert!((log_joint(CombineMode::Convolution, &v, &q) - want).abs() < 1e-14);
+    }
+
+    #[test]
+    fn high_dimensional_joint_stays_finite_in_log_space() {
+        let d = 100;
+        let v = Pfv::new(vec![0.0; d], vec![1e-4; d]).unwrap();
+        let q = Pfv::new(vec![0.0; d], vec![1e-4; d]).unwrap();
+        let l = log_joint(CombineMode::Convolution, &v, &q);
+        assert!(l.is_finite());
+        assert!(l > 500.0, "narrow match should have large log density");
+        // linear space would overflow to inf:
+        assert!(l.exp().is_infinite());
+    }
+}

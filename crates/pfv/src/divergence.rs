@@ -1,0 +1,193 @@
+//! Divergences and similarity coefficients between probabilistic feature
+//! vectors.
+//!
+//! The Lemma-1 joint density is the paper's similarity primitive, but
+//! uncertain-data applications routinely need the classic information-
+//! theoretic measures between the underlying diagonal Gaussians too. All of
+//! them have closed forms for diagonal covariances and are exercised by the
+//! unit tests against their defining properties.
+
+use crate::vector::Pfv;
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` between the diagonal Gaussians
+/// of two pfv, in nats.
+///
+/// Closed form per dimension:
+/// `ln(σq/σp) + (σp² + (μp−μq)²)/(2σq²) − ½`.
+///
+/// # Panics
+/// Panics on dimensionality mismatch.
+#[must_use]
+pub fn kl_divergence(p: &Pfv, q: &Pfv) -> f64 {
+    assert_eq!(p.dims(), q.dims(), "dimensionality mismatch");
+    let mut acc = 0.0;
+    for i in 0..p.dims() {
+        let (mp, sp) = p.component(i);
+        let (mq, sq) = q.component(i);
+        let var_q = sq * sq;
+        acc += (sq / sp).ln() + (sp * sp + (mp - mq) * (mp - mq)) / (2.0 * var_q) - 0.5;
+    }
+    acc
+}
+
+/// Symmetrised KL divergence `½(KL(p‖q) + KL(q‖p))`.
+#[must_use]
+pub fn symmetric_kl(p: &Pfv, q: &Pfv) -> f64 {
+    0.5 * (kl_divergence(p, q) + kl_divergence(q, p))
+}
+
+/// Bhattacharyya distance between the diagonal Gaussians of two pfv.
+///
+/// Per dimension:
+/// `¼·(μp−μq)²/(σp²+σq²) + ½·ln((σp²+σq²)/(2σpσq))`.
+///
+/// # Panics
+/// Panics on dimensionality mismatch.
+#[must_use]
+pub fn bhattacharyya_distance(p: &Pfv, q: &Pfv) -> f64 {
+    assert_eq!(p.dims(), q.dims(), "dimensionality mismatch");
+    let mut acc = 0.0;
+    for i in 0..p.dims() {
+        let (mp, sp) = p.component(i);
+        let (mq, sq) = q.component(i);
+        let var_sum = sp * sp + sq * sq;
+        acc += 0.25 * (mp - mq) * (mp - mq) / var_sum
+            + 0.5 * (var_sum / (2.0 * sp * sq)).ln();
+    }
+    acc
+}
+
+/// Bhattacharyya coefficient `BC = exp(−D_B) ∈ (0, 1]` — 1 iff the
+/// distributions coincide.
+#[must_use]
+pub fn bhattacharyya_coefficient(p: &Pfv, q: &Pfv) -> f64 {
+    (-bhattacharyya_distance(p, q)).exp()
+}
+
+/// Mahalanobis distance of an exact point `x` from the pfv's distribution:
+/// `√(Σᵢ (xᵢ−μᵢ)²/σᵢ²)`.
+///
+/// # Panics
+/// Panics on dimensionality mismatch.
+#[must_use]
+pub fn mahalanobis(p: &Pfv, x: &[f64]) -> f64 {
+    assert_eq!(p.dims(), x.len(), "dimensionality mismatch");
+    let mut acc = 0.0;
+    for i in 0..p.dims() {
+        let (m, s) = p.component(i);
+        let z = (x[i] - m) / s;
+        acc += z * z;
+    }
+    acc.sqrt()
+}
+
+/// Hellinger distance `√(1 − BC) ∈ [0, 1)` — a proper metric on the
+/// distributions.
+#[must_use]
+pub fn hellinger(p: &Pfv, q: &Pfv) -> f64 {
+    (1.0 - bhattacharyya_coefficient(p, q)).max(0.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrature::integrate_adaptive;
+
+    fn p1(m: f64, s: f64) -> Pfv {
+        Pfv::new(vec![m], vec![s]).unwrap()
+    }
+
+    #[test]
+    fn kl_is_zero_iff_equal() {
+        let a = Pfv::new(vec![1.0, -2.0], vec![0.5, 1.5]).unwrap();
+        assert!(kl_divergence(&a, &a).abs() < 1e-14);
+        let b = Pfv::new(vec![1.1, -2.0], vec![0.5, 1.5]).unwrap();
+        assert!(kl_divergence(&a, &b) > 0.0);
+        assert!(kl_divergence(&b, &a) > 0.0);
+    }
+
+    #[test]
+    fn kl_matches_numeric_integral() {
+        // KL(p||q) = ∫ p ln(p/q)
+        let (mp, sp, mq, sq) = (0.0, 1.0, 0.7, 1.8);
+        let closed = kl_divergence(&p1(mp, sp), &p1(mq, sq));
+        let numeric = integrate_adaptive(
+            |x| {
+                let lp = crate::gaussian::log_pdf(mp, sp, x);
+                let lq = crate::gaussian::log_pdf(mq, sq, x);
+                lp.exp() * (lp - lq)
+            },
+            -12.0,
+            12.0,
+            1e-11,
+        );
+        assert!((closed - numeric).abs() < 1e-8, "{closed} vs {numeric}");
+    }
+
+    #[test]
+    fn kl_is_asymmetric_but_symmetric_kl_is_not() {
+        let a = p1(0.0, 0.2);
+        let b = p1(1.0, 2.0);
+        assert!((kl_divergence(&a, &b) - kl_divergence(&b, &a)).abs() > 0.1);
+        assert!((symmetric_kl(&a, &b) - symmetric_kl(&b, &a)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn bhattacharyya_coefficient_matches_numeric_integral() {
+        // BC = ∫ √(p·q)
+        let (mp, sp, mq, sq) = (0.0, 0.6, 1.2, 1.1);
+        let closed = bhattacharyya_coefficient(&p1(mp, sp), &p1(mq, sq));
+        let numeric = integrate_adaptive(
+            |x| {
+                (0.5 * (crate::gaussian::log_pdf(mp, sp, x)
+                    + crate::gaussian::log_pdf(mq, sq, x)))
+                .exp()
+            },
+            -15.0,
+            15.0,
+            1e-11,
+        );
+        assert!((closed - numeric).abs() < 1e-8, "{closed} vs {numeric}");
+    }
+
+    #[test]
+    fn bc_bounds_and_identity() {
+        let a = Pfv::new(vec![3.0, 4.0], vec![0.7, 0.3]).unwrap();
+        assert!((bhattacharyya_coefficient(&a, &a) - 1.0).abs() < 1e-14);
+        // Far-apart distributions: BC underflows to 0 in f64 — still a
+        // valid lower bound of the mathematical value.
+        let far = Pfv::new(vec![300.0, 4.0], vec![0.7, 0.3]).unwrap();
+        let bc = bhattacharyya_coefficient(&a, &far);
+        assert!((0.0..1e-10).contains(&bc));
+    }
+
+    #[test]
+    fn hellinger_is_metric_like() {
+        let a = p1(0.0, 1.0);
+        let b = p1(0.5, 1.0);
+        let c = p1(1.0, 1.0);
+        assert_eq!(hellinger(&a, &a), 0.0);
+        let (ab, bc, ac) = (hellinger(&a, &b), hellinger(&b, &c), hellinger(&a, &c));
+        assert!((ab - hellinger(&b, &a)).abs() < 1e-14, "symmetry");
+        assert!(ac <= ab + bc + 1e-12, "triangle inequality");
+        assert!(hellinger(&a, &p1(1e6, 1.0)) <= 1.0);
+    }
+
+    #[test]
+    fn mahalanobis_basics() {
+        let p = Pfv::new(vec![0.0, 0.0], vec![1.0, 2.0]).unwrap();
+        assert_eq!(mahalanobis(&p, &[0.0, 0.0]), 0.0);
+        assert!((mahalanobis(&p, &[1.0, 0.0]) - 1.0).abs() < 1e-14);
+        assert!((mahalanobis(&p, &[0.0, 2.0]) - 1.0).abs() < 1e-14);
+        assert!((mahalanobis(&p, &[1.0, 2.0]) - 2f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn multivariate_is_sum_of_univariate() {
+        let a = Pfv::new(vec![0.0, 1.0], vec![0.5, 0.8]).unwrap();
+        let b = Pfv::new(vec![0.3, 0.7], vec![0.6, 1.0]).unwrap();
+        let want = kl_divergence(&p1(0.0, 0.5), &p1(0.3, 0.6))
+            + kl_divergence(&p1(1.0, 0.8), &p1(0.7, 1.0));
+        assert!((kl_divergence(&a, &b) - want).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! Univariate Gaussian probability density functions.
+//!
+//! Definition 1 of the paper models each probabilistic feature by
+//! `N_{μ,σ}(x) = 1/(√(2π)·σ) · exp(−(x−μ)² / (2σ²))`, parameterised by the
+//! **standard deviation** σ (not the variance). The standard-deviation
+//! parameterisation matters: Lemma 2's interior maximiser `σmax = μ̌ − x` is
+//! only stationary under this parameterisation (see `hull`).
+
+use crate::{LN_SQRT_2PI, MIN_SIGMA};
+
+/// A univariate Gaussian `N(μ, σ)` with standard deviation `σ > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian, clamping `sigma` to [`MIN_SIGMA`].
+    ///
+    /// # Panics
+    /// Panics if `mu` or `sigma` is not finite, or if `sigma` is negative.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite(), "Gaussian mean must be finite, got {mu}");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "Gaussian sigma must be finite and non-negative, got {sigma}"
+        );
+        Self {
+            mu,
+            sigma: sigma.max(MIN_SIGMA),
+        }
+    }
+
+    /// The mean μ.
+    #[inline]
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The standard deviation σ.
+    #[inline]
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Probability density at `x`.
+    #[inline]
+    #[must_use]
+    pub fn pdf(&self, x: f64) -> f64 {
+        pdf(self.mu, self.sigma, x)
+    }
+
+    /// Natural logarithm of the density at `x`.
+    #[inline]
+    #[must_use]
+    pub fn log_pdf(&self, x: f64) -> f64 {
+        log_pdf(self.mu, self.sigma, x)
+    }
+
+    /// Cumulative distribution function `P(X ≤ x)`.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        crate::phi::phi((x - self.mu) / self.sigma)
+    }
+
+    /// The central interval `[μ − z·σ, μ + z·σ]` containing probability mass
+    /// `coverage` (e.g. `0.95` → `z ≈ 1.96`).
+    ///
+    /// This is exactly the 95 %-quantile interval the paper uses to build the
+    /// hyper-rectangle approximations stored in the X-tree baseline.
+    #[must_use]
+    pub fn central_interval(&self, coverage: f64) -> (f64, f64) {
+        assert!(
+            (0.0..1.0).contains(&coverage),
+            "coverage must be in [0,1), got {coverage}"
+        );
+        let z = crate::phi::phi_inv(0.5 + coverage / 2.0);
+        (self.mu - z * self.sigma, self.mu + z * self.sigma)
+    }
+}
+
+/// `N_{μ,σ}(x)` in linear space.
+#[inline]
+#[must_use]
+pub fn pdf(mu: f64, sigma: f64, x: f64) -> f64 {
+    log_pdf(mu, sigma, x).exp()
+}
+
+/// `ln N_{μ,σ}(x) = −ln σ − ln √(2π) − (x−μ)²/(2σ²)`.
+#[inline]
+#[must_use]
+pub fn log_pdf(mu: f64, sigma: f64, x: f64) -> f64 {
+    debug_assert!(sigma > 0.0, "sigma must be positive");
+    let z = (x - mu) / sigma;
+    -sigma.ln() - LN_SQRT_2PI - 0.5 * z * z
+}
+
+/// Log-density of the *peak* of `N(μ, σ)`, i.e. `ln N_{μ,σ}(μ)`.
+#[inline]
+#[must_use]
+pub fn log_peak(sigma: f64) -> f64 {
+    -sigma.ln() - LN_SQRT_2PI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STD_NORMAL_PEAK: f64 = 0.398_942_280_401_432_7; // 1/√(2π)
+
+    #[test]
+    fn standard_normal_peak() {
+        assert!((pdf(0.0, 1.0, 0.0) - STD_NORMAL_PEAK).abs() < 1e-15);
+        assert!((log_peak(1.0).exp() - STD_NORMAL_PEAK).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pdf_matches_log_pdf() {
+        for &(mu, sigma, x) in &[
+            (0.0, 1.0, 0.5),
+            (3.5, 0.7, 3.9),
+            (-2.0, 10.0, 25.0),
+            (1e3, 1e-3, 1e3 + 5e-3),
+        ] {
+            let lin = pdf(mu, sigma, x);
+            let log = log_pdf(mu, sigma, x).exp();
+            assert!(
+                (lin - log).abs() <= 1e-12 * lin.max(1.0),
+                "mismatch at ({mu},{sigma},{x}): {lin} vs {log}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetry_of_observation_and_mean() {
+        // N_{x,σ}(μ) == N_{μ,σ}(x) — the symmetry §3 of the paper relies on.
+        let (a, b, s) = (1.3, 4.2, 0.8);
+        assert!((pdf(a, s, b) - pdf(b, s, a)).abs() < 1e-16);
+    }
+
+    #[test]
+    fn density_decreases_away_from_mean() {
+        let g = Gaussian::new(2.0, 0.5);
+        let mut prev = g.pdf(2.0);
+        for i in 1..50 {
+            let x = 2.0 + i as f64 * 0.1;
+            let cur = g.pdf(x);
+            assert!(cur < prev, "pdf must strictly decrease right of the mean");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn sigma_is_clamped() {
+        let g = Gaussian::new(0.0, 0.0);
+        assert_eq!(g.sigma(), crate::MIN_SIGMA);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_mean() {
+        let _ = Gaussian::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn central_interval_95() {
+        let g = Gaussian::new(10.0, 2.0);
+        let (lo, hi) = g.central_interval(0.95);
+        // z(0.975) = 1.959964...
+        assert!((lo - (10.0 - 1.959_964 * 2.0)).abs() < 1e-3);
+        assert!((hi - (10.0 + 1.959_964 * 2.0)).abs() < 1e-3);
+        // The mass inside really is 95 %.
+        let mass = g.cdf(hi) - g.cdf(lo);
+        assert!((mass - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn very_narrow_gaussian_has_huge_log_peak() {
+        // In linear space this would overflow; in log space it is fine.
+        let lp = log_pdf(0.0, 1e-300, 0.0);
+        assert!(lp > 600.0);
+        assert!(lp.is_finite());
+    }
+}

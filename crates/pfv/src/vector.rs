@@ -1,0 +1,320 @@
+//! The probabilistic feature vector type.
+
+use crate::gaussian::Gaussian;
+use crate::MIN_SIGMA;
+use std::fmt;
+
+/// Errors produced by [`Pfv`] constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfvError {
+    /// `means` and `sigmas` have different lengths.
+    DimensionMismatch {
+        /// Number of feature values supplied.
+        means: usize,
+        /// Number of uncertainty values supplied.
+        sigmas: usize,
+    },
+    /// A vector must have at least one dimension.
+    Empty,
+    /// A component was NaN/∞ or a σ was negative.
+    InvalidComponent {
+        /// Index of the offending dimension.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for PfvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfvError::DimensionMismatch { means, sigmas } => write!(
+                f,
+                "dimension mismatch: {means} feature values vs {sigmas} uncertainty values"
+            ),
+            PfvError::Empty => write!(f, "a pfv must have at least one dimension"),
+            PfvError::InvalidComponent { dim } => {
+                write!(f, "non-finite or negative component in dimension {dim}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PfvError {}
+
+/// A *probabilistic feature vector* (Definition 1).
+///
+/// `d` pairs `(μᵢ, σᵢ)`; each pair defines a univariate Gaussian
+/// `N(μᵢ, σᵢ)` over the unknown true feature value. Features are assumed
+/// independent, so the multivariate density is the product of the univariate
+/// densities.
+///
+/// The layout is struct-of-arrays (`means` then `sigmas`) which serialises
+/// compactly and scans fast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pfv {
+    means: Box<[f64]>,
+    sigmas: Box<[f64]>,
+}
+
+impl Pfv {
+    /// Builds a pfv from parallel `means`/`sigmas` slices.
+    ///
+    /// σ values are clamped to [`MIN_SIGMA`].
+    ///
+    /// # Errors
+    /// Returns [`PfvError`] on length mismatch, empty input, or non-finite /
+    /// negative components.
+    pub fn new(
+        means: impl Into<Vec<f64>>,
+        sigmas: impl Into<Vec<f64>>,
+    ) -> Result<Self, PfvError> {
+        let means = means.into();
+        let mut sigmas = sigmas.into();
+        if means.len() != sigmas.len() {
+            return Err(PfvError::DimensionMismatch {
+                means: means.len(),
+                sigmas: sigmas.len(),
+            });
+        }
+        if means.is_empty() {
+            return Err(PfvError::Empty);
+        }
+        for (i, (&m, s)) in means.iter().zip(sigmas.iter_mut()).enumerate() {
+            if !m.is_finite() || !s.is_finite() || *s < 0.0 {
+                return Err(PfvError::InvalidComponent { dim: i });
+            }
+            if *s < MIN_SIGMA {
+                *s = MIN_SIGMA;
+            }
+        }
+        Ok(Self {
+            means: means.into_boxed_slice(),
+            sigmas: sigmas.into_boxed_slice(),
+        })
+    }
+
+    /// Builds a pfv from `(μ, σ)` pairs.
+    ///
+    /// # Errors
+    /// Same conditions as [`Pfv::new`].
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Result<Self, PfvError> {
+        let means: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let sigmas: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        Self::new(means, sigmas)
+    }
+
+    /// An *exact* feature vector: every σ is the minimum admissible value.
+    ///
+    /// Useful to model a conventional (non-probabilistic) query.
+    ///
+    /// # Errors
+    /// Returns [`PfvError`] for empty or non-finite input.
+    pub fn exact(means: impl Into<Vec<f64>>) -> Result<Self, PfvError> {
+        let means = means.into();
+        let n = means.len();
+        Self::new(means, vec![MIN_SIGMA; n])
+    }
+
+    /// Dimensionality `d`.
+    #[inline]
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.means.len()
+    }
+
+    /// The feature values μ.
+    #[inline]
+    #[must_use]
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// The uncertainty values σ.
+    #[inline]
+    #[must_use]
+    pub fn sigmas(&self) -> &[f64] {
+        &self.sigmas
+    }
+
+    /// `(μᵢ, σᵢ)` of dimension `i`.
+    #[inline]
+    #[must_use]
+    pub fn component(&self, i: usize) -> (f64, f64) {
+        (self.means[i], self.sigmas[i])
+    }
+
+    /// The univariate Gaussian of dimension `i`.
+    #[inline]
+    #[must_use]
+    pub fn gaussian(&self, i: usize) -> Gaussian {
+        Gaussian::new(self.means[i], self.sigmas[i])
+    }
+
+    /// Log density `ln p(x | self) = Σᵢ ln N_{μᵢ,σᵢ}(xᵢ)` of an exact point
+    /// `x` (Definition 1).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.dims()`.
+    #[must_use]
+    pub fn log_density_at(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dims(), "dimensionality mismatch");
+        let mut acc = 0.0;
+        for ((&m, &s), &xi) in self.means.iter().zip(self.sigmas.iter()).zip(x.iter()) {
+            acc += crate::gaussian::log_pdf(m, s, xi);
+        }
+        acc
+    }
+
+    /// Linear-space density of an exact point. Underflows for large `d`;
+    /// prefer [`Pfv::log_density_at`].
+    #[must_use]
+    pub fn density_at(&self, x: &[f64]) -> f64 {
+        self.log_density_at(x).exp()
+    }
+
+    /// Euclidean distance between the mean vectors — the distance
+    /// conventional similarity search uses, which §3 of the paper shows is
+    /// misled by heteroscedastic uncertainty.
+    ///
+    /// # Panics
+    /// Panics if dimensionalities differ.
+    #[must_use]
+    pub fn euclidean_mean_distance(&self, other: &Pfv) -> f64 {
+        assert_eq!(self.dims(), other.dims(), "dimensionality mismatch");
+        self.means
+            .iter()
+            .zip(other.means.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// The `coverage`-central hyper-rectangle `[μᵢ − zσᵢ, μᵢ + zσᵢ]ᵢ`
+    /// (e.g. the paper's 95 %-quantile boxes for the X-tree baseline).
+    ///
+    /// Returns `(lower, upper)` corner vectors.
+    #[must_use]
+    pub fn quantile_box(&self, coverage: f64) -> (Vec<f64>, Vec<f64>) {
+        let z = crate::phi::phi_inv(0.5 + coverage / 2.0);
+        let lo = self
+            .means
+            .iter()
+            .zip(self.sigmas.iter())
+            .map(|(m, s)| m - z * s)
+            .collect();
+        let hi = self
+            .means
+            .iter()
+            .zip(self.sigmas.iter())
+            .map(|(m, s)| m + z * s)
+            .collect();
+        (lo, hi)
+    }
+}
+
+impl fmt::Display for Pfv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfv[")?;
+        for i in 0..self.dims() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{:.4}±{:.4}", self.means[i], self.sigmas[i])?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let v = Pfv::new(vec![1.0, 2.0], vec![0.1, 0.2]).unwrap();
+        assert_eq!(v.dims(), 2);
+        assert_eq!(v.means(), &[1.0, 2.0]);
+        assert_eq!(v.sigmas(), &[0.1, 0.2]);
+        assert_eq!(v.component(1), (2.0, 0.2));
+    }
+
+    #[test]
+    fn from_pairs_matches_new() {
+        let a = Pfv::from_pairs(&[(1.0, 0.1), (2.0, 0.2)]).unwrap();
+        let b = Pfv::new(vec![1.0, 2.0], vec![0.1, 0.2]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        let err = Pfv::new(vec![1.0], vec![0.1, 0.2]).unwrap_err();
+        assert_eq!(
+            err,
+            PfvError::DimensionMismatch {
+                means: 1,
+                sigmas: 2
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Pfv::new(vec![], vec![]).unwrap_err(), PfvError::Empty);
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let err = Pfv::new(vec![1.0, f64::NAN], vec![0.1, 0.1]).unwrap_err();
+        assert_eq!(err, PfvError::InvalidComponent { dim: 1 });
+    }
+
+    #[test]
+    fn rejects_negative_sigma() {
+        let err = Pfv::new(vec![1.0], vec![-0.5]).unwrap_err();
+        assert_eq!(err, PfvError::InvalidComponent { dim: 0 });
+    }
+
+    #[test]
+    fn zero_sigma_is_clamped() {
+        let v = Pfv::new(vec![1.0], vec![0.0]).unwrap();
+        assert_eq!(v.sigmas()[0], MIN_SIGMA);
+    }
+
+    #[test]
+    fn log_density_is_sum_of_univariate() {
+        let v = Pfv::new(vec![0.0, 5.0], vec![1.0, 2.0]).unwrap();
+        let x = [0.3, 4.5];
+        let want = crate::gaussian::log_pdf(0.0, 1.0, 0.3)
+            + crate::gaussian::log_pdf(5.0, 2.0, 4.5);
+        assert!((v.log_density_at(&x) - want).abs() < 1e-14);
+    }
+
+    #[test]
+    fn euclidean_distance_of_figure1_objects() {
+        // Figure 1 of the paper: the query and O1 distances are about 1.53.
+        // We cannot know the exact coordinates, but sanity-check the metric.
+        let q = Pfv::new(vec![0.0, 0.0], vec![0.1, 1.0]).unwrap();
+        let o = Pfv::new(vec![0.9, 1.24], vec![1.0, 0.1]).unwrap();
+        let d = q.euclidean_mean_distance(&o);
+        assert!((d - (0.9f64 * 0.9 + 1.24 * 1.24).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_box_is_symmetric_around_mean() {
+        let v = Pfv::new(vec![10.0, -4.0], vec![1.0, 0.5]).unwrap();
+        let (lo, hi) = v.quantile_box(0.95);
+        for i in 0..2 {
+            let mid = (lo[i] + hi[i]) / 2.0;
+            assert!((mid - v.means()[i]).abs() < 1e-9);
+        }
+        // width proportional to sigma
+        let w0 = hi[0] - lo[0];
+        let w1 = hi[1] - lo[1];
+        assert!((w0 / w1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let v = Pfv::new(vec![1.0], vec![0.25]).unwrap();
+        assert_eq!(format!("{v}"), "pfv[1.0000±0.2500]");
+    }
+}

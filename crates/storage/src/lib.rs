@@ -1,0 +1,31 @@
+//! Paged storage substrate for the Gauss-tree reproduction.
+//!
+//! The paper's efficiency evaluation (§6, Figure 7) reports three metrics —
+//! *page accesses*, *CPU time* and *overall time* — for query processing on
+//! top of a 50 MB database cache that is cold-started before each experiment.
+//! This crate provides everything needed to reproduce those measurements:
+//!
+//! * [`page`] — fixed-size pages and identifiers;
+//! * [`codec`] — little-endian serialisation helpers for node layouts;
+//! * [`store`] — the [`PageStore`] abstraction with an in-memory and an
+//!   on-disk implementation;
+//! * [`buffer`] — an LRU buffer pool that counts logical and physical page
+//!   accesses (the paper's "page accesses" are the physical ones that miss
+//!   the cache);
+//! * [`stats`] — shared access counters;
+//! * [`disk`] — a disk cost model (seek + transfer) used to translate page
+//!   accesses into the paper's "overall time" on hardware we do not have.
+
+pub mod buffer;
+pub mod codec;
+pub mod disk;
+pub mod page;
+pub mod stats;
+pub mod store;
+
+pub use buffer::BufferPool;
+pub use codec::{Reader, Writer};
+pub use disk::DiskModel;
+pub use page::{PageId, DEFAULT_PAGE_SIZE};
+pub use stats::{AccessStats, StatsSnapshot};
+pub use store::{FileStore, MemStore, PageStore, StoreError};

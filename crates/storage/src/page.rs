@@ -1,0 +1,65 @@
+//! Page identifiers and size constants.
+
+use std::fmt;
+
+/// Default page size in bytes (8 KiB, a typical DBMS block).
+pub const DEFAULT_PAGE_SIZE: usize = 8192;
+
+/// Identifier of a page inside a [`crate::store::PageStore`].
+///
+/// Page ids are dense indices assigned by the store's allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel used in serialised node layouts for "no page".
+    pub const INVALID: PageId = PageId(u64::MAX);
+
+    /// Whether this id is the invalid sentinel.
+    #[inline]
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self != Self::INVALID
+    }
+
+    /// Raw index value.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_valid() {
+            write!(f, "page#{}", self.0)
+        } else {
+            write!(f, "page#<invalid>")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_sentinel() {
+        assert!(!PageId::INVALID.is_valid());
+        assert!(PageId(0).is_valid());
+        assert!(PageId(12345).is_valid());
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(PageId(1) < PageId(2));
+        assert_eq!(PageId(7).index(), 7);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PageId(3).to_string(), "page#3");
+        assert_eq!(PageId::INVALID.to_string(), "page#<invalid>");
+    }
+}

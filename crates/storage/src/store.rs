@@ -1,0 +1,301 @@
+//! The [`PageStore`] abstraction and its in-memory / on-disk backends.
+
+use crate::page::PageId;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Errors surfaced by page stores.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A page id outside the allocated range was addressed.
+    PageOutOfRange {
+        /// The offending page id.
+        page: PageId,
+        /// Number of allocated pages.
+        allocated: u64,
+    },
+    /// An I/O error from the underlying file.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::PageOutOfRange { page, allocated } => {
+                write!(f, "{page} out of range ({allocated} pages allocated)")
+            }
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// A store of fixed-size pages addressed by dense [`PageId`]s.
+pub trait PageStore {
+    /// Page size in bytes; constant for the lifetime of the store.
+    fn page_size(&self) -> usize;
+
+    /// Number of allocated pages.
+    fn num_pages(&self) -> u64;
+
+    /// Allocates a fresh zeroed page and returns its id.
+    fn allocate(&mut self) -> Result<PageId, StoreError>;
+
+    /// Reads page `id` into `buf` (`buf.len() == page_size()`).
+    ///
+    /// # Errors
+    /// [`StoreError::PageOutOfRange`] for unallocated ids, or I/O errors.
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<(), StoreError>;
+
+    /// Writes `buf` to page `id`.
+    ///
+    /// # Errors
+    /// [`StoreError::PageOutOfRange`] for unallocated ids, or I/O errors.
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<(), StoreError>;
+}
+
+/// Heap-backed page store.
+#[derive(Debug)]
+pub struct MemStore {
+    page_size: usize,
+    pages: Vec<Box<[u8]>>,
+}
+
+impl MemStore {
+    /// Creates an empty store with the given page size.
+    ///
+    /// # Panics
+    /// Panics if `page_size == 0`.
+    #[must_use]
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        Self {
+            page_size,
+            pages: Vec::new(),
+        }
+    }
+
+    fn check(&self, id: PageId) -> Result<usize, StoreError> {
+        let idx = id.index() as usize;
+        if !id.is_valid() || idx >= self.pages.len() {
+            return Err(StoreError::PageOutOfRange {
+                page: id,
+                allocated: self.pages.len() as u64,
+            });
+        }
+        Ok(idx)
+    }
+}
+
+impl PageStore for MemStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    fn allocate(&mut self) -> Result<PageId, StoreError> {
+        let id = PageId(self.pages.len() as u64);
+        self.pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        Ok(id)
+    }
+
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<(), StoreError> {
+        let idx = self.check(id)?;
+        buf.copy_from_slice(&self.pages[idx]);
+        Ok(())
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<(), StoreError> {
+        let idx = self.check(id)?;
+        self.pages[idx].copy_from_slice(buf);
+        Ok(())
+    }
+}
+
+/// File-backed page store.
+///
+/// Pages are stored contiguously at offset `id * page_size`. The store keeps
+/// no cache of its own — caching is the buffer pool's job, so that page
+/// access counting stays honest.
+#[derive(Debug)]
+pub struct FileStore {
+    page_size: usize,
+    num_pages: u64,
+    file: File,
+}
+
+impl FileStore {
+    /// Creates (truncating) a store at `path`.
+    ///
+    /// # Errors
+    /// I/O errors from file creation.
+    ///
+    /// # Panics
+    /// Panics if `page_size == 0`.
+    pub fn create(path: impl AsRef<Path>, page_size: usize) -> Result<Self, StoreError> {
+        assert!(page_size > 0, "page size must be positive");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            page_size,
+            num_pages: 0,
+            file,
+        })
+    }
+
+    /// Opens an existing store; the caller supplies the page size used at
+    /// creation time (stores carry no header — the tree's metadata page does).
+    ///
+    /// # Errors
+    /// I/O errors from opening; a file whose size is not a multiple of
+    /// `page_size` is rejected.
+    pub fn open(path: impl AsRef<Path>, page_size: usize) -> Result<Self, StoreError> {
+        assert!(page_size > 0, "page size must be positive");
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % page_size as u64 != 0 {
+            return Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("file length {len} is not a multiple of page size {page_size}"),
+            )));
+        }
+        Ok(Self {
+            page_size,
+            num_pages: len / page_size as u64,
+            file,
+        })
+    }
+
+    fn check(&self, id: PageId) -> Result<u64, StoreError> {
+        if !id.is_valid() || id.index() >= self.num_pages {
+            return Err(StoreError::PageOutOfRange {
+                page: id,
+                allocated: self.num_pages,
+            });
+        }
+        Ok(id.index() * self.page_size as u64)
+    }
+}
+
+impl PageStore for FileStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    fn allocate(&mut self) -> Result<PageId, StoreError> {
+        let id = PageId(self.num_pages);
+        self.file
+            .seek(SeekFrom::Start(self.num_pages * self.page_size as u64))?;
+        self.file.write_all(&vec![0u8; self.page_size])?;
+        self.num_pages += 1;
+        Ok(id)
+    }
+
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<(), StoreError> {
+        assert_eq!(buf.len(), self.page_size, "buffer/page size mismatch");
+        let off = self.check(id)?;
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<(), StoreError> {
+        assert_eq!(buf.len(), self.page_size, "buffer/page size mismatch");
+        let off = self.check(id)?;
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.write_all(buf)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn PageStore) {
+        let a = store.allocate().unwrap();
+        let b = store.allocate().unwrap();
+        assert_eq!(store.num_pages(), 2);
+        assert_ne!(a, b);
+
+        let ps = store.page_size();
+        let mut page = vec![0u8; ps];
+        page[0] = 42;
+        page[ps - 1] = 7;
+        store.write_page(a, &page).unwrap();
+
+        let mut back = vec![0u8; ps];
+        store.read_page(a, &mut back).unwrap();
+        assert_eq!(back, page);
+
+        // b is still zeroed
+        store.read_page(b, &mut back).unwrap();
+        assert!(back.iter().all(|&x| x == 0));
+
+        // out-of-range and invalid ids rejected
+        assert!(store.read_page(PageId(99), &mut back).is_err());
+        assert!(store.read_page(PageId::INVALID, &mut back).is_err());
+    }
+
+    #[test]
+    fn mem_store_round_trip() {
+        let mut s = MemStore::new(256);
+        exercise(&mut s);
+    }
+
+    #[test]
+    fn file_store_round_trip() {
+        let dir = std::env::temp_dir().join(format!("gauss-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.bin");
+        {
+            let mut s = FileStore::create(&path, 256).unwrap();
+            exercise(&mut s);
+        }
+        // Re-open and verify persistence.
+        {
+            let mut s = FileStore::open(&path, 256).unwrap();
+            assert_eq!(s.num_pages(), 2);
+            let mut buf = vec![0u8; 256];
+            s.read_page(PageId(0), &mut buf).unwrap();
+            assert_eq!(buf[0], 42);
+            assert_eq!(buf[255], 7);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_store_rejects_misaligned_file() {
+        let dir = std::env::temp_dir().join(format!("gauss-store-mis-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.bin");
+        std::fs::write(&path, [0u8; 100]).unwrap();
+        assert!(FileStore::open(&path, 256).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_page_size_rejected() {
+        let _ = MemStore::new(0);
+    }
+}

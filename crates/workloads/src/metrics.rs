@@ -1,0 +1,118 @@
+//! Precision and recall as used in Figure 6.
+//!
+//! Each query has exactly one correct answer (the source object). For a
+//! base result size `k` (the paper uses 3) scaled by `x ∈ {1, …, 9}`:
+//!
+//! * **recall(x)** — the fraction of queries whose correct object appears in
+//!   the top `k·x` results ("the percentage of queries that retrieved the
+//!   correct object");
+//! * **precision(x)** — correct results per retrieved result, normalised so
+//!   that the base result set counts as one relevant unit:
+//!   `precision(x) = recall(x) / x`. At `x = 1` precision equals recall,
+//!   exactly as the single numbers quoted in the paper (98 % / 42 % …), and
+//!   it decays as the result set is inflated, matching Figure 6's shape.
+
+/// Precision/recall curve over result-set scale factors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HitCurve {
+    /// Base result-set size `k`.
+    pub base_k: usize,
+    /// `recall[x-1]` = hit rate with result size `k·x`.
+    pub recall: Vec<f64>,
+    /// `precision[x-1] = recall[x-1] / x`.
+    pub precision: Vec<f64>,
+}
+
+/// Computes the Figure-6 curve from per-query rankings.
+///
+/// `rankings[q]` is the position (0-based) of the correct object in query
+/// `q`'s result list, or `None` when it was not retrieved at all.
+///
+/// # Panics
+/// Panics if `base_k == 0` or `max_scale == 0`.
+#[must_use]
+pub fn precision_recall_sweep(
+    rankings: &[Option<usize>],
+    base_k: usize,
+    max_scale: usize,
+) -> HitCurve {
+    assert!(base_k > 0, "base result size must be positive");
+    assert!(max_scale > 0, "need at least scale x1");
+    let n = rankings.len().max(1) as f64;
+    let mut recall = Vec::with_capacity(max_scale);
+    let mut precision = Vec::with_capacity(max_scale);
+    for x in 1..=max_scale {
+        let cutoff = base_k * x;
+        let hits = rankings
+            .iter()
+            .filter(|r| r.is_some_and(|rank| rank < cutoff))
+            .count() as f64;
+        let r = hits / n;
+        recall.push(r);
+        precision.push(r / x as f64);
+    }
+    HitCurve {
+        base_k,
+        recall,
+        precision,
+    }
+}
+
+/// Finds the rank of `truth` in a result list of object ids.
+#[must_use]
+pub fn rank_of(results: &[u64], truth: u64) -> Option<usize> {
+    results.iter().position(|&id| id == truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_retrieval() {
+        let rankings = vec![Some(0); 10];
+        let c = precision_recall_sweep(&rankings, 3, 9);
+        assert_eq!(c.recall[0], 1.0);
+        assert_eq!(c.precision[0], 1.0);
+        assert_eq!(c.recall[8], 1.0);
+        assert!((c.precision[8] - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn misses_count_as_zero() {
+        let rankings = vec![None; 5];
+        let c = precision_recall_sweep(&rankings, 3, 4);
+        assert!(c.recall.iter().all(|&r| r == 0.0));
+        assert!(c.precision.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn recall_grows_with_scale() {
+        // Correct answers at ranks 0, 4, 10 with base_k=3:
+        // x1 (cutoff 3): 1 hit; x2 (cutoff 6): 2 hits; x4 (cutoff 12): 3.
+        let rankings = vec![Some(0), Some(4), Some(10)];
+        let c = precision_recall_sweep(&rankings, 3, 4);
+        assert!((c.recall[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall[1] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall[3] - 1.0).abs() < 1e-12);
+        // Precision at x1 equals recall at x1.
+        assert_eq!(c.precision[0], c.recall[0]);
+        // Monotone: recall non-decreasing in x.
+        for w in c.recall.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn rank_of_finds_position() {
+        assert_eq!(rank_of(&[5, 2, 9], 9), Some(2));
+        assert_eq!(rank_of(&[5, 2, 9], 1), None);
+        assert_eq!(rank_of(&[], 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_base() {
+        let _ = precision_recall_sweep(&[Some(0)], 0, 3);
+    }
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the Gauss-tree reproduction.
+//!
+//! Re-exports every sub-crate so examples and integration tests can depend
+//! on a single package:
+//!
+//! * [`pfv`] — probabilistic feature vectors and the Gaussian uncertainty
+//!   model (Lemmas 1–3, Bayes normalisation);
+//! * [`storage`] — paged storage, buffer pool, disk cost model;
+//! * [`tree`] — the Gauss-tree index (the paper's contribution);
+//! * [`baselines`] — sequential scan, X-tree, Euclidean NN;
+//! * [`workloads`] — data/query generators, ground truth, metrics.
+//!
+//! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! reproduction methodology.
+
+pub use gauss_baselines as baselines;
+pub use gauss_storage as storage;
+pub use gauss_tree as tree;
+pub use gauss_workloads as workloads;
+pub use pfv;

@@ -1,0 +1,165 @@
+//! On-disk persistence: trees written via `FileStore` must survive process
+//! boundaries (simulated by dropping and reopening) with identical query
+//! results.
+
+use gausstree::pfv::Pfv;
+use gausstree::storage::{AccessStats, BufferPool, FileStore, MemStore, DEFAULT_PAGE_SIZE};
+use gausstree::tree::{GaussTree, TreeConfig};
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "gauss-it-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> std::path::PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn sample_items(n: u64, dims: usize) -> Vec<(u64, Pfv)> {
+    (0..n)
+        .map(|i| {
+            let means: Vec<f64> = (0..dims)
+                .map(|d| ((i * 7 + d as u64) as f64 * 0.37).sin() * 12.0)
+                .collect();
+            let sigmas: Vec<f64> = (0..dims)
+                .map(|d| 0.05 + ((i + d as u64) % 9) as f64 * 0.07)
+                .collect();
+            (i, Pfv::new(means, sigmas).unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn queries_identical_after_reopen() {
+    let tmp = TempDir::new("reopen");
+    let path = tmp.path("tree.pages");
+    let items = sample_items(400, 3);
+    let q = Pfv::new(vec![1.0, -2.0, 3.0], vec![0.2, 0.3, 0.1]).unwrap();
+
+    let before = {
+        let store = FileStore::create(&path, DEFAULT_PAGE_SIZE).unwrap();
+        let pool = BufferPool::new(store, 256, AccessStats::new_shared());
+        let mut tree = GaussTree::create(pool, TreeConfig::new(3)).unwrap();
+        for (id, v) in &items {
+            tree.insert(*id, v).unwrap();
+        }
+        tree.flush().unwrap();
+        tree.k_mliq_refined(&q, 5, 1e-8).unwrap()
+    };
+
+    let store = FileStore::open(&path, DEFAULT_PAGE_SIZE).unwrap();
+    let pool = BufferPool::new(store, 256, AccessStats::new_shared());
+    let mut tree = GaussTree::open(pool).unwrap();
+    assert_eq!(tree.len(), 400);
+    assert_eq!(tree.dims(), 3);
+    let after = tree.k_mliq_refined(&q, 5, 1e-8).unwrap();
+
+    assert_eq!(before.len(), after.len());
+    for (b, a) in before.iter().zip(after.iter()) {
+        assert_eq!(b.id, a.id);
+        assert!((b.log_density - a.log_density).abs() < 1e-12);
+        assert!((b.probability - a.probability).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn bulk_loaded_tree_survives_reopen_and_inserts() {
+    let tmp = TempDir::new("bulk");
+    let path = tmp.path("bulk.pages");
+    let items = sample_items(900, 2);
+
+    {
+        let store = FileStore::create(&path, DEFAULT_PAGE_SIZE).unwrap();
+        let pool = BufferPool::new(store, 256, AccessStats::new_shared());
+        let mut tree = GaussTree::bulk_load(pool, TreeConfig::new(2), items).unwrap();
+        tree.flush().unwrap();
+    }
+
+    let store = FileStore::open(&path, DEFAULT_PAGE_SIZE).unwrap();
+    let pool = BufferPool::new(store, 256, AccessStats::new_shared());
+    let mut tree = GaussTree::open(pool).unwrap();
+    assert_eq!(tree.len(), 900);
+
+    // Keep inserting after reopen.
+    for i in 900..1000u64 {
+        let v = Pfv::new(vec![i as f64, -(i as f64)], vec![0.4, 0.2]).unwrap();
+        tree.insert(i, &v).unwrap();
+    }
+    tree.flush().unwrap();
+    assert_eq!(tree.len(), 1000);
+    let errors = tree.check_invariants(false).unwrap();
+    assert!(errors.is_empty(), "violations after reopen+insert: {errors:?}");
+
+    let mut count = 0u64;
+    tree.for_each_entry(|_, _| count += 1).unwrap();
+    assert_eq!(count, 1000);
+}
+
+#[test]
+fn mem_and_file_trees_agree() {
+    let items = sample_items(300, 2);
+    let q = Pfv::new(vec![0.5, 0.5], vec![0.3, 0.3]).unwrap();
+
+    let pool = BufferPool::new(MemStore::new(DEFAULT_PAGE_SIZE), 256, AccessStats::new_shared());
+    let mut mem_tree = GaussTree::create(pool, TreeConfig::new(2)).unwrap();
+    for (id, v) in &items {
+        mem_tree.insert(*id, v).unwrap();
+    }
+
+    let tmp = TempDir::new("agree");
+    let store = FileStore::create(tmp.path("t.pages"), DEFAULT_PAGE_SIZE).unwrap();
+    let pool = BufferPool::new(store, 256, AccessStats::new_shared());
+    let mut file_tree = GaussTree::create(pool, TreeConfig::new(2)).unwrap();
+    for (id, v) in &items {
+        file_tree.insert(*id, v).unwrap();
+    }
+
+    let a = mem_tree.k_mliq(&q, 10).unwrap();
+    let b = file_tree.k_mliq(&q, 10).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.id, y.id);
+        assert!((x.log_density - y.log_density).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn tiny_cache_still_correct() {
+    // A 2-page cache forces constant eviction; results must not change.
+    let items = sample_items(500, 2);
+    let q = Pfv::new(vec![3.0, -3.0], vec![0.2, 0.2]).unwrap();
+
+    let pool = BufferPool::new(MemStore::new(DEFAULT_PAGE_SIZE), 4096, AccessStats::new_shared());
+    let mut big = GaussTree::create(pool, TreeConfig::new(2)).unwrap();
+    let pool = BufferPool::new(MemStore::new(DEFAULT_PAGE_SIZE), 2, AccessStats::new_shared());
+    let mut small = GaussTree::create(pool, TreeConfig::new(2)).unwrap();
+    for (id, v) in &items {
+        big.insert(*id, v).unwrap();
+        small.insert(*id, v).unwrap();
+    }
+
+    let a = big.tiq(&q, 0.05, 1e-9).unwrap();
+    let b = small.tiq(&q, 0.05, 1e-9).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.id, y.id);
+        assert!((x.probability - y.probability).abs() < 1e-9);
+    }
+    // The small cache must have evicted a lot.
+    assert!(small.stats().snapshot().evictions > 0);
+}
