@@ -87,21 +87,27 @@ impl<S: PageStore> PfvFile<S> {
         assert!(dims > 0, "dimensionality must be positive");
         let page_size = pool.page_size();
         let per_page = (page_size - PAGE_HEADER) / Self::entry_bytes(dims);
-        assert!(per_page >= 1, "page too small for one pfv of dimension {dims}");
+        assert!(
+            per_page >= 1,
+            "page too small for one pfv of dimension {dims}"
+        );
 
         let mut pages = Vec::new();
         let mut len = 0u64;
         let mut buf = vec![0u8; page_size];
         let mut in_page = 0usize;
 
-        let flush =
-            |pool: &mut BufferPool<S>, buf: &mut [u8], in_page: usize, pages: &mut Vec<PageId>| -> Result<(), ScanError> {
-                let id = pool.allocate()?;
-                buf[0..2].copy_from_slice(&u16::try_from(in_page).expect("fits").to_le_bytes());
-                pool.write(id, buf)?;
-                pages.push(id);
-                Ok(())
-            };
+        let flush = |pool: &mut BufferPool<S>,
+                     buf: &mut [u8],
+                     in_page: usize,
+                     pages: &mut Vec<PageId>|
+         -> Result<(), ScanError> {
+            let id = pool.allocate()?;
+            buf[0..2].copy_from_slice(&u16::try_from(in_page).expect("fits").to_le_bytes());
+            pool.write(id, buf)?;
+            pages.push(id);
+            Ok(())
+        };
 
         for (id, v) in items {
             if v.dims() != dims {
@@ -375,8 +381,12 @@ mod tests {
     fn make_file(n: usize, dims: usize) -> (PfvFile<MemStore>, Vec<(u64, Pfv)>) {
         let items: Vec<(u64, Pfv)> = (0..n as u64)
             .map(|i| {
-                let means: Vec<f64> = (0..dims).map(|d| ((i + d as u64) as f64 * 0.7).sin() * 5.0).collect();
-                let sigmas: Vec<f64> = (0..dims).map(|d| 0.1 + ((i as usize + d) % 5) as f64 * 0.1).collect();
+                let means: Vec<f64> = (0..dims)
+                    .map(|d| ((i + d as u64) as f64 * 0.7).sin() * 5.0)
+                    .collect();
+                let sigmas: Vec<f64> = (0..dims)
+                    .map(|d| 0.1 + ((i as usize + d) % 5) as f64 * 0.1)
+                    .collect();
                 (i, Pfv::new(means, sigmas).unwrap())
             })
             .collect();
@@ -480,7 +490,10 @@ mod tests {
         let mut f = PfvFile::build(pool, 2, Vec::new()).unwrap();
         assert!(f.is_empty());
         let q = Pfv::new(vec![0.0, 0.0], vec![0.1, 0.1]).unwrap();
-        assert!(f.k_mliq(&q, 3, CombineMode::Convolution).unwrap().is_empty());
+        assert!(f
+            .k_mliq(&q, 3, CombineMode::Convolution)
+            .unwrap()
+            .is_empty());
         assert!(f.tiq(&q, 0.5, CombineMode::Convolution).unwrap().is_empty());
     }
 

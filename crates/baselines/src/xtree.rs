@@ -598,9 +598,7 @@ impl<S: PageStore> XTree<S> {
                     let margin = ra.margin() + rb.margin();
                     let better = match &best {
                         None => true,
-                        Some((bf, bm, ..)) => {
-                            frac < *bf || (frac == *bf && margin < *bm)
-                        }
+                        Some((bf, bm, ..)) => frac < *bf || (frac == *bf && margin < *bm),
                     };
                     if better {
                         best = Some((frac, margin, order.clone(), split_at));
@@ -837,8 +835,12 @@ mod tests {
         let (mut tree, _) = build(&items, 2);
         let q = Pfv::new(vec![5.0, 5.0], vec![0.3, 0.3]).unwrap();
         let qbox = Rect::quantile_box(&q, 0.95);
-        let got: std::collections::HashSet<u64> =
-            tree.candidates(&qbox).unwrap().iter().map(|e| e.id).collect();
+        let got: std::collections::HashSet<u64> = tree
+            .candidates(&qbox)
+            .unwrap()
+            .iter()
+            .map(|e| e.id)
+            .collect();
         let want: std::collections::HashSet<u64> = items
             .iter()
             .filter(|(_, v)| Rect::quantile_box(v, 0.95).intersects(&qbox))
@@ -852,7 +854,9 @@ mod tests {
         let items = make_db(300, 2, 5);
         let (mut tree, mut file) = build(&items, 2);
         let q = Pfv::new(items[42].1.means().to_vec(), vec![0.2, 0.2]).unwrap();
-        let got = tree.k_mliq(&mut file, &q, 3, CombineMode::Convolution).unwrap();
+        let got = tree
+            .k_mliq(&mut file, &q, 3, CombineMode::Convolution)
+            .unwrap();
         // Refined scores must equal the exact joint densities, and the
         // ranking must match a brute-force ranking restricted to the
         // candidate set.
@@ -870,10 +874,12 @@ mod tests {
             assert!((g.1 - w.1).abs() < 1e-12);
         }
         // The query's source object must at least be among the candidates.
-        assert!(want.iter().any(|&(id, _)| id == 42) || {
-            // unless its observation fell outside the 95% box — verify.
-            !Rect::quantile_box(&items[42].1, 0.95).intersects(&qbox)
-        });
+        assert!(
+            want.iter().any(|&(id, _)| id == 42) || {
+                // unless its observation fell outside the 95% box — verify.
+                !Rect::quantile_box(&items[42].1, 0.95).intersects(&qbox)
+            }
+        );
     }
 
     #[test]
@@ -915,7 +921,9 @@ mod tests {
         let items = make_db(200, 2, 123);
         let (mut tree, mut file) = build(&items, 2);
         let q = Pfv::new(items[10].1.means().to_vec(), vec![0.1, 0.1]).unwrap();
-        let got = tree.tiq(&mut file, &q, 0.2, CombineMode::Convolution).unwrap();
+        let got = tree
+            .tiq(&mut file, &q, 0.2, CombineMode::Convolution)
+            .unwrap();
         assert!(!got.is_empty());
         assert!(got.iter().any(|r| r.0 == 10));
         for (_, _, p) in &got {

@@ -41,7 +41,11 @@ fn bench_hull(c: &mut Criterion) {
             .map(|i| DimBounds::new(i as f64, i as f64 + 1.0, 0.1, 0.5))
             .collect(),
     );
-    let q = Pfv::new((0..27).map(|i| i as f64 + 0.3).collect::<Vec<_>>(), vec![0.2; 27]).unwrap();
+    let q = Pfv::new(
+        (0..27).map(|i| i as f64 + 0.3).collect::<Vec<_>>(),
+        vec![0.2; 27],
+    )
+    .unwrap();
     c.bench_function("hull/27d_query_upper", |bench| {
         bench.iter(|| rect.log_upper_for_query(black_box(&q), CombineMode::Convolution))
     });
@@ -61,7 +65,10 @@ fn bench_split(c: &mut Criterion) {
         .map(|i| gauss_tree::node::LeafEntry {
             id: i,
             pfv: Pfv::new(
-                vec![(i as f64 * 0.37).sin() * 10.0, (i as f64 * 0.7).cos() * 10.0],
+                vec![
+                    (i as f64 * 0.37).sin() * 10.0,
+                    (i as f64 * 0.7).cos() * 10.0,
+                ],
                 vec![0.05 + (i % 7) as f64 * 0.1, 0.05 + (i % 3) as f64 * 0.2],
             )
             .unwrap(),
@@ -101,9 +108,11 @@ fn bench_insert(c: &mut Criterion) {
             },
             |mut tree| {
                 for i in 0..1000u64 {
-                    let means: Vec<f64> =
-                        (0..5).map(|d| ((i + d) as f64 * 0.61).sin() * 10.0).collect();
-                    let sigmas: Vec<f64> = (0..5).map(|d| 0.05 + ((i + d) % 5) as f64 * 0.1).collect();
+                    let means: Vec<f64> = (0..5)
+                        .map(|d| ((i + d) as f64 * 0.61).sin() * 10.0)
+                        .collect();
+                    let sigmas: Vec<f64> =
+                        (0..5).map(|d| 0.05 + ((i + d) % 5) as f64 * 0.1).collect();
                     tree.insert(i, &Pfv::new(means, sigmas).unwrap()).unwrap();
                 }
                 tree.len()

@@ -18,7 +18,10 @@ fn main() {
     println!("Ablation A2 — Lemma-1 combination mode");
     println!();
     println!("Figure-1 example posteriors:");
-    println!("{:<14} {:>8} {:>8} {:>8}", "mode", "P(O1)%", "P(O2)%", "P(O3)%");
+    println!(
+        "{:<14} {:>8} {:>8} {:>8}",
+        "mode", "P(O1)%", "P(O2)%", "P(O3)%"
+    );
     for (name, mode) in [
         ("convolution", CombineMode::Convolution),
         ("additive-σ", CombineMode::AdditiveSigma),

@@ -33,8 +33,7 @@ fn main() {
             CACHE_BYTES,
             AccessStats::new_shared(),
         );
-        let mut tree =
-            GaussTree::bulk_load(pool, config, dataset.items()).expect("bulk load");
+        let mut tree = GaussTree::bulk_load(pool, config, dataset.items()).expect("bulk load");
         let total_pages = tree.pool_mut().num_pages();
 
         let mut pages = 0u64;

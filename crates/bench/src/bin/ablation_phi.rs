@@ -17,7 +17,13 @@ fn main() {
     let mut max_poly = 0.0f64;
     for i in 0..=16 {
         let x = -4.0 + i as f64 * 0.5;
-        let reference = 0.5 + integrate_adaptive(|t| pfv::gaussian::pdf(0.0, 1.0, t), 0.0_f64.min(x), 0.0_f64.max(x), 1e-14) * x.signum();
+        let reference = 0.5
+            + integrate_adaptive(
+                |t| pfv::gaussian::pdf(0.0, 1.0, t),
+                0.0_f64.min(x),
+                0.0_f64.max(x),
+                1e-14,
+            ) * x.signum();
         let e = (phi(x) - reference).abs();
         let p = (phi_poly5(x) - reference).abs();
         max_erf = max_erf.max(e);
@@ -39,7 +45,10 @@ fn main() {
     ] {
         println!(
             "{:<34} {:>12.6} {:>12.6} {:>12.6}",
-            format!("μ∈[{},{}], σ∈[{},{}]", b.mu_lo, b.mu_hi, b.sigma_lo, b.sigma_hi),
+            format!(
+                "μ∈[{},{}], σ∈[{},{}]",
+                b.mu_lo, b.mu_hi, b.sigma_lo, b.sigma_hi
+            ),
             b.hull_integral(),
             b.hull_integral_with_phi(PhiImpl::Erf),
             b.hull_integral_with_phi(PhiImpl::Poly5),

@@ -48,7 +48,9 @@ fn main() {
         for q in &queries {
             file.pool_mut().clear_cache();
             let b = file.stats().snapshot();
-            let res = file.tiq(&q.query, 0.8, CombineMode::Convolution).expect("scan");
+            let res = file
+                .tiq(&q.query, 0.8, CombineMode::Convolution)
+                .expect("scan");
             scan_pages += file.stats().snapshot().since(&b).logical_reads;
             result_size += res.len();
 

@@ -70,7 +70,13 @@ fn main() {
     println!();
     println!(
         "{:<4} {:>12} {:>12} {:>14} {:>14} {:>15} {:>15}",
-        "x", "NN recall%", "NN prec%", "MLIQ recall%", "MLIQ prec%", "X-MLIQ recall%", "X-MLIQ prec%"
+        "x",
+        "NN recall%",
+        "NN prec%",
+        "MLIQ recall%",
+        "MLIQ prec%",
+        "X-MLIQ recall%",
+        "X-MLIQ prec%"
     );
     for x in 0..MAX_SCALE {
         println!(

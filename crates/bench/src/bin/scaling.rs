@@ -62,7 +62,11 @@ fn main() {
         "{:>9} {:>14} {:>14} {:>9}",
         "k", "scan pages/q", "tree pages/q", "speedup"
     );
-    let ks: &[usize] = if quick { &[1, 10] } else { &[1, 3, 10, 30, 100] };
+    let ks: &[usize] = if quick {
+        &[1, 10]
+    } else {
+        &[1, 3, 10, 30, 100]
+    };
     for &k in ks {
         let (scan, tree) = run_point(if quick { 5_000 } else { 20_000 }, 10, k, n_queries, sigma);
         println!(
@@ -91,7 +95,9 @@ fn run_point(n: usize, dims: usize, k: usize, n_queries: usize, sigma: SigmaSpec
     for q in &queries {
         file.pool_mut().clear_cache();
         let b = file.stats().snapshot();
-        let _ = file.k_mliq(&q.query, k, CombineMode::Convolution).expect("scan");
+        let _ = file
+            .k_mliq(&q.query, k, CombineMode::Convolution)
+            .expect("scan");
         scan_pages += file.stats().snapshot().since(&b).physical_reads;
 
         tree.pool_mut().clear_cache();

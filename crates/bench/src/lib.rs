@@ -44,8 +44,12 @@ impl ExperimentSpec {
             n,
             dims: 27,
             queries,
-            db_sigma: SigmaSpec::log_uniform(0.05, 0.9).with_object_scale(0.5, 2.0).relative_to_value(0.01),
-            query_sigma: SigmaSpec::log_uniform(0.05, 0.9).with_object_scale(0.5, 1.5).relative_to_value(0.01),
+            db_sigma: SigmaSpec::log_uniform(0.05, 0.9)
+                .with_object_scale(0.5, 2.0)
+                .relative_to_value(0.01),
+            query_sigma: SigmaSpec::log_uniform(0.05, 0.9)
+                .with_object_scale(0.5, 1.5)
+                .relative_to_value(0.01),
             seed: 20060403,
         }
     }

@@ -120,10 +120,7 @@ pub fn parse_pfv(s: &str) -> Result<Pfv, ArgError> {
 /// # Errors
 /// Empty input or unparseable components.
 pub fn parse_vec(s: &str) -> Result<Vec<f64>, ArgError> {
-    let parts: Result<Vec<f64>, _> = s
-        .split(',')
-        .map(|p| p.trim().parse::<f64>())
-        .collect();
+    let parts: Result<Vec<f64>, _> = s.split(',').map(|p| p.trim().parse::<f64>()).collect();
     let v = parts.map_err(|_| ArgError(format!("cannot parse vector '{s}'")))?;
     if v.is_empty() {
         return Err(ArgError("empty vector".into()));

@@ -98,8 +98,7 @@ fn build(args: &Args) -> Result<(), ArgError> {
     let mut tree = if bulk {
         GaussTree::bulk_load(pool, config, items).map_err(|e| ArgError(e.to_string()))?
     } else {
-        let mut tree =
-            GaussTree::create(pool, config).map_err(|e| ArgError(e.to_string()))?;
+        let mut tree = GaussTree::create(pool, config).map_err(|e| ArgError(e.to_string()))?;
         for (id, v) in items {
             tree.insert(id, &v).map_err(|e| ArgError(e.to_string()))?;
         }
@@ -150,6 +149,11 @@ fn mliq(args: &Args) -> Result<(), ArgError> {
     let q = parse_pfv(args.required("query")?)?;
     let k: usize = args.num("k", 1)?;
     let accuracy: f64 = args.num("accuracy", 1e-4)?;
+    if accuracy.is_nan() || accuracy <= 0.0 {
+        return Err(ArgError(format!(
+            "--accuracy must be positive, got {accuracy}"
+        )));
+    }
     let t0 = std::time::Instant::now();
     let hits = tree
         .k_mliq_refined(&q, k, accuracy)
@@ -175,12 +179,25 @@ fn tiq(args: &Args) -> Result<(), ArgError> {
     let mut tree = open_tree(args)?;
     let q = parse_pfv(args.required("query")?)?;
     let theta: f64 = args.num_required("theta")?;
+    if !(theta > 0.0 && theta <= 1.0) {
+        return Err(ArgError(format!(
+            "--theta must be a probability in (0, 1], got {theta}"
+        )));
+    }
     let accuracy: f64 = args.num("accuracy", 1e-4)?;
+    if accuracy.is_nan() || accuracy <= 0.0 {
+        return Err(ArgError(format!(
+            "--accuracy must be positive, got {accuracy}"
+        )));
+    }
     let hits = tree
         .tiq(&q, theta, accuracy)
         .map_err(|e| ArgError(e.to_string()))?;
     for h in &hits {
-        println!("id={} P={:.4} [{:.4}, {:.4}]", h.id, h.probability, h.prob_lo, h.prob_hi);
+        println!(
+            "id={} P={:.4} [{:.4}, {:.4}]",
+            h.id, h.probability, h.prob_lo, h.prob_hi
+        );
     }
     eprintln!("({} results)", hits.len());
     Ok(())
@@ -253,16 +270,30 @@ mod tests {
         let csv = tmp.p("data.csv");
         let idx = tmp.p("data.gtree");
 
-        run(&["generate", "--out", &csv, "--kind", "uniform", "--n", "300", "--dims", "3"])
-            .unwrap();
+        run(&[
+            "generate", "--out", &csv, "--kind", "uniform", "--n", "300", "--dims", "3",
+        ])
+        .unwrap();
         run(&["build", "--data", &csv, "--index", &idx]).unwrap();
         run(&["info", "--index", &idx, "--check", "true"]).unwrap();
         run(&[
-            "mliq", "--index", &idx, "--query", "0.5,0.5,0.5;0.1,0.1,0.1", "-k", "3",
+            "mliq",
+            "--index",
+            &idx,
+            "--query",
+            "0.5,0.5,0.5;0.1,0.1,0.1",
+            "-k",
+            "3",
         ])
         .unwrap();
         run(&[
-            "tiq", "--index", &idx, "--query", "0.5,0.5,0.5;0.1,0.1,0.1", "--theta", "0.01",
+            "tiq",
+            "--index",
+            &idx,
+            "--query",
+            "0.5,0.5,0.5;0.1,0.1,0.1",
+            "--theta",
+            "0.01",
         ])
         .unwrap();
         run(&[
@@ -276,7 +307,10 @@ mod tests {
         let tmp = TempDir::new();
         let csv = tmp.p("d.csv");
         let idx = tmp.p("d.gtree");
-        run(&["generate", "--out", &csv, "--n", "50", "--dims", "2", "--seed", "9"]).unwrap();
+        run(&[
+            "generate", "--out", &csv, "--n", "50", "--dims", "2", "--seed", "9",
+        ])
+        .unwrap();
         run(&["build", "--data", &csv, "--index", &idx, "--bulk", "false"]).unwrap();
 
         // Read back the csv to learn object 0's exact parameters.
@@ -284,13 +318,38 @@ mod tests {
         let (id, v) = &rows[0];
         let lit = format!(
             "{};{}",
-            v.means().iter().map(f64::to_string).collect::<Vec<_>>().join(","),
-            v.sigmas().iter().map(f64::to_string).collect::<Vec<_>>().join(","),
+            v.means()
+                .iter()
+                .map(f64::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+            v.sigmas()
+                .iter()
+                .map(f64::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
         );
-        run(&["delete", "--index", &idx, "--id", &id.to_string(), "--query", &lit]).unwrap();
+        run(&[
+            "delete",
+            "--index",
+            &idx,
+            "--id",
+            &id.to_string(),
+            "--query",
+            &lit,
+        ])
+        .unwrap();
         // Deleting again fails cleanly.
-        assert!(run(&["delete", "--index", &idx, "--id", &id.to_string(), "--query", &lit])
-            .is_err());
+        assert!(run(&[
+            "delete",
+            "--index",
+            &idx,
+            "--id",
+            &id.to_string(),
+            "--query",
+            &lit
+        ])
+        .is_err());
     }
 
     #[test]
@@ -301,6 +360,13 @@ mod tests {
 
     #[test]
     fn build_rejects_missing_file() {
-        assert!(run(&["build", "--data", "/nonexistent.csv", "--index", "/tmp/x.gt"]).is_err());
+        assert!(run(&[
+            "build",
+            "--data",
+            "/nonexistent.csv",
+            "--index",
+            "/tmp/x.gt"
+        ])
+        .is_err());
     }
 }

@@ -73,8 +73,7 @@ pub fn read_csv(path: &Path) -> Result<Vec<(u64, Pfv)>, ArgError> {
             .parse()
             .map_err(|_| ArgError(format!("row {}: bad id", lineno + 2)))?;
         let values: Result<Vec<f64>, _> = parts.map(|p| p.trim().parse::<f64>()).collect();
-        let values =
-            values.map_err(|_| ArgError(format!("row {}: bad number", lineno + 2)))?;
+        let values = values.map_err(|_| ArgError(format!("row {}: bad number", lineno + 2)))?;
         if values.len() != 2 * dims {
             return Err(ArgError(format!(
                 "row {}: {} values, expected {}",

@@ -78,21 +78,29 @@ pub enum InvariantError {
 impl std::fmt::Display for InvariantError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            InvariantError::UnbalancedLeaf { page, depth, expected } => write!(
-                f,
-                "leaf page {page} at depth {depth}, expected {expected}"
-            ),
-            InvariantError::FanoutViolation { page, len, min, max } => write!(
-                f,
-                "page {page} has {len} entries, allowed [{min}, {max}]"
-            ),
+            InvariantError::UnbalancedLeaf {
+                page,
+                depth,
+                expected,
+            } => write!(f, "leaf page {page} at depth {depth}, expected {expected}"),
+            InvariantError::FanoutViolation {
+                page,
+                len,
+                min,
+                max,
+            } => write!(f, "page {page} has {len} entries, allowed [{min}, {max}]"),
             InvariantError::ChildNotContained { parent, child } => {
                 write!(f, "child {child} not contained in parent {parent}")
             }
             InvariantError::RectNotTight { parent, child } => {
                 write!(f, "rect for child {child} in parent {parent} not tight")
             }
-            InvariantError::CountMismatch { parent, child, recorded, actual } => write!(
+            InvariantError::CountMismatch {
+                parent,
+                child,
+                recorded,
+                actual,
+            } => write!(
                 f,
                 "count for child {child} in parent {parent}: recorded {recorded}, actual {actual}"
             ),
@@ -114,14 +122,19 @@ impl<S: PageStore> GaussTree<S> {
     ///
     /// # Errors
     /// Storage/codec errors while traversing.
-    pub fn check_invariants(&mut self, strict_fanout: bool) -> Result<Vec<InvariantError>, TreeError> {
+    pub fn check_invariants(
+        &mut self,
+        strict_fanout: bool,
+    ) -> Result<Vec<InvariantError>, TreeError> {
         let mut errors = Vec::new();
         if self.is_empty() {
             return Ok(errors);
         }
         let root = self.root_page();
         let height = self.height();
-        let total = self.check_node(root, 0, height, true, strict_fanout, &mut errors)?.0;
+        let total = self
+            .check_node(root, 0, height, true, strict_fanout, &mut errors)?
+            .0;
         if total != self.len() {
             errors.push(InvariantError::LenMismatch {
                 meta: self.len(),
@@ -254,7 +267,8 @@ mod tests {
         for i in 0..500u64 {
             let x = (i as f64 * 0.37).sin() * 20.0;
             let y = (i as f64 * 0.11).cos() * 20.0;
-            tree.insert(i, &pfv2(x, y, 0.05 + (i % 9) as f64 * 0.1)).unwrap();
+            tree.insert(i, &pfv2(x, y, 0.05 + (i % 9) as f64 * 0.1))
+                .unwrap();
             if i % 97 == 0 {
                 let errs = tree.check_invariants(true).unwrap();
                 assert!(errs.is_empty(), "violations after {i} inserts: {errs:?}");
@@ -286,8 +300,12 @@ mod tests {
         let pool = BufferPool::new(MemStore::new(8192), 4096, AccessStats::new_shared());
         let mut tree = GaussTree::create(pool, config).unwrap();
         for i in 0..2000u64 {
-            let means: Vec<f64> = (0..5).map(|d| ((i + d) as f64 * 0.31).sin() * 10.0).collect();
-            let sigmas: Vec<f64> = (0..5).map(|d| 0.05 + ((i * 3 + d) % 7) as f64 * 0.05).collect();
+            let means: Vec<f64> = (0..5)
+                .map(|d| ((i + d) as f64 * 0.31).sin() * 10.0)
+                .collect();
+            let sigmas: Vec<f64> = (0..5)
+                .map(|d| 0.05 + ((i * 3 + d) % 7) as f64 * 0.05)
+                .collect();
             tree.insert(i, &Pfv::new(means, sigmas).unwrap()).unwrap();
         }
         let errs = tree.check_invariants(true).unwrap();

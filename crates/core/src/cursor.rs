@@ -173,12 +173,14 @@ mod tests {
 
     fn build(n: u64) -> (GaussTree<MemStore>, Vec<Pfv>) {
         let pool = BufferPool::new(MemStore::new(8192), 4096, AccessStats::new_shared());
-        let mut tree =
-            GaussTree::create(pool, TreeConfig::new(2).with_capacities(5, 4)).unwrap();
+        let mut tree = GaussTree::create(pool, TreeConfig::new(2).with_capacities(5, 4)).unwrap();
         let mut db = Vec::new();
         for i in 0..n {
             let v = Pfv::new(
-                vec![(i as f64 * 0.71).sin() * 10.0, (i as f64 * 0.37).cos() * 10.0],
+                vec![
+                    (i as f64 * 0.71).sin() * 10.0,
+                    (i as f64 * 0.37).cos() * 10.0,
+                ],
                 vec![0.1 + (i % 4) as f64 * 0.2, 0.15],
             )
             .unwrap();
@@ -250,9 +252,8 @@ mod tests {
         let q = Pfv::new(db[13].means().to_vec(), vec![0.1, 0.1]).unwrap();
         // First collect the denominator for normalisation.
         let posteriors = pfv::posteriors(CombineMode::Convolution, &db, &q);
-        let denom: f64 = pfv::log_sum_exp(
-            &posteriors.iter().map(|p| p.log_density).collect::<Vec<_>>(),
-        );
+        let denom: f64 =
+            pfv::log_sum_exp(&posteriors.iter().map(|p| p.log_density).collect::<Vec<_>>());
         let mut cum = 0.0;
         let mut cursor = tree.ranking_cursor(&q).unwrap();
         let hits = cursor
@@ -269,8 +270,7 @@ mod tests {
     #[test]
     fn empty_tree_cursor() {
         let pool = BufferPool::new(MemStore::new(8192), 16, AccessStats::new_shared());
-        let mut tree =
-            GaussTree::create(pool, TreeConfig::new(2).with_capacities(4, 3)).unwrap();
+        let mut tree = GaussTree::create(pool, TreeConfig::new(2).with_capacities(4, 3)).unwrap();
         let q = Pfv::new(vec![0.0, 0.0], vec![0.1, 0.1]).unwrap();
         let mut cursor = tree.ranking_cursor(&q).unwrap();
         assert!(cursor.next_hit().unwrap().is_none());

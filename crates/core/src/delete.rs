@@ -24,7 +24,9 @@ pub enum DeleteOutcome {
 enum Removal {
     NotFound,
     /// Entry removed; node rewritten; new (count, still-alive) state.
-    Done { underflow: bool },
+    Done {
+        underflow: bool,
+    },
 }
 
 impl<S: PageStore> GaussTree<S> {
@@ -175,13 +177,15 @@ mod tests {
             .map(|i| {
                 (
                     i,
-                    pfv2((i as f64 * 0.61).sin() * 20.0, (i as f64 * 0.23).cos() * 20.0),
+                    pfv2(
+                        (i as f64 * 0.61).sin() * 20.0,
+                        (i as f64 * 0.23).cos() * 20.0,
+                    ),
                 )
             })
             .collect();
         let pool = BufferPool::new(MemStore::new(8192), 4096, AccessStats::new_shared());
-        let mut tree =
-            GaussTree::create(pool, TreeConfig::new(2).with_capacities(6, 4)).unwrap();
+        let mut tree = GaussTree::create(pool, TreeConfig::new(2).with_capacities(6, 4)).unwrap();
         for (id, v) in &items {
             tree.insert(*id, v).unwrap();
         }
@@ -191,10 +195,7 @@ mod tests {
     #[test]
     fn delete_removes_exactly_one_entry() {
         let (mut tree, items) = build(50);
-        assert_eq!(
-            tree.delete(7, &items[7].1).unwrap(),
-            DeleteOutcome::Deleted
-        );
+        assert_eq!(tree.delete(7, &items[7].1).unwrap(), DeleteOutcome::Deleted);
         assert_eq!(tree.len(), 49);
         let mut ids = Vec::new();
         tree.for_each_entry(|id, _| ids.push(id)).unwrap();
@@ -267,8 +268,7 @@ mod tests {
     #[test]
     fn duplicate_parameter_vectors_disambiguated_by_id() {
         let pool = BufferPool::new(MemStore::new(8192), 256, AccessStats::new_shared());
-        let mut tree =
-            GaussTree::create(pool, TreeConfig::new(2).with_capacities(4, 3)).unwrap();
+        let mut tree = GaussTree::create(pool, TreeConfig::new(2).with_capacities(4, 3)).unwrap();
         let v = pfv2(1.0, 2.0);
         for id in 0..10u64 {
             tree.insert(id, &v).unwrap();

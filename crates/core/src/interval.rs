@@ -18,7 +18,7 @@ use crate::node::Node;
 use crate::tree::{GaussTree, TreeError};
 use gauss_storage::store::PageStore;
 use pfv::hull::DimBounds;
-use pfv::{Pfv};
+use pfv::Pfv;
 
 /// One result of a probabilistic box query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -146,8 +146,7 @@ mod tests {
 
     fn build(items: &[(u64, Pfv)]) -> GaussTree<MemStore> {
         let pool = BufferPool::new(MemStore::new(8192), 4096, AccessStats::new_shared());
-        let mut tree =
-            GaussTree::create(pool, TreeConfig::new(2).with_capacities(5, 4)).unwrap();
+        let mut tree = GaussTree::create(pool, TreeConfig::new(2).with_capacities(5, 4)).unwrap();
         for (id, v) in items {
             tree.insert(*id, v).unwrap();
         }
@@ -190,7 +189,13 @@ mod tests {
     fn mass_upper_dominates_every_member() {
         let b = DimBounds::new(2.0, 4.0, 0.3, 1.0);
         for &(mu, sigma) in &[(2.0, 0.3), (3.0, 0.5), (4.0, 1.0), (2.5, 0.9)] {
-            for &(lo, hi) in &[(0.0, 1.0), (1.5, 2.5), (2.9, 3.1), (5.0, 9.0), (-10.0, 10.0)] {
+            for &(lo, hi) in &[
+                (0.0, 1.0),
+                (1.5, 2.5),
+                (2.9, 3.1),
+                (5.0, 9.0),
+                (-10.0, 10.0),
+            ] {
                 let v = Pfv::new(vec![mu], vec![sigma]).unwrap();
                 let exact = containment_probability(&v, &[lo], &[hi]);
                 let bound = mass_upper_1d(&b, lo, hi);
@@ -249,9 +254,7 @@ mod tests {
     fn rejects_bad_inputs() {
         let items = grid_items();
         let mut tree = build(&items);
-        assert!(tree
-            .probabilistic_box_query(&[0.0], &[1.0], 0.5)
-            .is_err());
+        assert!(tree.probabilistic_box_query(&[0.0], &[1.0], 0.5).is_err());
     }
 
     #[test]

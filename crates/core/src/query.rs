@@ -650,8 +650,16 @@ mod tests {
         let mut rng = Rng(7);
         for _ in 0..20 {
             let q = Pfv::new(
-                vec![rng.next_f64() * 10.0, rng.next_f64() * 10.0, rng.next_f64() * 10.0],
-                vec![0.1 + rng.next_f64(), 0.1 + rng.next_f64(), 0.1 + rng.next_f64()],
+                vec![
+                    rng.next_f64() * 10.0,
+                    rng.next_f64() * 10.0,
+                    rng.next_f64() * 10.0,
+                ],
+                vec![
+                    0.1 + rng.next_f64(),
+                    0.1 + rng.next_f64(),
+                    0.1 + rng.next_f64(),
+                ],
             )
             .unwrap();
             for k in [1, 3, 10] {

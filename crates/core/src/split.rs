@@ -150,11 +150,7 @@ pub fn split_items<T: Splittable + Clone>(
             // Only μ axes; choose the one with the widest overall extent.
             let rect = group_rect(&items);
             let best = (0..dims)
-                .max_by(|&a, &b| {
-                    rect.dim(a)
-                        .mu_extent()
-                        .total_cmp(&rect.dim(b).mu_extent())
-                })
+                .max_by(|&a, &b| rect.dim(a).mu_extent().total_cmp(&rect.dim(b).mu_extent()))
                 .expect("dims >= 1");
             vec![Axis::Mu(best)]
         }

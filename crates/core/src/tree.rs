@@ -3,8 +3,8 @@
 use crate::config::TreeConfig;
 use crate::node::{InnerEntry, LeafEntry, Node, NodeCodecError};
 use crate::split::{group_rect, node_cost, partition_groups, split_items};
-use gauss_storage::{BufferPool, PageId, Reader, Writer};
 use gauss_storage::store::{PageStore, StoreError};
+use gauss_storage::{BufferPool, PageId, Reader, Writer};
 use pfv::{CombineMode, ParamRect, Pfv};
 
 const META_MAGIC: u32 = 0x4754_5245; // "GTRE"
@@ -40,7 +40,10 @@ impl std::fmt::Display for TreeError {
             TreeError::Store(e) => write!(f, "store error: {e}"),
             TreeError::Codec(e) => write!(f, "codec error: {e}"),
             TreeError::DimMismatch { expected, got } => {
-                write!(f, "dimensionality mismatch: tree has {expected}, vector has {got}")
+                write!(
+                    f,
+                    "dimensionality mismatch: tree has {expected}, vector has {got}"
+                )
             }
             TreeError::NotAGaussTree => write!(f, "store does not contain a Gauss-tree"),
             TreeError::Corrupt(what) => write!(f, "corrupt tree: {what}"),
@@ -149,7 +152,9 @@ impl<S: PageStore> GaussTree<S> {
             if dims == 0 || leaf_cap < 2 || inner_cap < 2 || !root.is_valid() {
                 return Err(NodeCodecError::Corrupt("bad metadata values"));
             }
-            let mut config = TreeConfig::new(dims).with_combine(combine).with_split(split);
+            let mut config = TreeConfig::new(dims)
+                .with_combine(combine)
+                .with_split(split);
             config.max_leaf_entries = Some(leaf_cap);
             config.max_inner_entries = Some(inner_cap);
             Ok((config, root, height, len))
@@ -390,10 +395,7 @@ impl<S: PageStore> GaussTree<S> {
             let Node::Leaf(mut entries) = node else {
                 return Err(TreeError::Corrupt("expected leaf at level 0"));
             };
-            entries.push(LeafEntry {
-                id,
-                pfv: v.clone(),
-            });
+            entries.push(LeafEntry { id, pfv: v.clone() });
             if entries.len() <= self.leaf_cap {
                 let rect = group_rect(&entries);
                 let count = entries.len() as u64;
@@ -550,10 +552,7 @@ impl<S: PageStore> GaussTree<S> {
     ///
     /// # Errors
     /// Store / codec errors.
-    pub fn for_each_entry(
-        &mut self,
-        mut f: impl FnMut(u64, &Pfv),
-    ) -> Result<(), TreeError> {
+    pub fn for_each_entry(&mut self, mut f: impl FnMut(u64, &Pfv)) -> Result<(), TreeError> {
         let mut stack = vec![(self.root, self.height)];
         while let Some((page, level)) = stack.pop() {
             match self.read_node(page)? {
@@ -616,10 +615,14 @@ mod tests {
     #[test]
     fn rejects_wrong_dimensionality() {
         let mut t = mem_tree(2, 4, 4);
-        let err = t
-            .insert(0, &pfv1(0.0, 0.1))
-            .unwrap_err();
-        assert!(matches!(err, TreeError::DimMismatch { expected: 2, got: 1 }));
+        let err = t.insert(0, &pfv1(0.0, 0.1)).unwrap_err();
+        assert!(matches!(
+            err,
+            TreeError::DimMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
     }
 
     #[test]

@@ -51,8 +51,7 @@ pub fn bhattacharyya_distance(p: &Pfv, q: &Pfv) -> f64 {
         let (mp, sp) = p.component(i);
         let (mq, sq) = q.component(i);
         let var_sum = sp * sp + sq * sq;
-        acc += 0.25 * (mp - mq) * (mp - mq) / var_sum
-            + 0.5 * (var_sum / (2.0 * sp * sq)).ln();
+        acc += 0.25 * (mp - mq) * (mp - mq) / var_sum + 0.5 * (var_sum / (2.0 * sp * sq)).ln();
     }
     acc
 }
@@ -73,9 +72,9 @@ pub fn bhattacharyya_coefficient(p: &Pfv, q: &Pfv) -> f64 {
 pub fn mahalanobis(p: &Pfv, x: &[f64]) -> f64 {
     assert_eq!(p.dims(), x.len(), "dimensionality mismatch");
     let mut acc = 0.0;
-    for i in 0..p.dims() {
+    for (i, xi) in x.iter().enumerate() {
         let (m, s) = p.component(i);
-        let z = (x[i] - m) / s;
+        let z = (xi - m) / s;
         acc += z * z;
     }
     acc.sqrt()
@@ -139,9 +138,8 @@ mod tests {
         let closed = bhattacharyya_coefficient(&p1(mp, sp), &p1(mq, sq));
         let numeric = integrate_adaptive(
             |x| {
-                (0.5 * (crate::gaussian::log_pdf(mp, sp, x)
-                    + crate::gaussian::log_pdf(mq, sq, x)))
-                .exp()
+                (0.5 * (crate::gaussian::log_pdf(mp, sp, x) + crate::gaussian::log_pdf(mq, sq, x)))
+                    .exp()
             },
             -15.0,
             15.0,

@@ -196,7 +196,8 @@ impl DimBounds {
     /// Always ≥ 1; equal to 1 only in the degenerate point-rectangle case.
     #[must_use]
     pub fn hull_integral(&self) -> f64 {
-        let plateau = (self.mu_hi - self.mu_lo) / ((2.0 * std::f64::consts::PI).sqrt() * self.sigma_lo);
+        let plateau =
+            (self.mu_hi - self.mu_lo) / ((2.0 * std::f64::consts::PI).sqrt() * self.sigma_lo);
         let ridge = 2.0 * (self.sigma_hi / self.sigma_lo).ln() * INV_SQRT_2PI_E;
         1.0 + plateau + ridge
     }

@@ -28,10 +28,7 @@ pub fn log_add_exp(a: f64, b: f64) -> f64 {
 /// Returns `-∞` for an empty slice (the sum of zero densities).
 #[must_use]
 pub fn log_sum_exp(log_terms: &[f64]) -> f64 {
-    let m = log_terms
-        .iter()
-        .copied()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let m = log_terms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if m == f64::NEG_INFINITY {
         return f64::NEG_INFINITY;
     }
@@ -331,9 +328,6 @@ mod tests {
         s.sub(0.0, 1e8);
         let want = 1000.0 * tiny;
         let got = s.scaled_value();
-        assert!(
-            (got - want).abs() < 1e-6 * want,
-            "got {got}, want {want}"
-        );
+        assert!((got - want).abs() < 1e-6 * want, "got {got}, want {want}");
     }
 }

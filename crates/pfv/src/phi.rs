@@ -172,10 +172,7 @@ mod tests {
     fn phi_matches_tables() {
         for &(x, want) in TABLE {
             let got = phi(x);
-            assert!(
-                (got - want).abs() < 2e-6,
-                "phi({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 2e-6, "phi({x}) = {got}, want {want}");
         }
     }
 
@@ -217,10 +214,7 @@ mod tests {
             let p = i as f64 / 200.0;
             let x = phi_inv(p);
             let back = phi(x);
-            assert!(
-                (back - p).abs() < 5e-7,
-                "phi(phi_inv({p})) = {back}"
-            );
+            assert!((back - p).abs() < 5e-7, "phi(phi_inv({p})) = {back}");
         }
     }
 

@@ -63,10 +63,7 @@ impl Pfv {
     /// # Errors
     /// Returns [`PfvError`] on length mismatch, empty input, or non-finite /
     /// negative components.
-    pub fn new(
-        means: impl Into<Vec<f64>>,
-        sigmas: impl Into<Vec<f64>>,
-    ) -> Result<Self, PfvError> {
+    pub fn new(means: impl Into<Vec<f64>>, sigmas: impl Into<Vec<f64>>) -> Result<Self, PfvError> {
         let means = means.into();
         let mut sigmas = sigmas.into();
         if means.len() != sigmas.len() {
@@ -283,8 +280,8 @@ mod tests {
     fn log_density_is_sum_of_univariate() {
         let v = Pfv::new(vec![0.0, 5.0], vec![1.0, 2.0]).unwrap();
         let x = [0.3, 4.5];
-        let want = crate::gaussian::log_pdf(0.0, 1.0, 0.3)
-            + crate::gaussian::log_pdf(5.0, 2.0, 4.5);
+        let want =
+            crate::gaussian::log_pdf(0.0, 1.0, 0.3) + crate::gaussian::log_pdf(5.0, 2.0, 4.5);
         assert!((v.log_density_at(&x) - want).abs() < 1e-14);
     }
 

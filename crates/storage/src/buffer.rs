@@ -147,7 +147,11 @@ impl<S: PageStore> BufferPool<S> {
     /// # Panics
     /// Panics if `buf.len()` differs from the page size.
     pub fn write(&mut self, id: PageId, buf: &[u8]) -> Result<(), StoreError> {
-        assert_eq!(buf.len(), self.store.page_size(), "buffer/page size mismatch");
+        assert_eq!(
+            buf.len(),
+            self.store.page_size(),
+            "buffer/page size mismatch"
+        );
         self.stats.record_physical_write();
         self.store.write_page(id, buf)?;
         if let Some(&slot) = self.map.get(&id) {
@@ -338,7 +342,9 @@ mod tests {
         p.clear_cache();
         let mut state = 0x12345678u64;
         for _ in 0..5000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let idx = (state >> 33) as usize % ids.len();
             let v = p.page(ids[idx]).unwrap()[0];
             assert_eq!(v, idx as u8);

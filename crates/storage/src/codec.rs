@@ -229,7 +229,13 @@ mod tests {
         let mut r = Reader::new(&buf);
         assert_eq!(r.get_u16().unwrap(), 0x0201);
         let err = r.get_u32().unwrap_err();
-        assert_eq!(err, ShortBuffer { wanted: 4, remaining: 1 });
+        assert_eq!(
+            err,
+            ShortBuffer {
+                wanted: 4,
+                remaining: 1
+            }
+        );
     }
 
     #[test]

@@ -106,7 +106,8 @@ impl PageStore for MemStore {
 
     fn allocate(&mut self) -> Result<PageId, StoreError> {
         let id = PageId(self.pages.len() as u64);
-        self.pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        self.pages
+            .push(vec![0u8; self.page_size].into_boxed_slice());
         Ok(id)
     }
 

@@ -2,7 +2,7 @@
 
 use pfv::Pfv;
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// How per-dimension standard deviations are drawn.
 ///
@@ -44,7 +44,10 @@ impl SigmaSpec {
     /// Panics unless `0 <= min <= max`.
     #[must_use]
     pub fn uniform(min: f64, max: f64) -> Self {
-        assert!(min >= 0.0 && min <= max, "invalid sigma range [{min}, {max}]");
+        assert!(
+            min >= 0.0 && min <= max,
+            "invalid sigma range [{min}, {max}]"
+        );
         Self {
             min,
             max,
@@ -60,7 +63,10 @@ impl SigmaSpec {
     /// Panics unless `0 < min <= max`.
     #[must_use]
     pub fn log_uniform(min: f64, max: f64) -> Self {
-        assert!(min > 0.0 && min <= max, "invalid sigma range [{min}, {max}]");
+        assert!(
+            min > 0.0 && min <= max,
+            "invalid sigma range [{min}, {max}]"
+        );
         Self {
             min,
             max,
@@ -306,10 +312,7 @@ mod tests {
         let ds = uniform_dataset(100, 10, SigmaSpec::uniform(0.02, 0.2), 3);
         for v in &ds.objects {
             assert!(v.means().iter().all(|&m| (0.0..=1.0).contains(&m)));
-            assert!(v
-                .sigmas()
-                .iter()
-                .all(|&s| (0.02..=0.2).contains(&s)));
+            assert!(v.sigmas().iter().all(|&s| (0.02..=0.2).contains(&s)));
         }
     }
 

@@ -95,8 +95,16 @@ mod tests {
             "P(O3) = {} (paper: 0.77)",
             p[2]
         );
-        assert!((0.03..0.20).contains(&p[0]), "P(O1) = {} (paper: 0.10)", p[0]);
-        assert!((0.06..0.25).contains(&p[1]), "P(O2) = {} (paper: 0.13)", p[1]);
+        assert!(
+            (0.03..0.20).contains(&p[0]),
+            "P(O1) = {} (paper: 0.10)",
+            p[0]
+        );
+        assert!(
+            (0.06..0.25).contains(&p[1]),
+            "P(O2) = {} (paper: 0.13)",
+            p[1]
+        );
     }
 
     #[test]

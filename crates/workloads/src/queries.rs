@@ -7,7 +7,7 @@
 use crate::dataset::{sample_standard_normal, Dataset, SigmaSpec};
 use pfv::Pfv;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// One identification query with its ground truth.
 #[derive(Debug, Clone)]

@@ -15,7 +15,7 @@ use gausstree::storage::{AccessStats, BufferPool, MemStore, DEFAULT_PAGE_SIZE};
 use gausstree::tree::{GaussTree, TreeConfig};
 use gausstree::workloads::dataset::sample_standard_normal;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 const DIMS: usize = 4; // age, household size, geo-x, geo-y (normalised)
 const ENTITIES: usize = 400;
@@ -61,7 +61,8 @@ fn main() {
     let mut provenance = Vec::with_capacity(ENTITIES);
     for (id, t) in truths.iter().enumerate() {
         let (name, sigmas) = SOURCES[rng.random_range(0..SOURCES.len())];
-        tree.insert(id as u64, &observe(t, &sigmas, &mut rng)).unwrap();
+        tree.insert(id as u64, &observe(t, &sigmas, &mut rng))
+            .unwrap();
         provenance.push(name);
     }
 
@@ -120,9 +121,7 @@ fn main() {
     println!("  auto-merged (P ≥ 90%):    {auto_merged}");
     println!("  sent to review (P ≥ 20%): {to_review}");
     println!("  created as new:           {created}");
-    println!(
-        "  re-observation merges:    {correct_links}/{reobs_links} correct"
-    );
+    println!("  re-observation merges:    {correct_links}/{reobs_links} correct");
     println!(
         "  closed-world caveat:      {new_entity_merges} genuinely new entities \
 were matched ≥90% — the §3 posterior assumes the query IS stored; guard with \

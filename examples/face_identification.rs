@@ -16,7 +16,7 @@ use gausstree::storage::{AccessStats, BufferPool, MemStore, DEFAULT_PAGE_SIZE};
 use gausstree::tree::{GaussTree, TreeConfig};
 use gausstree::workloads::dataset::sample_standard_normal;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 const DIMS: usize = 8; // facial proportions, nose breadth, eye distance, …
 const GALLERY: usize = 500;
@@ -54,7 +54,10 @@ fn main() {
     let mut tree = GaussTree::bulk_load(
         pool,
         TreeConfig::new(DIMS),
-        gallery.iter().enumerate().map(|(i, v)| (i as u64, v.clone())),
+        gallery
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u64, v.clone())),
     )
     .unwrap();
 
@@ -104,5 +107,8 @@ fn main() {
         100.0 * f64::from(nn_correct) / PROBES as f64,
         100.0 * f64::from(mliq_correct) / PROBES as f64,
     );
-    assert!(mliq_correct >= nn_correct, "the model should not lose to NN");
+    assert!(
+        mliq_correct >= nn_correct,
+        "the model should not lose to NN"
+    );
 }

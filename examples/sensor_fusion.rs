@@ -17,7 +17,7 @@ use gausstree::storage::{AccessStats, BufferPool, FileStore, DEFAULT_PAGE_SIZE};
 use gausstree::tree::{GaussTree, TreeConfig};
 use gausstree::workloads::dataset::sample_standard_normal;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 const DIMS: usize = 6;
 const STATIONS: usize = 300;
@@ -85,7 +85,11 @@ fn main() {
         println!("TIQ(10%) — stations that could have produced it:");
         let hits = tree.tiq(&reading, 0.10, 1e-6).unwrap();
         for r in &hits {
-            let marker = if r.id as usize == station { "  <-- true source" } else { "" };
+            let marker = if r.id as usize == station {
+                "  <-- true source"
+            } else {
+                ""
+            };
             println!(
                 "  station #{:<4} P = {:>5.1}%{}",
                 r.id,

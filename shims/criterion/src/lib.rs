@@ -1,0 +1,337 @@
+//! Offline stand-in for the crates.io [`criterion`](https://docs.rs/criterion)
+//! crate.
+//!
+//! The build environment has no registry access, so this vendored shim
+//! implements the subset of the criterion 0.5 API the workspace's benches
+//! use: [`Criterion`] with the builder knobs, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], benchmark groups with parametrised ids, and
+//! the [`criterion_group!`] / [`criterion_main!`] macros (benches keep
+//! `harness = false`, exactly as with real criterion).
+//!
+//! Measurement is deliberately simple: after a warm-up, each benchmark runs
+//! `sample_size` samples and reports the minimum, mean and maximum time per
+//! iteration to stdout. There are no statistics, plots, or baselines — swap
+//! the path dependency for crates.io `criterion = "0.5"` to get those.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How [`Bencher::iter_batched`] amortises setup cost (accepted for API
+/// compatibility; this shim always runs one routine call per measurement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch under real criterion.
+    SmallInput,
+    /// Large inputs: few per batch under real criterion.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier for one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id carrying only a parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    /// Iterations per sample, tuned during warm-up.
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running it `iters` times per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.samples
+            .push(start.elapsed() / u32::try_from(self.iters).unwrap_or(u32::MAX));
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples
+            .push(total / u32::try_from(self.iters).unwrap_or(u32::MAX));
+    }
+
+    /// Like [`Bencher::iter_batched`] but handing the routine `&mut I`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            std_black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.samples
+            .push(total / u32::try_from(self.iters).unwrap_or(u32::MAX));
+    }
+}
+
+/// The benchmark manager. Mirrors the criterion 0.5 builder surface.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Substring filter from argv (criterion-compatible CLI behaviour).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Mimic `cargo bench -- <filter>`; flags like --bench are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples each benchmark records.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the time budget spread over the samples.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up (and iteration-count tuning) time.
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.run_one(id, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+
+        // Warm-up: run single iterations until the budget elapses, counting
+        // how many fit so the measurement phase can batch appropriately.
+        let mut samples = Vec::new();
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            let mut b = Bencher {
+                samples: &mut samples,
+                iters: 1,
+            };
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / u32::try_from(warm_iters.max(1)).unwrap_or(u32::MAX);
+        samples.clear();
+
+        let per_sample =
+            self.measurement_time / u32::try_from(self.sample_size).unwrap_or(u32::MAX);
+        let iters = if per_iter.is_zero() {
+            1000
+        } else {
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                samples: &mut samples,
+                iters,
+            };
+            f(&mut b);
+        }
+
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>()
+            / u32::try_from(samples.len().max(1)).unwrap_or(u32::MAX);
+        println!(
+            "{id:<40} time: [{} {} {}]  ({} samples x {iters} iters)",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+            samples.len(),
+        );
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parametrised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Runs one unparametrised benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.run_one(&full, |b| f(b));
+        self
+    }
+
+    /// Ends the group (no-op in this shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a custom
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.filter = None;
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        c.filter = None;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let id = BenchmarkId::from_parameter("WidestMu");
+        assert_eq!(id.id, "WidestMu");
+        let id = BenchmarkId::new("split", 42);
+        assert_eq!(id.id, "split/42");
+    }
+}

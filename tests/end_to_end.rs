@@ -6,12 +6,14 @@ use gausstree::pfv::{CombineMode, Pfv};
 use gausstree::storage::{AccessStats, BufferPool, MemStore, DEFAULT_PAGE_SIZE};
 use gausstree::tree::{GaussTree, TreeConfig};
 use gausstree::workloads::metrics::{precision_recall_sweep, rank_of};
-use gausstree::workloads::{
-    generate_queries, histogram_dataset, uniform_dataset, SigmaSpec,
-};
+use gausstree::workloads::{generate_queries, histogram_dataset, uniform_dataset, SigmaSpec};
 
 fn mem_pool(cap: usize) -> BufferPool<MemStore> {
-    BufferPool::new(MemStore::new(DEFAULT_PAGE_SIZE), cap, AccessStats::new_shared())
+    BufferPool::new(
+        MemStore::new(DEFAULT_PAGE_SIZE),
+        cap,
+        AccessStats::new_shared(),
+    )
 }
 
 #[test]
@@ -97,8 +99,7 @@ fn xtree_filter_is_consistent_and_approximate() {
     let queries = generate_queries(&dataset, 30, sigma, 13);
 
     let mut file = PfvFile::build(mem_pool(4096), 6, dataset.items()).unwrap();
-    let mut xtree =
-        XTree::build_from_file(mem_pool(4096), XTreeConfig::new(6), &mut file).unwrap();
+    let mut xtree = XTree::build_from_file(mem_pool(4096), XTreeConfig::new(6), &mut file).unwrap();
 
     let mut hits = 0;
     for q in &queries {

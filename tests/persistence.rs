@@ -103,7 +103,10 @@ fn bulk_loaded_tree_survives_reopen_and_inserts() {
     tree.flush().unwrap();
     assert_eq!(tree.len(), 1000);
     let errors = tree.check_invariants(false).unwrap();
-    assert!(errors.is_empty(), "violations after reopen+insert: {errors:?}");
+    assert!(
+        errors.is_empty(),
+        "violations after reopen+insert: {errors:?}"
+    );
 
     let mut count = 0u64;
     tree.for_each_entry(|_, _| count += 1).unwrap();
@@ -115,7 +118,11 @@ fn mem_and_file_trees_agree() {
     let items = sample_items(300, 2);
     let q = Pfv::new(vec![0.5, 0.5], vec![0.3, 0.3]).unwrap();
 
-    let pool = BufferPool::new(MemStore::new(DEFAULT_PAGE_SIZE), 256, AccessStats::new_shared());
+    let pool = BufferPool::new(
+        MemStore::new(DEFAULT_PAGE_SIZE),
+        256,
+        AccessStats::new_shared(),
+    );
     let mut mem_tree = GaussTree::create(pool, TreeConfig::new(2)).unwrap();
     for (id, v) in &items {
         mem_tree.insert(*id, v).unwrap();
@@ -144,9 +151,17 @@ fn tiny_cache_still_correct() {
     let items = sample_items(500, 2);
     let q = Pfv::new(vec![3.0, -3.0], vec![0.2, 0.2]).unwrap();
 
-    let pool = BufferPool::new(MemStore::new(DEFAULT_PAGE_SIZE), 4096, AccessStats::new_shared());
+    let pool = BufferPool::new(
+        MemStore::new(DEFAULT_PAGE_SIZE),
+        4096,
+        AccessStats::new_shared(),
+    );
     let mut big = GaussTree::create(pool, TreeConfig::new(2)).unwrap();
-    let pool = BufferPool::new(MemStore::new(DEFAULT_PAGE_SIZE), 2, AccessStats::new_shared());
+    let pool = BufferPool::new(
+        MemStore::new(DEFAULT_PAGE_SIZE),
+        2,
+        AccessStats::new_shared(),
+    );
     let mut small = GaussTree::create(pool, TreeConfig::new(2)).unwrap();
     for (id, v) in &items {
         big.insert(*id, v).unwrap();

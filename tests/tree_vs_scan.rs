@@ -8,10 +8,7 @@ use gausstree::tree::{GaussTree, TreeConfig};
 use proptest::prelude::*;
 
 /// Strategy: a database of `n` pfv with `dims` dimensions plus one query.
-fn db_and_query(
-    max_n: usize,
-    max_dims: usize,
-) -> impl Strategy<Value = (Vec<Pfv>, Pfv)> {
+fn db_and_query(max_n: usize, max_dims: usize) -> impl Strategy<Value = (Vec<Pfv>, Pfv)> {
     (1..=max_dims).prop_flat_map(move |dims| {
         let pfv_strategy = prop::collection::vec(
             (
