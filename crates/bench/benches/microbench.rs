@@ -130,7 +130,7 @@ fn bench_queries(c: &mut Criterion) {
         1 << 14,
         AccessStats::new_shared(),
     );
-    let mut tree = GaussTree::bulk_load(pool, TreeConfig::new(10), dataset.items()).unwrap();
+    let tree = GaussTree::bulk_load(pool, TreeConfig::new(10), dataset.items()).unwrap();
     let pool = BufferPool::new(
         MemStore::new(DEFAULT_PAGE_SIZE),
         1 << 14,

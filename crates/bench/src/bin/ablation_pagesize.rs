@@ -33,12 +33,12 @@ fn main() {
             CACHE_BYTES,
             AccessStats::new_shared(),
         );
-        let mut tree = GaussTree::bulk_load(pool, config, dataset.items()).expect("bulk load");
-        let total_pages = tree.pool_mut().num_pages();
+        let tree = GaussTree::bulk_load(pool, config, dataset.items()).expect("bulk load");
+        let total_pages = tree.pool().num_pages();
 
         let mut pages = 0u64;
         for q in &queries {
-            tree.pool_mut().clear_cache();
+            tree.pool().clear_cache_and_stats();
             let before = tree.stats().snapshot();
             let _ = tree.k_mliq(&q.query, 1).expect("mliq");
             pages += tree.stats().snapshot().since(&before).physical_reads;

@@ -28,18 +28,18 @@ fn main() {
         ("min-volume", SplitStrategy::MinVolume),
     ] {
         let config = TreeConfig::new(dataset.dims()).with_split(strategy);
-        let mut tree = build_gauss_tree(&dataset, config);
-        let total_pages = tree.pool_mut().num_pages();
+        let tree = build_gauss_tree(&dataset, config);
+        let total_pages = tree.pool().num_pages();
 
         let mut mliq_pages = 0u64;
         let mut tiq_pages = 0u64;
         for q in &queries {
-            tree.pool_mut().clear_cache();
+            tree.pool().clear_cache_and_stats();
             let before = tree.stats().snapshot();
             let _ = tree.k_mliq(&q.query, 1).expect("mliq");
             mliq_pages += tree.stats().snapshot().since(&before).physical_reads;
 
-            tree.pool_mut().clear_cache();
+            tree.pool().clear_cache_and_stats();
             let before = tree.stats().snapshot();
             let _ = tree.tiq(&q.query, 0.2, 1e-3).expect("tiq");
             tiq_pages += tree.stats().snapshot().since(&before).physical_reads;

@@ -39,14 +39,14 @@ fn main() {
         let dataset = uniform_dataset(n, 10, sigma, 1234);
         let queries = generate_queries(&dataset, n_queries, sigma, 77);
         let mut file = build_pfv_file(&dataset);
-        let mut tree = build_gauss_tree(&dataset, TreeConfig::new(10));
+        let tree = build_gauss_tree(&dataset, TreeConfig::new(10));
 
         let mut scan_pages = 0u64;
         let mut tree_pages = 0u64;
         let mut result_size = 0usize;
         let mut top_p = 0.0f64;
         for q in &queries {
-            file.pool_mut().clear_cache();
+            file.pool_mut().clear_cache_and_stats();
             let b = file.stats().snapshot();
             let res = file
                 .tiq(&q.query, 0.8, CombineMode::Convolution)
@@ -61,7 +61,7 @@ fn main() {
                 top_p += r.2;
             }
 
-            tree.pool_mut().clear_cache();
+            tree.pool().clear_cache_and_stats();
             let b = tree.stats().snapshot();
             let _ = tree.tiq_anytime(&q.query, 0.8).expect("tree");
             tree_pages += tree.stats().snapshot().since(&b).logical_reads;

@@ -37,10 +37,10 @@ fn report(
     tree: &mut GaussTree<MemStore>,
     queries: &[gauss_workloads::IdentificationQuery],
 ) {
-    let total_pages = tree.pool_mut().num_pages();
+    let total_pages = tree.pool().num_pages();
     let mut pages = 0u64;
     for q in queries {
-        tree.pool_mut().clear_cache();
+        tree.pool().clear_cache_and_stats();
         let before = tree.stats().snapshot();
         let _ = tree.k_mliq(&q.query, 1).expect("mliq");
         pages += tree.stats().snapshot().since(&before).physical_reads;

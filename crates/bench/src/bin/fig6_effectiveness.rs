@@ -36,7 +36,7 @@ fn main() {
 
     let dataset = spec.dataset();
     let queries = spec.queries(&dataset);
-    let mut tree = build_gauss_tree(&dataset, TreeConfig::new(dataset.dims()));
+    let tree = build_gauss_tree(&dataset, TreeConfig::new(dataset.dims()));
     let mut file = build_pfv_file(&dataset);
     let mut xtree = build_xtree(&dataset, &mut file);
 

@@ -54,7 +54,7 @@ fn main() {
     eprintln!("building sequential file…");
     let mut file = build_pfv_file(&dataset);
     eprintln!("building Gauss-tree (bulk load)…");
-    let mut gtree = build_gauss_tree(&dataset, TreeConfig::new(dataset.dims()));
+    let gtree = build_gauss_tree(&dataset, TreeConfig::new(dataset.dims()));
     eprintln!("building X-tree…");
     let mut xtree = build_xtree(&dataset, &mut file);
     eprintln!(
@@ -72,7 +72,7 @@ fn main() {
     for kind in kinds {
         eprintln!("measuring seq scan {}…", kind.label());
         let m = {
-            file.pool_mut().clear_cache();
+            file.pool_mut().clear_cache_and_stats();
             let stats = file.stats().clone();
             measure_queries(
                 &queries,
@@ -96,8 +96,8 @@ fn main() {
 
         eprintln!("measuring X-tree {}…", kind.label());
         let m = {
-            xtree.pool_mut().clear_cache();
-            file.pool_mut().clear_cache();
+            xtree.pool_mut().clear_cache_and_stats();
+            file.pool_mut().clear_cache_and_stats();
             let xstats = xtree.stats().clone();
             let fstats = file.stats().clone();
             // Sum both pools: index pages + refinement fetches.
@@ -132,7 +132,7 @@ fn main() {
 
         eprintln!("measuring Gauss-tree {}…", kind.label());
         let m = {
-            gtree.pool_mut().clear_cache();
+            gtree.pool().clear_cache_and_stats();
             let stats = gtree.stats().clone();
             measure_queries(
                 &queries,

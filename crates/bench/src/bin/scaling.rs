@@ -88,19 +88,19 @@ fn run_point(n: usize, dims: usize, k: usize, n_queries: usize, sigma: SigmaSpec
     let dataset = uniform_dataset(n, dims, sigma, 97 + n as u64 + dims as u64);
     let queries = generate_queries(&dataset, n_queries.min(n), sigma, 3);
     let mut file = build_pfv_file(&dataset);
-    let mut tree = build_gauss_tree(&dataset, TreeConfig::new(dims));
+    let tree = build_gauss_tree(&dataset, TreeConfig::new(dims));
 
     let mut scan_pages = 0u64;
     let mut tree_pages = 0u64;
     for q in &queries {
-        file.pool_mut().clear_cache();
+        file.pool_mut().clear_cache_and_stats();
         let b = file.stats().snapshot();
         let _ = file
             .k_mliq(&q.query, k, CombineMode::Convolution)
             .expect("scan");
         scan_pages += file.stats().snapshot().since(&b).physical_reads;
 
-        tree.pool_mut().clear_cache();
+        tree.pool().clear_cache_and_stats();
         let b = tree.stats().snapshot();
         let _ = tree.k_mliq(&q.query, k).expect("tree");
         tree_pages += tree.stats().snapshot().since(&b).physical_reads;

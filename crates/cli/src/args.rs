@@ -69,6 +69,17 @@ impl Args {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Every value given for a repeatable flag, in order of appearance
+    /// (e.g. `--query a --query b` for a batch).
+    #[must_use]
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
     /// Required string value.
     ///
     /// # Errors
@@ -148,6 +159,13 @@ mod tests {
     fn later_flags_win() {
         let a = Args::parse(&argv(&["--n", "1", "--n", "2"])).unwrap();
         assert_eq!(a.num::<usize>("n", 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn get_all_returns_every_occurrence_in_order() {
+        let a = Args::parse(&argv(&["--query", "a", "--k", "3", "--query", "b"])).unwrap();
+        assert_eq!(a.get_all("query"), vec!["a", "b"]);
+        assert_eq!(a.get_all("missing"), Vec::<&str>::new());
     }
 
     #[test]

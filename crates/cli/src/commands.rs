@@ -14,8 +14,10 @@ pub const USAGE: &str = "usage:
   gauss-cli build    --data FILE.csv --index FILE.gtree
                      [--page-size BYTES] [--split hull|mu|volume] [--bulk true|false]
   gauss-cli info     --index FILE.gtree [--check true]
-  gauss-cli mliq     --index FILE.gtree --query 'm1,..;s1,..' [-k K] [--accuracy A]
-  gauss-cli tiq      --index FILE.gtree --query 'm1,..;s1,..' --theta T [--accuracy A]
+  gauss-cli mliq     --index FILE.gtree --query 'm1,..;s1,..' [--query ...]
+                     [-k K] [--accuracy A] [--threads N]
+  gauss-cli tiq      --index FILE.gtree --query 'm1,..;s1,..' [--query ...]
+                     --theta T [--accuracy A] [--threads N]
   gauss-cli boxq     --index FILE.gtree --lo a,b,.. --hi c,d,.. --tau T
   gauss-cli delete   --index FILE.gtree --id N --query 'm1,..;s1,..'";
 
@@ -110,18 +112,18 @@ fn build(args: &Args) -> Result<(), ArgError> {
         tree.len(),
         tree.dims(),
         tree.height(),
-        tree.pool_mut().num_pages(),
+        tree.pool().num_pages(),
         t0.elapsed().as_secs_f64()
     );
     Ok(())
 }
 
 fn info(args: &Args) -> Result<(), ArgError> {
-    let mut tree = open_tree(args)?;
+    let tree = open_tree(args)?;
     println!("objects:        {}", tree.len());
     println!("dimensionality: {}", tree.dims());
     println!("height:         {}", tree.height());
-    println!("pages:          {}", tree.pool_mut().num_pages());
+    println!("pages:          {}", tree.pool().num_pages());
     println!("leaf capacity:  {}", tree.leaf_capacity());
     println!("inner capacity: {}", tree.inner_capacity());
     println!("combine mode:   {:?}", tree.config().combine);
@@ -144,9 +146,27 @@ fn info(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Parses the repeatable `--query` flag (at least one) and the `--threads`
+/// worker count for the batch executor.
+fn parse_batch(args: &Args) -> Result<(Vec<pfv::Pfv>, usize), ArgError> {
+    let literals = args.get_all("query");
+    if literals.is_empty() {
+        return Err(ArgError("missing required flag --query".into()));
+    }
+    let queries = literals
+        .into_iter()
+        .map(parse_pfv)
+        .collect::<Result<Vec<_>, _>>()?;
+    let threads: usize = args.num("threads", 1)?;
+    if threads == 0 {
+        return Err(ArgError("--threads must be at least 1".into()));
+    }
+    Ok((queries, threads))
+}
+
 fn mliq(args: &Args) -> Result<(), ArgError> {
-    let mut tree = open_tree(args)?;
-    let q = parse_pfv(args.required("query")?)?;
+    let tree = open_tree(args)?;
+    let (queries, threads) = parse_batch(args)?;
     let k: usize = args.num("k", 1)?;
     let accuracy: f64 = args.num("accuracy", 1e-4)?;
     if accuracy.is_nan() || accuracy <= 0.0 {
@@ -155,20 +175,30 @@ fn mliq(args: &Args) -> Result<(), ArgError> {
         )));
     }
     let t0 = std::time::Instant::now();
-    let hits = tree
-        .k_mliq_refined(&q, k, accuracy)
+    let batches = tree
+        .batch(threads)
+        .k_mliq_refined(&queries, k, accuracy)
         .map_err(|e| ArgError(e.to_string()))?;
     let elapsed = t0.elapsed();
-    for h in &hits {
-        println!(
-            "id={} P={:.4} [{:.4}, {:.4}] log_density={:.4}",
-            h.id, h.probability, h.prob_lo, h.prob_hi, h.log_density
-        );
+    let mut total = 0usize;
+    for (qi, hits) in batches.iter().enumerate() {
+        let prefix = if batches.len() > 1 {
+            format!("q{qi} ")
+        } else {
+            String::new()
+        };
+        for h in hits {
+            println!(
+                "{prefix}id={} P={:.4} [{:.4}, {:.4}] log_density={:.4}",
+                h.id, h.probability, h.prob_lo, h.prob_hi, h.log_density
+            );
+        }
+        total += hits.len();
     }
     let snap = tree.stats().snapshot();
     eprintln!(
-        "({} results, {:.2} ms, {} page reads)",
-        hits.len(),
+        "({total} results over {} queries, {threads} threads, {:.2} ms, {} page reads)",
+        batches.len(),
         1e3 * elapsed.as_secs_f64(),
         snap.logical_reads
     );
@@ -176,8 +206,8 @@ fn mliq(args: &Args) -> Result<(), ArgError> {
 }
 
 fn tiq(args: &Args) -> Result<(), ArgError> {
-    let mut tree = open_tree(args)?;
-    let q = parse_pfv(args.required("query")?)?;
+    let tree = open_tree(args)?;
+    let (queries, threads) = parse_batch(args)?;
     let theta: f64 = args.num_required("theta")?;
     if !(theta > 0.0 && theta <= 1.0) {
         return Err(ArgError(format!(
@@ -190,21 +220,31 @@ fn tiq(args: &Args) -> Result<(), ArgError> {
             "--accuracy must be positive, got {accuracy}"
         )));
     }
-    let hits = tree
-        .tiq(&q, theta, accuracy)
+    let batches = tree
+        .batch(threads)
+        .tiq(&queries, theta, accuracy)
         .map_err(|e| ArgError(e.to_string()))?;
-    for h in &hits {
-        println!(
-            "id={} P={:.4} [{:.4}, {:.4}]",
-            h.id, h.probability, h.prob_lo, h.prob_hi
-        );
+    let mut total = 0usize;
+    for (qi, hits) in batches.iter().enumerate() {
+        let prefix = if batches.len() > 1 {
+            format!("q{qi} ")
+        } else {
+            String::new()
+        };
+        for h in hits {
+            println!(
+                "{prefix}id={} P={:.4} [{:.4}, {:.4}]",
+                h.id, h.probability, h.prob_lo, h.prob_hi
+            );
+        }
+        total += hits.len();
     }
-    eprintln!("({} results)", hits.len());
+    eprintln!("({total} results over {} queries)", batches.len());
     Ok(())
 }
 
 fn boxq(args: &Args) -> Result<(), ArgError> {
-    let mut tree = open_tree(args)?;
+    let tree = open_tree(args)?;
     let lo = parse_vec(args.required("lo")?)?;
     let hi = parse_vec(args.required("hi")?)?;
     let tau: f64 = args.num_required("tau")?;
@@ -300,6 +340,59 @@ mod tests {
             "boxq", "--index", &idx, "--lo", "0,0,0", "--hi", "1,1,1", "--tau", "0.5",
         ])
         .unwrap();
+    }
+
+    #[test]
+    fn batch_queries_with_threads() {
+        let tmp = TempDir::new();
+        let csv = tmp.p("batch.csv");
+        let idx = tmp.p("batch.gtree");
+        run(&[
+            "generate", "--out", &csv, "--kind", "uniform", "--n", "200", "--dims", "2",
+        ])
+        .unwrap();
+        run(&["build", "--data", &csv, "--index", &idx]).unwrap();
+        run(&[
+            "mliq",
+            "--index",
+            &idx,
+            "--query",
+            "0.2,0.2;0.1,0.1",
+            "--query",
+            "0.8,0.8;0.1,0.1",
+            "--query",
+            "0.5,0.1;0.2,0.2",
+            "-k",
+            "2",
+            "--threads",
+            "3",
+        ])
+        .unwrap();
+        run(&[
+            "tiq",
+            "--index",
+            &idx,
+            "--query",
+            "0.4,0.6;0.1,0.1",
+            "--query",
+            "0.6,0.4;0.1,0.1",
+            "--theta",
+            "0.01",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        // --threads 0 is rejected.
+        assert!(run(&[
+            "mliq",
+            "--index",
+            &idx,
+            "--query",
+            "0.2,0.2;0.1,0.1",
+            "--threads",
+            "0"
+        ])
+        .is_err());
     }
 
     #[test]

@@ -122,10 +122,7 @@ impl<S: PageStore> GaussTree<S> {
     ///
     /// # Errors
     /// Storage/codec errors while traversing.
-    pub fn check_invariants(
-        &mut self,
-        strict_fanout: bool,
-    ) -> Result<Vec<InvariantError>, TreeError> {
+    pub fn check_invariants(&self, strict_fanout: bool) -> Result<Vec<InvariantError>, TreeError> {
         let mut errors = Vec::new();
         if self.is_empty() {
             return Ok(errors);
@@ -146,7 +143,7 @@ impl<S: PageStore> GaussTree<S> {
 
     /// Returns `(subtree count, subtree rect)`.
     fn check_node(
-        &mut self,
+        &self,
         page: PageId,
         depth: u32,
         height: u32,
@@ -255,7 +252,7 @@ mod tests {
     fn fresh_tree_is_sound() {
         let config = TreeConfig::new(2).with_capacities(4, 4);
         let pool = BufferPool::new(MemStore::new(8192), 256, AccessStats::new_shared());
-        let mut tree = GaussTree::create(pool, config).unwrap();
+        let tree = GaussTree::create(pool, config).unwrap();
         assert!(tree.check_invariants(true).unwrap().is_empty());
     }
 
@@ -288,7 +285,7 @@ mod tests {
             .collect();
         let config = TreeConfig::new(2).with_capacities(8, 6);
         let pool = BufferPool::new(MemStore::new(8192), 4096, AccessStats::new_shared());
-        let mut tree = GaussTree::bulk_load(pool, config, items).unwrap();
+        let tree = GaussTree::bulk_load(pool, config, items).unwrap();
         let errs = tree.check_invariants(false).unwrap();
         assert!(errs.is_empty(), "violations: {errs:?}");
     }

@@ -61,11 +61,12 @@ impl Ord for Frontier {
 /// Lazy best-first ranking over a [`GaussTree`].
 ///
 /// Created by [`GaussTree::ranking_cursor`]; call [`RankingCursor::next_hit`]
-/// repeatedly. Holds the query and frontier; borrows the tree mutably for
-/// page access.
+/// repeatedly. Holds the query and frontier; borrows the tree *shared*, so
+/// several cursors (even on different threads) can rank over one tree at
+/// once.
 #[derive(Debug)]
 pub struct RankingCursor<'t, S: PageStore> {
-    tree: &'t mut GaussTree<S>,
+    tree: &'t GaussTree<S>,
     query: Pfv,
     heap: BinaryHeap<Frontier>,
     emitted: u64,
@@ -141,7 +142,7 @@ impl<S: PageStore> GaussTree<S> {
     ///
     /// # Errors
     /// Dimensionality mismatch.
-    pub fn ranking_cursor(&mut self, q: &Pfv) -> Result<RankingCursor<'_, S>, TreeError> {
+    pub fn ranking_cursor(&self, q: &Pfv) -> Result<RankingCursor<'_, S>, TreeError> {
         if q.dims() != self.dims() {
             return Err(TreeError::DimMismatch {
                 expected: self.dims(),
@@ -192,7 +193,7 @@ mod tests {
 
     #[test]
     fn cursor_yields_full_ranking_in_order() {
-        let (mut tree, db) = build(120);
+        let (tree, db) = build(120);
         let q = Pfv::new(vec![2.0, -1.0], vec![0.3, 0.3]).unwrap();
         let mut cursor = tree.ranking_cursor(&q).unwrap();
         let mut got = Vec::new();
@@ -217,7 +218,7 @@ mod tests {
 
     #[test]
     fn cursor_prefix_equals_k_mliq() {
-        let (mut tree, _) = build(200);
+        let (tree, _) = build(200);
         let q = Pfv::new(vec![0.0, 5.0], vec![0.2, 0.4]).unwrap();
         let fixed = tree.k_mliq(&q, 7).unwrap();
         let mut cursor = tree.ranking_cursor(&q).unwrap();
@@ -230,16 +231,15 @@ mod tests {
 
     #[test]
     fn lazy_cursor_reads_fewer_pages_than_full_ranking() {
-        let (mut tree, _) = build(2000);
+        let (tree, _) = build(2000);
         let q = Pfv::new(vec![2.0, -1.0], vec![0.05, 0.05]).unwrap();
-        tree.pool_mut().clear_cache();
-        tree.stats().reset();
+        tree.pool().clear_cache_and_stats();
         {
             let mut cursor = tree.ranking_cursor(&q).unwrap();
             let _ = cursor.next_hit().unwrap().unwrap();
         }
         let lazy = tree.stats().snapshot().physical_reads;
-        let total = tree.pool_mut().num_pages();
+        let total = tree.pool().num_pages();
         assert!(
             lazy * 3 < total,
             "first hit read {lazy} of {total} pages — not lazy"
@@ -248,7 +248,7 @@ mod tests {
 
     #[test]
     fn take_while_cumulative_probability() {
-        let (mut tree, db) = build(50);
+        let (tree, db) = build(50);
         let q = Pfv::new(db[13].means().to_vec(), vec![0.1, 0.1]).unwrap();
         // First collect the denominator for normalisation.
         let posteriors = pfv::posteriors(CombineMode::Convolution, &db, &q);
@@ -270,7 +270,7 @@ mod tests {
     #[test]
     fn empty_tree_cursor() {
         let pool = BufferPool::new(MemStore::new(8192), 16, AccessStats::new_shared());
-        let mut tree = GaussTree::create(pool, TreeConfig::new(2).with_capacities(4, 3)).unwrap();
+        let tree = GaussTree::create(pool, TreeConfig::new(2).with_capacities(4, 3)).unwrap();
         let q = Pfv::new(vec![0.0, 0.0], vec![0.1, 0.1]).unwrap();
         let mut cursor = tree.ranking_cursor(&q).unwrap();
         assert!(cursor.next_hit().unwrap().is_none());

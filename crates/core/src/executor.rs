@@ -1,0 +1,278 @@
+//! Multi-threaded batch-query execution over one shared [`GaussTree`].
+//!
+//! The storage layer's [`gauss_storage::SharedBufferPool`] makes every
+//! read-only tree operation `&self`, so a batch of queries can fan out
+//! across [`std::thread::scope`] workers over a *single* tree instance —
+//! no cloning, no per-thread pools, one shared cache and one shared set of
+//! access counters.
+//!
+//! Work distribution is a simple atomic work-stealing counter: each worker
+//! claims the next unprocessed query index until the batch is drained, so
+//! skewed per-query costs (a diffuse TIQ next to a peaked 1-MLIQ) cannot
+//! idle a thread. Results are returned **in input order** regardless of
+//! which worker answered which query, and every individual query computes
+//! exactly what its serial counterpart would — the executor adds
+//! parallelism, not approximation.
+//!
+//! ```
+//! use gauss_storage::{AccessStats, BufferPool, MemStore};
+//! use gauss_tree::{BatchExecutor, GaussTree, TreeConfig};
+//! use pfv::Pfv;
+//!
+//! let pool = BufferPool::new(MemStore::new(4096), 64, AccessStats::new_shared());
+//! let mut tree = GaussTree::create(pool, TreeConfig::new(1)).unwrap();
+//! for i in 0..100u64 {
+//!     tree.insert(i, &Pfv::new(vec![i as f64], vec![0.2]).unwrap()).unwrap();
+//! }
+//! let queries: Vec<Pfv> = (0..8)
+//!     .map(|i| Pfv::new(vec![i as f64 * 10.0], vec![0.3]).unwrap())
+//!     .collect();
+//! let results = BatchExecutor::new(&tree, 4).k_mliq(&queries, 3).unwrap();
+//! assert_eq!(results.len(), queries.len()); // in input order
+//! ```
+
+use crate::query::{MliqResult, RefinedResult, TiqResult};
+use crate::tree::{GaussTree, TreeError};
+use gauss_storage::store::PageStore;
+use pfv::Pfv;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Fans batches of queries across worker threads over one shared tree.
+///
+/// Created by [`BatchExecutor::new`] or [`GaussTree::batch`].
+#[derive(Debug)]
+pub struct BatchExecutor<'t, S: PageStore> {
+    tree: &'t GaussTree<S>,
+    threads: usize,
+}
+
+impl<'t, S: PageStore + Send> BatchExecutor<'t, S> {
+    /// Creates an executor running `threads` workers (clamped to ≥ 1; a
+    /// single worker degenerates to an in-place serial loop).
+    #[must_use]
+    pub fn new(tree: &'t GaussTree<S>, threads: usize) -> Self {
+        Self {
+            tree,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of worker threads this executor uses.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Batch [`GaussTree::k_mliq`]: one result vector per query, in input
+    /// order.
+    ///
+    /// # Errors
+    /// The first error any worker hits (remaining work is abandoned).
+    pub fn k_mliq(&self, queries: &[Pfv], k: usize) -> Result<Vec<Vec<MliqResult>>, TreeError> {
+        self.run(queries, |q| self.tree.k_mliq(q, k))
+    }
+
+    /// Batch [`GaussTree::k_mliq_refined`].
+    ///
+    /// # Errors
+    /// The first error any worker hits.
+    ///
+    /// # Panics
+    /// Panics if `accuracy <= 0`.
+    pub fn k_mliq_refined(
+        &self,
+        queries: &[Pfv],
+        k: usize,
+        accuracy: f64,
+    ) -> Result<Vec<Vec<RefinedResult>>, TreeError> {
+        self.run(queries, |q| self.tree.k_mliq_refined(q, k, accuracy))
+    }
+
+    /// Batch [`GaussTree::tiq`].
+    ///
+    /// # Errors
+    /// The first error any worker hits.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p_theta <= 1` and `accuracy > 0`.
+    pub fn tiq(
+        &self,
+        queries: &[Pfv],
+        p_theta: f64,
+        accuracy: f64,
+    ) -> Result<Vec<Vec<TiqResult>>, TreeError> {
+        self.run(queries, |q| self.tree.tiq(q, p_theta, accuracy))
+    }
+
+    /// Batch [`GaussTree::tiq_anytime`].
+    ///
+    /// # Errors
+    /// The first error any worker hits.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p_theta <= 1`.
+    pub fn tiq_anytime(
+        &self,
+        queries: &[Pfv],
+        p_theta: f64,
+    ) -> Result<Vec<Vec<TiqResult>>, TreeError> {
+        self.run(queries, |q| self.tree.tiq_anytime(q, p_theta))
+    }
+
+    /// Runs `f` over every query, claiming indices from a shared atomic
+    /// counter, and reassembles results in input order.
+    fn run<R: Send>(
+        &self,
+        queries: &[Pfv],
+        f: impl Fn(&Pfv) -> Result<R, TreeError> + Sync,
+    ) -> Result<Vec<R>, TreeError> {
+        let workers = self.threads.min(queries.len());
+        if workers <= 1 {
+            return queries.iter().map(f).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let first_error: Mutex<Option<TreeError>> = Mutex::new(None);
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(queries.len(), || None);
+        let slots_mutex = Mutex::new(slots);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    // Answer locally, publish in one batch at the end, so the
+                    // slots mutex is touched once per worker, not per query.
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= queries.len() {
+                            break;
+                        }
+                        match f(&queries[i]) {
+                            Ok(r) => local.push((i, r)),
+                            Err(e) => {
+                                failed.store(true, Ordering::Relaxed);
+                                let mut slot = first_error.lock().expect("error mutex poisoned");
+                                slot.get_or_insert(e);
+                                break;
+                            }
+                        }
+                    }
+                    let mut slots = slots_mutex.lock().expect("slots mutex poisoned");
+                    for (i, r) in local {
+                        slots[i] = Some(r);
+                    }
+                });
+            }
+        });
+
+        if let Some(e) = first_error.into_inner().expect("error mutex poisoned") {
+            return Err(e);
+        }
+        Ok(slots_mutex
+            .into_inner()
+            .expect("slots mutex poisoned")
+            .into_iter()
+            .map(|r| r.expect("every claimed index produced a result"))
+            .collect())
+    }
+}
+
+impl<S: PageStore + Send> GaussTree<S> {
+    /// Shorthand for [`BatchExecutor::new`]`(self, threads)`.
+    #[must_use]
+    pub fn batch(&self, threads: usize) -> BatchExecutor<'_, S> {
+        BatchExecutor::new(self, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TreeConfig;
+    use gauss_storage::{AccessStats, BufferPool, MemStore};
+
+    fn build(n: u64) -> GaussTree<MemStore> {
+        let pool = BufferPool::new(MemStore::new(8192), 4096, AccessStats::new_shared());
+        let mut tree = GaussTree::create(pool, TreeConfig::new(2).with_capacities(6, 4)).unwrap();
+        for i in 0..n {
+            let v = Pfv::new(
+                vec![
+                    (i as f64 * 0.71).sin() * 10.0,
+                    (i as f64 * 0.37).cos() * 10.0,
+                ],
+                vec![0.1 + (i % 4) as f64 * 0.2, 0.15],
+            )
+            .unwrap();
+            tree.insert(i, &v).unwrap();
+        }
+        tree
+    }
+
+    fn queries(n: usize) -> Vec<Pfv> {
+        (0..n)
+            .map(|i| {
+                Pfv::new(
+                    vec![(i as f64 * 1.3).sin() * 10.0, (i as f64 * 0.9).cos() * 10.0],
+                    vec![0.2, 0.3],
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_are_in_input_order_and_match_serial() {
+        let tree = build(400);
+        let qs = queries(40);
+        let serial: Vec<_> = qs.iter().map(|q| tree.k_mliq(q, 5).unwrap()).collect();
+        for threads in [1, 2, 4, 8] {
+            let par = tree.batch(threads).k_mliq(&qs, 5).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn refined_and_tiq_batches_match_serial() {
+        let tree = build(300);
+        let qs = queries(24);
+        let refined_serial: Vec<_> = qs
+            .iter()
+            .map(|q| tree.k_mliq_refined(q, 3, 1e-6).unwrap())
+            .collect();
+        assert_eq!(
+            tree.batch(4).k_mliq_refined(&qs, 3, 1e-6).unwrap(),
+            refined_serial
+        );
+        let tiq_serial: Vec<_> = qs.iter().map(|q| tree.tiq(q, 0.1, 1e-6).unwrap()).collect();
+        assert_eq!(tree.batch(4).tiq(&qs, 0.1, 1e-6).unwrap(), tiq_serial);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let tree = build(50);
+        let mut qs = queries(10);
+        qs.push(Pfv::new(vec![0.0], vec![0.1]).unwrap()); // wrong dims
+        let err = tree.batch(4).k_mliq(&qs, 1).unwrap_err();
+        assert!(matches!(err, TreeError::DimMismatch { .. }));
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let tree = build(20);
+        let exec = tree.batch(0);
+        assert_eq!(exec.threads(), 1);
+        assert_eq!(exec.k_mliq(&queries(3), 2).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let tree = build(20);
+        assert!(tree.batch(4).k_mliq(&[], 2).unwrap().is_empty());
+    }
+}

@@ -80,7 +80,7 @@ impl<S: PageStore> GaussTree<S> {
     /// # Panics
     /// Panics unless `0 < tau <= 1` and the box is well-formed.
     pub fn probabilistic_box_query(
-        &mut self,
+        &self,
         lo: &[f64],
         hi: &[f64],
         tau: f64,
@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn box_query_matches_brute_force() {
         let items = grid_items();
-        let mut tree = build(&items);
+        let tree = build(&items);
         for (lo, hi, tau) in [
             ([2.5, 2.5], [4.5, 6.5], 0.5),
             ([0.0, 0.0], [9.0, 9.0], 0.9),
@@ -235,15 +235,14 @@ mod tests {
     #[test]
     fn box_query_prunes_pages() {
         let items = grid_items();
-        let mut tree = build(&items);
-        tree.pool_mut().clear_cache();
-        tree.stats().reset();
+        let tree = build(&items);
+        tree.pool().clear_cache_and_stats();
         // Tiny box in one corner: most of the grid must be pruned.
         let _ = tree
             .probabilistic_box_query(&[0.5, 0.5], &[1.5, 1.5], 0.2)
             .unwrap();
         let read = tree.stats().snapshot().physical_reads;
-        let total = tree.pool_mut().num_pages();
+        let total = tree.pool().num_pages();
         assert!(
             read * 2 < total,
             "box query read {read} of {total} pages — no pruning?"
@@ -253,7 +252,7 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let items = grid_items();
-        let mut tree = build(&items);
+        let tree = build(&items);
         assert!(tree.probabilistic_box_query(&[0.0], &[1.0], 0.5).is_err());
     }
 
@@ -261,7 +260,7 @@ mod tests {
     #[should_panic(expected = "reversed box")]
     fn rejects_reversed_box() {
         let items = grid_items();
-        let mut tree = build(&items);
+        let tree = build(&items);
         let _ = tree.probabilistic_box_query(&[1.0, 0.0], &[0.0, 1.0], 0.5);
     }
 }

@@ -21,8 +21,11 @@
 //!   paper only describes incremental insertion);
 //! * [structural invariant checking](GaussTree::check_invariants).
 //!
-//! Nodes live in fixed-size pages behind a [`gauss_storage::BufferPool`], so
-//! every query reports the same page-access statistics the paper measures.
+//! Nodes live in fixed-size pages behind a [`gauss_storage::SharedBufferPool`],
+//! so every query reports the same page-access statistics the paper measures
+//! — and, because the pool has interior mutability, every read-only query
+//! takes `&self` and can run concurrently with others over one shared tree
+//! (see the [`executor`] module for the multi-threaded batch API).
 //!
 //! # Example
 //!
@@ -47,6 +50,7 @@ pub mod check;
 pub mod config;
 pub mod cursor;
 pub mod delete;
+pub mod executor;
 pub mod interval;
 pub mod node;
 pub mod query;
@@ -57,6 +61,7 @@ pub use check::InvariantError;
 pub use config::{SplitStrategy, TreeConfig};
 pub use cursor::RankingCursor;
 pub use delete::DeleteOutcome;
+pub use executor::BatchExecutor;
 pub use interval::BoxQueryResult;
 pub use query::{MliqResult, RefinedResult, TiqResult};
 pub use tree::{GaussTree, TreeError};

@@ -177,9 +177,31 @@ impl DenomBounds {
     }
 
     /// Width of the probability interval of an object with log density `ld`.
+    ///
+    /// Clamped at zero: `ScaledSum` subtraction can leave the upper
+    /// accumulator a cancellation residue *below* the lower one, which would
+    /// otherwise make the width slightly negative and `width <= accuracy`
+    /// comparisons vacuously true for negative widths only.
     fn prob_width(&self, ld: f64) -> f64 {
-        (ld - self.log_lo()).exp() - (ld - self.log_hi()).exp()
+        ((ld - self.log_lo()).exp() - (ld - self.log_hi()).exp()).max(0.0)
     }
+}
+
+/// Turns a log density and denominator bounds into clamped probabilities.
+///
+/// Floating-point residue in the `ScaledSum` accumulators can push the raw
+/// ratios out of `[0, 1]` (e.g. `prob_hi = exp(ld − log_lo)` marginally
+/// above 1 when the remainder bound cancels to zero), and a query so far
+/// from every object that all densities underflow makes the ratios
+/// `exp(−∞ − (−∞)) = NaN`. Returns `(probability, prob_lo, prob_hi)` with
+/// every value finite in `[0, 1]` and `prob_lo <= probability <= prob_hi`
+/// guaranteed (the all-underflow case maps to probability 0).
+fn clamped_probs(ld: f64, log_lo: f64, log_hi: f64, log_mid: f64) -> (f64, f64, f64) {
+    let unit = |x: f64| if x.is_nan() { 0.0 } else { x.clamp(0.0, 1.0) };
+    let p_lo = unit((ld - log_hi).exp());
+    let p_hi = unit((ld - log_lo).exp()).max(p_lo);
+    let p = unit((ld - log_mid).exp()).clamp(p_lo, p_hi);
+    (p, p_lo, p_hi)
 }
 
 impl<S: PageStore> GaussTree<S> {
@@ -201,7 +223,7 @@ impl<S: PageStore> GaussTree<S> {
     ///
     /// # Errors
     /// Dimensionality mismatch or storage errors.
-    pub fn k_mliq(&mut self, q: &Pfv, k: usize) -> Result<Vec<MliqResult>, TreeError> {
+    pub fn k_mliq(&self, q: &Pfv, k: usize) -> Result<Vec<MliqResult>, TreeError> {
         self.check_query(q)?;
         if k == 0 || self.is_empty() {
             return Ok(Vec::new());
@@ -290,7 +312,7 @@ impl<S: PageStore> GaussTree<S> {
     /// # Panics
     /// Panics if `accuracy <= 0`.
     pub fn k_mliq_refined(
-        &mut self,
+        &self,
         q: &Pfv,
         k: usize,
         accuracy: f64,
@@ -380,12 +402,15 @@ impl<S: PageStore> GaussTree<S> {
         let (lo, hi, mid) = (denom.log_lo(), denom.log_hi(), denom.log_mid());
         let mut out: Vec<RefinedResult> = best
             .into_iter()
-            .map(|std::cmp::Reverse(c)| RefinedResult {
-                id: c.id,
-                log_density: c.log_density,
-                probability: (c.log_density - mid).exp(),
-                prob_lo: (c.log_density - hi).exp(),
-                prob_hi: (c.log_density - lo).exp(),
+            .map(|std::cmp::Reverse(c)| {
+                let (probability, prob_lo, prob_hi) = clamped_probs(c.log_density, lo, hi, mid);
+                RefinedResult {
+                    id: c.id,
+                    log_density: c.log_density,
+                    probability,
+                    prob_lo,
+                    prob_hi,
+                }
             })
             .collect();
         out.sort_by(|a, b| {
@@ -406,12 +431,7 @@ impl<S: PageStore> GaussTree<S> {
     ///
     /// # Panics
     /// Panics unless `0 < p_theta <= 1` and `accuracy > 0`.
-    pub fn tiq(
-        &mut self,
-        q: &Pfv,
-        p_theta: f64,
-        accuracy: f64,
-    ) -> Result<Vec<TiqResult>, TreeError> {
+    pub fn tiq(&self, q: &Pfv, p_theta: f64, accuracy: f64) -> Result<Vec<TiqResult>, TreeError> {
         self.tiq_impl(q, p_theta, Some(accuracy))
     }
 
@@ -428,12 +448,12 @@ impl<S: PageStore> GaussTree<S> {
     ///
     /// # Panics
     /// Panics unless `0 < p_theta <= 1`.
-    pub fn tiq_anytime(&mut self, q: &Pfv, p_theta: f64) -> Result<Vec<TiqResult>, TreeError> {
+    pub fn tiq_anytime(&self, q: &Pfv, p_theta: f64) -> Result<Vec<TiqResult>, TreeError> {
         self.tiq_impl(q, p_theta, None)
     }
 
     fn tiq_impl(
-        &mut self,
+        &self,
         q: &Pfv,
         p_theta: f64,
         accuracy: Option<f64>,
@@ -556,17 +576,20 @@ impl<S: PageStore> GaussTree<S> {
                 // Anytime mode: keep candidates that could reach it.
                 None => ld - lo >= ln_theta,
             })
-            .map(|(id, ld)| TiqResult {
-                id,
-                log_density: ld,
-                probability: if accuracy.is_some() {
-                    (ld - mid).exp()
-                } else {
-                    // Figure 5 reports the conservative value.
-                    (ld - hi).exp()
-                },
-                prob_lo: (ld - hi).exp(),
-                prob_hi: (ld - lo).exp(),
+            .map(|(id, ld)| {
+                let (mid_p, prob_lo, prob_hi) = clamped_probs(ld, lo, hi, mid);
+                TiqResult {
+                    id,
+                    log_density: ld,
+                    probability: if accuracy.is_some() {
+                        mid_p
+                    } else {
+                        // Figure 5 reports the conservative value.
+                        prob_lo
+                    },
+                    prob_lo,
+                    prob_hi,
+                }
             })
             .collect();
         out.sort_by(|a, b| {
@@ -646,7 +669,7 @@ mod tests {
     #[test]
     fn k_mliq_matches_brute_force() {
         let items = random_db(300, 3, 42);
-        let mut tree = build_tree(&items, 3);
+        let tree = build_tree(&items, 3);
         let mut rng = Rng(7);
         for _ in 0..20 {
             let q = Pfv::new(
@@ -684,7 +707,7 @@ mod tests {
     fn k_mliq_on_empty_tree() {
         let config = TreeConfig::new(2).with_capacities(4, 4);
         let pool = BufferPool::new(MemStore::new(8192), 64, AccessStats::new_shared());
-        let mut tree = GaussTree::create(pool, config).unwrap();
+        let tree = GaussTree::create(pool, config).unwrap();
         let q = Pfv::new(vec![0.0, 0.0], vec![0.1, 0.1]).unwrap();
         assert!(tree.k_mliq(&q, 5).unwrap().is_empty());
     }
@@ -692,7 +715,7 @@ mod tests {
     #[test]
     fn k_larger_than_database_returns_everything() {
         let items = random_db(7, 2, 9);
-        let mut tree = build_tree(&items, 2);
+        let tree = build_tree(&items, 2);
         let q = Pfv::new(vec![5.0, 5.0], vec![0.5, 0.5]).unwrap();
         let got = tree.k_mliq(&q, 100).unwrap();
         assert_eq!(got.len(), 7);
@@ -701,7 +724,7 @@ mod tests {
     #[test]
     fn refined_probabilities_match_brute_force_bayes() {
         let items = random_db(200, 2, 1234);
-        let mut tree = build_tree(&items, 2);
+        let tree = build_tree(&items, 2);
         let db: Vec<Pfv> = items.iter().map(|(_, v)| v.clone()).collect();
         let mut rng = Rng(99);
         for _ in 0..10 {
@@ -730,7 +753,7 @@ mod tests {
     #[test]
     fn tiq_matches_brute_force_membership() {
         let items = random_db(200, 2, 777);
-        let mut tree = build_tree(&items, 2);
+        let tree = build_tree(&items, 2);
         let db: Vec<Pfv> = items.iter().map(|(_, v)| v.clone()).collect();
         let mut rng = Rng(5);
         for _ in 0..10 {
@@ -767,7 +790,7 @@ mod tests {
     fn tiq_total_probability_never_exceeds_one() {
         // Property 1 of §4.
         let items = random_db(100, 2, 31);
-        let mut tree = build_tree(&items, 2);
+        let tree = build_tree(&items, 2);
         let q = Pfv::new(vec![3.0, 3.0], vec![0.5, 0.5]).unwrap();
         let got = tree.tiq(&q, 0.01, 1e-9).unwrap();
         let total: f64 = got.iter().map(|r| r.probability).sum();
@@ -777,7 +800,7 @@ mod tests {
     #[test]
     fn tiq_high_threshold_returns_subset_of_low_threshold() {
         let items = random_db(150, 2, 64);
-        let mut tree = build_tree(&items, 2);
+        let tree = build_tree(&items, 2);
         let q = Pfv::new(items[0].1.means().to_vec(), vec![0.3, 0.3]).unwrap();
         let low = tree.tiq(&q, 0.05, 1e-9).unwrap();
         let high = tree.tiq(&q, 0.5, 1e-9).unwrap();
@@ -792,13 +815,12 @@ mod tests {
     fn mliq_prunes_pages_versus_full_scan() {
         // The index must not read every page for a selective query.
         let items = random_db(2000, 2, 2024);
-        let mut tree = build_tree(&items, 2);
-        tree.pool_mut().clear_cache();
-        tree.stats().reset();
+        let tree = build_tree(&items, 2);
+        tree.pool().clear_cache_and_stats();
         let q = Pfv::new(items[100].1.means().to_vec(), vec![0.05, 0.05]).unwrap();
         let _ = tree.k_mliq(&q, 1).unwrap();
         let accessed = tree.stats().snapshot().physical_reads;
-        let total_pages = tree.pool_mut().num_pages();
+        let total_pages = tree.pool().num_pages();
         assert!(
             accessed * 3 < total_pages,
             "k-MLIQ accessed {accessed} of {total_pages} pages — no pruning?"
@@ -806,9 +828,95 @@ mod tests {
     }
 
     #[test]
+    fn prob_width_never_negative_under_cancellation() {
+        // Near-cancelling node bounds: add a node whose bounds sit far below
+        // the anchor, remove it again, and leave only a residue. The raw
+        // upper remainder can fall below the lower one by floating-point
+        // residue; prob_width must clamp instead of going negative.
+        let mut denom = DenomBounds::new(0.0);
+        let node = ActiveNode {
+            log_upper: -0.3,
+            log_lower: -0.7,
+            count: 7,
+            page: PageId(1),
+        };
+        denom.add_object(-0.1);
+        for _ in 0..1000 {
+            denom.add_node(&node);
+            denom.remove_node(&node);
+        }
+        let w = denom.prob_width(-0.1);
+        assert!(w >= 0.0, "width {w} must be clamped at zero");
+        assert!(w < 1e-9, "bounds should have (nearly) converged, got {w}");
+    }
+
+    #[test]
+    fn clamped_probs_stay_in_unit_interval_and_ordered() {
+        // ld marginally above the denominator lower bound: the raw upper
+        // ratio exceeds 1 and must be clamped.
+        let (p, lo, hi) = clamped_probs(0.0, -1e-14, 1e-14, 0.0);
+        assert!(hi <= 1.0);
+        assert!(lo >= 0.0);
+        assert!(lo <= p && p <= hi);
+
+        // Degenerate interval where residue flips the order of lo/hi.
+        let (p, lo, hi) = clamped_probs(-0.5, -0.5 + 1e-15, -0.5 - 1e-15, -0.5);
+        assert!(lo <= p && p <= hi, "lo={lo} p={p} hi={hi}");
+        assert!((0.0..=1.0).contains(&lo));
+        assert!((0.0..=1.0).contains(&hi));
+
+        // All densities underflowed: −∞ − (−∞) = NaN must map to 0, not
+        // panic inside `clamp` or leak NaN to callers.
+        let ninf = f64::NEG_INFINITY;
+        let (p, lo, hi) = clamped_probs(ninf, ninf, ninf, ninf);
+        assert_eq!((p, lo, hi), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn query_infinitely_far_from_everything_returns_zero_probabilities() {
+        // Regression: every log density underflows to −∞, so the Bayes
+        // denominator bounds are −∞ too; results must come back with
+        // probability 0 instead of panicking on a NaN clamp bound.
+        let items = random_db(50, 2, 13);
+        let tree = build_tree(&items, 2);
+        let q = Pfv::new(vec![1e200, 1e200], vec![0.1, 0.1]).unwrap();
+        let got = tree.k_mliq_refined(&q, 3, 1e-3).unwrap();
+        assert_eq!(got.len(), 3);
+        for r in &got {
+            assert_eq!((r.probability, r.prob_lo, r.prob_hi), (0.0, 0.0, 0.0));
+        }
+        assert!(tree.tiq(&q, 0.5, 1e-3).unwrap().is_empty());
+        assert!(tree.tiq_anytime(&q, 0.5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn refined_and_tiq_bounds_respect_unit_interval() {
+        // An extremely peaked query: the winner's probability is ~1 and the
+        // raw upper bound is prone to 1 + ε residue.
+        let items = vec![
+            (0u64, Pfv::new(vec![0.0, 0.0], vec![1e-6, 1e-6]).unwrap()),
+            (1, Pfv::new(vec![100.0, 100.0], vec![0.1, 0.1]).unwrap()),
+            (2, Pfv::new(vec![-100.0, 50.0], vec![0.1, 0.1]).unwrap()),
+        ];
+        let tree = build_tree(&items, 2);
+        let q = Pfv::new(vec![0.0, 0.0], vec![1e-6, 1e-6]).unwrap();
+        for r in tree.k_mliq_refined(&q, 3, 1e-9).unwrap() {
+            assert!((0.0..=1.0).contains(&r.prob_lo), "prob_lo {}", r.prob_lo);
+            assert!((0.0..=1.0).contains(&r.prob_hi), "prob_hi {}", r.prob_hi);
+            assert!((0.0..=1.0).contains(&r.probability));
+            assert!(r.prob_lo <= r.probability && r.probability <= r.prob_hi);
+        }
+        for r in tree.tiq(&q, 0.5, 1e-9).unwrap() {
+            assert!((0.0..=1.0).contains(&r.prob_lo));
+            assert!((0.0..=1.0).contains(&r.prob_hi), "prob_hi {}", r.prob_hi);
+            assert!(r.prob_lo <= r.probability && r.probability <= r.prob_hi);
+        }
+    }
+
+    #[test]
     fn wrong_dimensionality_is_rejected() {
         let items = random_db(10, 2, 3);
-        let mut tree = build_tree(&items, 2);
+        let tree = build_tree(&items, 2);
         let q = Pfv::new(vec![0.0], vec![0.1]).unwrap();
         assert!(matches!(
             tree.k_mliq(&q, 1),

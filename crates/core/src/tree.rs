@@ -4,7 +4,7 @@ use crate::config::TreeConfig;
 use crate::node::{InnerEntry, LeafEntry, Node, NodeCodecError};
 use crate::split::{group_rect, node_cost, partition_groups, split_items};
 use gauss_storage::store::{PageStore, StoreError};
-use gauss_storage::{BufferPool, PageId, Reader, Writer};
+use gauss_storage::{PageId, Reader, SharedBufferPool, Writer};
 use pfv::{CombineMode, ParamRect, Pfv};
 
 const META_MAGIC: u32 = 0x4754_5245; // "GTRE"
@@ -67,10 +67,18 @@ impl From<NodeCodecError> for TreeError {
 
 /// The Gauss-tree (Definition 4 of the paper).
 ///
+/// Nodes live behind a [`SharedBufferPool`], so every read-only operation
+/// (`k_mliq*`, `tiq*`, `for_each_entry`, `check_invariants`, cursors) takes
+/// `&self` and many threads may query one tree concurrently (see
+/// [`crate::executor`]). Mutation (`insert`, `delete`, `bulk_load`,
+/// `flush`) keeps `&mut self`. Constructors accept anything convertible
+/// into a [`SharedBufferPool`] — in particular a plain
+/// [`gauss_storage::BufferPool`].
+///
 /// See the [crate docs](crate) for an overview and an example.
 #[derive(Debug)]
 pub struct GaussTree<S: PageStore> {
-    pool: BufferPool<S>,
+    pool: SharedBufferPool<S>,
     config: TreeConfig,
     leaf_cap: usize,
     inner_cap: usize,
@@ -98,7 +106,11 @@ impl<S: PageStore> GaussTree<S> {
     /// # Errors
     /// Propagates store errors; fails if the page size cannot hold two
     /// entries of the configured dimensionality.
-    pub fn create(mut pool: BufferPool<S>, config: TreeConfig) -> Result<Self, TreeError> {
+    pub fn create(
+        pool: impl Into<SharedBufferPool<S>>,
+        config: TreeConfig,
+    ) -> Result<Self, TreeError> {
+        let pool = pool.into();
         let page_size = pool.page_size();
         let leaf_cap = config.leaf_capacity(page_size);
         let inner_cap = config.inner_capacity(page_size);
@@ -124,12 +136,13 @@ impl<S: PageStore> GaussTree<S> {
     /// # Errors
     /// [`TreeError::NotAGaussTree`] if the metadata page is missing or
     /// invalid; store errors otherwise.
-    pub fn open(mut pool: BufferPool<S>) -> Result<Self, TreeError> {
+    pub fn open(pool: impl Into<SharedBufferPool<S>>) -> Result<Self, TreeError> {
+        let pool = pool.into();
         if pool.num_pages() == 0 {
             return Err(TreeError::NotAGaussTree);
         }
         let page = pool.page(PageId(0))?;
-        let mut r = Reader::new(page);
+        let mut r = Reader::new(&page);
         let parse = (|| -> Result<(TreeConfig, PageId, u32, u64), NodeCodecError> {
             let magic = r.get_u32()?;
             let version = r.get_u32()?;
@@ -181,7 +194,7 @@ impl<S: PageStore> GaussTree<S> {
     /// # Errors
     /// Propagates store errors; rejects dimensionality mismatches.
     pub fn bulk_load(
-        pool: BufferPool<S>,
+        pool: impl Into<SharedBufferPool<S>>,
         config: TreeConfig,
         items: impl IntoIterator<Item = (u64, Pfv)>,
     ) -> Result<Self, TreeError> {
@@ -305,9 +318,11 @@ impl<S: PageStore> GaussTree<S> {
         self.root
     }
 
-    /// Access to the buffer pool (stats, cold start).
-    pub fn pool_mut(&mut self) -> &mut BufferPool<S> {
-        &mut self.pool
+    /// Access to the buffer pool (stats, cold start, raw page access). All
+    /// pool operations take `&self` — the pool has interior mutability.
+    #[must_use]
+    pub fn pool(&self) -> &SharedBufferPool<S> {
+        &self.pool
     }
 
     /// Shared access statistics of the buffer pool.
@@ -509,10 +524,9 @@ impl<S: PageStore> GaussTree<S> {
     ///
     /// # Errors
     /// Store / codec errors.
-    pub(crate) fn read_node(&mut self, page: PageId) -> Result<Node, TreeError> {
-        let dims = self.config.dims;
+    pub(crate) fn read_node(&self, page: PageId) -> Result<Node, TreeError> {
         let bytes = self.pool.page(page)?;
-        Ok(Node::read_from(dims, bytes)?)
+        Ok(Node::read_from(self.config.dims, &bytes)?)
     }
 
     /// Serialises `node` into `page` (crate-internal; used by deletion).
@@ -552,7 +566,7 @@ impl<S: PageStore> GaussTree<S> {
     ///
     /// # Errors
     /// Store / codec errors.
-    pub fn for_each_entry(&mut self, mut f: impl FnMut(u64, &Pfv)) -> Result<(), TreeError> {
+    pub fn for_each_entry(&self, mut f: impl FnMut(u64, &Pfv)) -> Result<(), TreeError> {
         let mut stack = vec![(self.root, self.height)];
         while let Some((page, level)) = stack.pop() {
             match self.read_node(page)? {
@@ -578,7 +592,7 @@ impl<S: PageStore> GaussTree<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gauss_storage::{AccessStats, MemStore};
+    use gauss_storage::{AccessStats, BufferPool, MemStore};
 
     fn mem_tree(dims: usize, leaf: usize, inner: usize) -> GaussTree<MemStore> {
         let config = TreeConfig::new(dims).with_capacities(leaf, inner);
@@ -640,7 +654,7 @@ mod tests {
             pool.into_store()
         };
         let pool = BufferPool::new(store, 1024, AccessStats::new_shared());
-        let mut t2 = GaussTree::open(pool).unwrap();
+        let t2 = GaussTree::open(pool).unwrap();
         assert_eq!(t2.len(), 30);
         assert_eq!(t2.dims(), 2);
         let mut n = 0;
@@ -671,7 +685,7 @@ mod tests {
             .collect();
         let config = TreeConfig::new(1).with_capacities(8, 6);
         let pool = BufferPool::new(MemStore::new(8192), 1024, AccessStats::new_shared());
-        let mut t = GaussTree::bulk_load(pool, config, items.clone()).unwrap();
+        let t = GaussTree::bulk_load(pool, config, items.clone()).unwrap();
         assert_eq!(t.len(), 200);
         let mut seen = Vec::new();
         t.for_each_entry(|id, _| seen.push(id)).unwrap();

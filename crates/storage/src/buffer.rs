@@ -6,37 +6,31 @@
 //! cache before each experiment — [`BufferPool::clear_cache`] reproduces
 //! that.
 //!
-//! Writes are write-through: the cache frame (if any) and the store are
-//! updated together. The evaluation workloads build first and query
-//! read-only afterwards, so dirty-frame bookkeeping would only add failure
-//! modes without changing any measured number.
+//! Writes are write-through *and* write-allocate: the store is updated
+//! immediately and the written page is installed in the cache, so the read
+//! that typically follows a write during a build is a hit rather than a
+//! spurious physical read (which used to skew fig7-style page-access
+//! numbers). The evaluation workloads build first and query read-only
+//! afterwards, so dirty-frame bookkeeping would only add failure modes
+//! without changing any measured number.
+//!
+//! This pool requires `&mut self` for every access and is therefore
+//! single-threaded; concurrent readers should use
+//! [`crate::SharedBufferPool`], which shards the frame map behind mutexes
+//! and serves reads through `&self`.
 
+use crate::lru::LruCache;
 use crate::page::PageId;
 use crate::stats::AccessStats;
 use crate::store::{PageStore, StoreError};
-use std::collections::HashMap;
 use std::sync::Arc;
-
-const NIL: usize = usize::MAX;
-
-#[derive(Debug)]
-struct Frame {
-    id: PageId,
-    data: Box<[u8]>,
-    prev: usize,
-    next: usize,
-}
 
 /// LRU buffer pool over a [`PageStore`].
 #[derive(Debug)]
 pub struct BufferPool<S: PageStore> {
     store: S,
     capacity: usize,
-    map: HashMap<PageId, usize>,
-    frames: Vec<Frame>,
-    free: Vec<usize>,
-    head: usize, // most recently used
-    tail: usize, // least recently used
+    cache: LruCache<Box<[u8]>>,
     stats: Arc<AccessStats>,
 }
 
@@ -51,11 +45,7 @@ impl<S: PageStore> BufferPool<S> {
         Self {
             store,
             capacity,
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
-            frames: Vec::new(),
-            free: Vec::new(),
-            head: NIL,
-            tail: NIL,
+            cache: LruCache::new(),
             stats,
         }
     }
@@ -89,7 +79,7 @@ impl<S: PageStore> BufferPool<S> {
     /// Number of pages currently cached.
     #[must_use]
     pub fn cached_pages(&self) -> usize {
-        self.map.len()
+        self.cache.len()
     }
 
     /// Maximum number of cached pages.
@@ -114,11 +104,15 @@ impl<S: PageStore> BufferPool<S> {
 
     /// Drops every cached frame — the paper's cold start.
     pub fn clear_cache(&mut self) {
-        self.map.clear();
-        self.frames.clear();
-        self.free.clear();
-        self.head = NIL;
-        self.tail = NIL;
+        self.cache.clear();
+    }
+
+    /// Cold start *and* zeroed counters: what every measurement loop wants.
+    /// Calling [`BufferPool::clear_cache`] alone silently carries access
+    /// counts across runs unless the caller separately resets the stats.
+    pub fn clear_cache_and_stats(&mut self) {
+        self.clear_cache();
+        self.stats.reset();
     }
 
     /// Reads page `id`, serving from cache when possible, and returns a
@@ -128,18 +122,19 @@ impl<S: PageStore> BufferPool<S> {
     /// Propagates store errors on a miss.
     pub fn page(&mut self, id: PageId) -> Result<&[u8], StoreError> {
         self.stats.record_logical_read();
-        if let Some(&slot) = self.map.get(&id) {
-            self.touch(slot);
-            return Ok(&self.frames[slot].data);
+        if !self.cache.contains(id) {
+            self.stats.record_physical_read();
+            let mut data = vec![0u8; self.store.page_size()].into_boxed_slice();
+            self.store.read_page(id, &mut data)?;
+            if self.cache.insert(id, data, self.capacity) {
+                self.stats.record_eviction();
+            }
         }
-        self.stats.record_physical_read();
-        let mut data = vec![0u8; self.store.page_size()].into_boxed_slice();
-        self.store.read_page(id, &mut data)?;
-        let slot = self.install(id, data);
-        Ok(&self.frames[slot].data)
+        Ok(self.cache.get(id).expect("page was just ensured cached"))
     }
 
-    /// Writes `buf` through to the store and refreshes the cached frame.
+    /// Writes `buf` through to the store and installs the page in the cache
+    /// (write-allocate), so the next read of `id` is a hit.
     ///
     /// # Errors
     /// Propagates store errors.
@@ -154,80 +149,18 @@ impl<S: PageStore> BufferPool<S> {
         );
         self.stats.record_physical_write();
         self.store.write_page(id, buf)?;
-        if let Some(&slot) = self.map.get(&id) {
-            self.frames[slot].data.copy_from_slice(buf);
-            self.touch(slot);
+        if self.cache.contains(id) {
+            self.cache
+                .get(id)
+                .expect("cached frame present")
+                .copy_from_slice(buf);
+        } else if self
+            .cache
+            .insert(id, buf.to_vec().into_boxed_slice(), self.capacity)
+        {
+            self.stats.record_eviction();
         }
         Ok(())
-    }
-
-    // ---- intrusive LRU list ------------------------------------------------
-
-    fn detach(&mut self, slot: usize) {
-        let (prev, next) = (self.frames[slot].prev, self.frames[slot].next);
-        if prev != NIL {
-            self.frames[prev].next = next;
-        } else {
-            self.head = next;
-        }
-        if next != NIL {
-            self.frames[next].prev = prev;
-        } else {
-            self.tail = prev;
-        }
-    }
-
-    fn push_front(&mut self, slot: usize) {
-        self.frames[slot].prev = NIL;
-        self.frames[slot].next = self.head;
-        if self.head != NIL {
-            self.frames[self.head].prev = slot;
-        }
-        self.head = slot;
-        if self.tail == NIL {
-            self.tail = slot;
-        }
-    }
-
-    fn touch(&mut self, slot: usize) {
-        if self.head == slot {
-            return;
-        }
-        self.detach(slot);
-        self.push_front(slot);
-    }
-
-    fn install(&mut self, id: PageId, data: Box<[u8]>) -> usize {
-        if self.map.len() >= self.capacity {
-            // Evict the least recently used frame.
-            let victim = self.tail;
-            debug_assert_ne!(victim, NIL, "capacity > 0 implies a tail exists");
-            self.detach(victim);
-            let old_id = self.frames[victim].id;
-            self.map.remove(&old_id);
-            self.stats.record_eviction();
-            self.free.push(victim);
-        }
-        let slot = if let Some(slot) = self.free.pop() {
-            self.frames[slot] = Frame {
-                id,
-                data,
-                prev: NIL,
-                next: NIL,
-            };
-            slot
-        } else {
-            self.frames.push(Frame {
-                id,
-                data,
-                prev: NIL,
-                next: NIL,
-            });
-            self.frames.len() - 1
-        };
-        self.map.insert(id, slot);
-        self.push_front(slot);
-        slot
     }
 }
 
@@ -294,6 +227,47 @@ mod tests {
         let s = p.stats().snapshot();
         assert_eq!(s.physical_reads, 4);
         assert_eq!(s.evictions, 2);
+    }
+
+    #[test]
+    fn writes_are_write_allocate() {
+        // Regression: a page written on a miss used to not be installed, so
+        // the immediately following read during a build counted a spurious
+        // physical read.
+        let mut p = pool(4);
+        let ids = fill(&mut p, 3);
+        // No cold start: the writes above must have primed the cache.
+        p.stats().reset();
+        for &id in &ids {
+            let _ = p.page(id).unwrap();
+        }
+        let s = p.stats().snapshot();
+        assert_eq!(s.logical_reads, 3);
+        assert_eq!(s.physical_reads, 0, "written pages must be cached");
+        assert_eq!(p.cached_pages(), 3);
+    }
+
+    #[test]
+    fn write_allocate_respects_capacity() {
+        let mut p = pool(2);
+        let ids = fill(&mut p, 5);
+        assert!(p.cached_pages() <= 2);
+        assert!(p.stats().snapshot().evictions >= 3);
+        // The two most recently written pages are the cached ones.
+        p.stats().reset();
+        let _ = p.page(ids[4]).unwrap();
+        let _ = p.page(ids[3]).unwrap();
+        assert_eq!(p.stats().snapshot().physical_reads, 0);
+    }
+
+    #[test]
+    fn clear_cache_and_stats_zeroes_counters() {
+        let mut p = pool(4);
+        let ids = fill(&mut p, 2);
+        let _ = p.page(ids[0]).unwrap();
+        p.clear_cache_and_stats();
+        assert_eq!(p.cached_pages(), 0);
+        assert_eq!(p.stats().snapshot(), crate::stats::StatsSnapshot::default());
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * [`buffer`] — an LRU buffer pool that counts logical and physical page
 //!   accesses (the paper's "page accesses" are the physical ones that miss
 //!   the cache);
+//! * [`shared`] — a sharded, `&self` variant of the buffer pool so many
+//!   threads can read one index concurrently;
 //! * [`stats`] — shared access counters;
 //! * [`disk`] — a disk cost model (seek + transfer) used to translate page
 //!   accesses into the paper's "overall time" on hardware we do not have.
@@ -19,7 +21,9 @@
 pub mod buffer;
 pub mod codec;
 pub mod disk;
+mod lru;
 pub mod page;
+pub mod shared;
 pub mod stats;
 pub mod store;
 
@@ -27,5 +31,6 @@ pub use buffer::BufferPool;
 pub use codec::{Reader, Writer};
 pub use disk::DiskModel;
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
+pub use shared::SharedBufferPool;
 pub use stats::{AccessStats, StatsSnapshot};
 pub use store::{FileStore, MemStore, PageStore, StoreError};

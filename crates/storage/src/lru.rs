@@ -1,0 +1,176 @@
+//! Crate-internal LRU frame cache shared by [`crate::BufferPool`] and
+//! [`crate::SharedBufferPool`].
+//!
+//! One copy of the frame-map + intrusive-list + eviction logic, generic
+//! over the frame payload (`Box<[u8]>` for the single-threaded pool,
+//! `Arc<[u8]>` for the sharded one), so the two pools can never diverge in
+//! replacement behaviour — they differ only in locking.
+
+use crate::page::PageId;
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Frame<T> {
+    id: PageId,
+    data: T,
+    prev: usize,
+    next: usize,
+}
+
+/// A map of page frames with least-recently-used eviction.
+#[derive(Debug)]
+pub(crate) struct LruCache<T> {
+    map: HashMap<PageId, usize>,
+    frames: Vec<Frame<T>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl<T> LruCache<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            frames: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of cached frames.
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether `id` is cached (does not refresh its LRU position).
+    pub(crate) fn contains(&self, id: PageId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// Drops every frame.
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+        self.frames.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Cache lookup; refreshes the frame's LRU position on a hit.
+    pub(crate) fn get(&mut self, id: PageId) -> Option<&mut T> {
+        let &slot = self.map.get(&id)?;
+        self.touch(slot);
+        Some(&mut self.frames[slot].data)
+    }
+
+    /// Installs (or replaces) a frame, evicting the least recently used one
+    /// when the cache is at `capacity`. Returns `true` iff a frame was
+    /// evicted, so callers can account for it.
+    pub(crate) fn insert(&mut self, id: PageId, data: T, capacity: usize) -> bool {
+        if let Some(&slot) = self.map.get(&id) {
+            self.frames[slot].data = data;
+            self.touch(slot);
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() >= capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "capacity > 0 implies a tail exists");
+            self.detach(victim);
+            let old_id = self.frames[victim].id;
+            self.map.remove(&old_id);
+            self.free.push(victim);
+            evicted = true;
+        }
+        let frame = Frame {
+            id,
+            data,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = if let Some(slot) = self.free.pop() {
+            self.frames[slot] = frame;
+            slot
+        } else {
+            self.frames.push(frame);
+            self.frames.len() - 1
+        };
+        self.map.insert(id, slot);
+        self.push_front(slot);
+        evicted
+    }
+
+    // ---- intrusive LRU list ------------------------------------------------
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.frames[slot].prev, self.frames[slot].next);
+        if prev != NIL {
+            self.frames[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.frames[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.frames[slot].prev = NIL;
+        self.frames[slot].next = self.head;
+        if self.head != NIL {
+            self.frames[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.head == slot {
+            return;
+        }
+        self.detach(slot);
+        self.push_front(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32> = LruCache::new();
+        assert!(!c.insert(PageId(0), 0, 2));
+        assert!(!c.insert(PageId(1), 1, 2));
+        assert!(c.get(PageId(0)).is_some()); // 0 now most recent
+        assert!(c.insert(PageId(2), 2, 2), "must evict page 1");
+        assert!(c.contains(PageId(0)));
+        assert!(!c.contains(PageId(1)));
+        assert!(c.contains(PageId(2)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replacing_present_frame_never_evicts() {
+        let mut c: LruCache<u32> = LruCache::new();
+        c.insert(PageId(0), 0, 1);
+        assert!(!c.insert(PageId(0), 99, 1));
+        assert_eq!(*c.get(PageId(0)).unwrap(), 99);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c: LruCache<u32> = LruCache::new();
+        c.insert(PageId(0), 0, 4);
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert!(c.get(PageId(0)).is_none());
+    }
+}

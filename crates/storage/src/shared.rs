@@ -1,0 +1,400 @@
+//! A sharded buffer pool with interior mutability for concurrent readers.
+//!
+//! [`crate::BufferPool`] mutates its LRU list on every read, so even a
+//! logically read-only page request needs `&mut self` — which serializes the
+//! whole read path of any index built on top of it. [`SharedBufferPool`]
+//! removes that bottleneck:
+//!
+//! * the frame map is split into [`SHARD_COUNT`] shards, each guarded by its
+//!   own [`std::sync::Mutex`] and keyed by a multiplicative hash of the
+//!   [`PageId`], so concurrent readers of *different* pages rarely contend;
+//! * all operations take `&self`; the shared [`AccessStats`] counters were
+//!   already atomic;
+//! * the backing [`PageStore`] sits behind a single store mutex that is only
+//!   taken on a cache miss (or a write/allocate), with the owning shard lock
+//!   held across the store read. Holding the shard lock over the miss makes
+//!   page-access accounting *deterministic*: two threads can never both miss
+//!   on the same page, so logical/physical totals are independent of the
+//!   thread count whenever the cache is large enough to avoid evictions.
+//!
+//! Writes stay effectively single-writer by design: the Gauss-tree build
+//! path (`insert`/`delete`/`bulk_load`) takes `&mut` at the tree layer, so
+//! the store mutex never sees write contention in practice — it exists so
+//! the type is sound, not as a concurrency strategy. Writes are
+//! write-through *and* write-allocate: a written page is installed in its
+//! shard so the immediately following read during a build is a cache hit,
+//! not a spurious physical read.
+//!
+//! Each shard runs its own intrusive LRU list over `capacity / SHARD_COUNT`
+//! frames (an approximation of global LRU, as in any sharded cache). The
+//! paper's cold start is [`SharedBufferPool::clear_cache`];
+//! [`SharedBufferPool::clear_cache_and_stats`] additionally zeroes the
+//! counters so measurement loops cannot carry stale counts across runs.
+
+use crate::buffer::BufferPool;
+use crate::lru::LruCache;
+use crate::page::PageId;
+use crate::stats::AccessStats;
+use crate::store::{PageStore, StoreError};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked cache shards (a power of two).
+pub const SHARD_COUNT: usize = 16;
+
+/// One independently locked slice of the cache — the same
+/// [`LruCache`] core the single-threaded [`BufferPool`] runs, holding
+/// `Arc<[u8]>` frames so read handles survive eviction.
+type Shard = LruCache<Arc<[u8]>>;
+
+/// Sharded LRU buffer pool over a [`PageStore`], usable from `&self`.
+///
+/// See the [module docs](self) for the locking design. Converts from a
+/// [`BufferPool`] via `From`, preserving store, capacity and stats handle.
+#[derive(Debug)]
+pub struct SharedBufferPool<S: PageStore> {
+    store: Mutex<S>,
+    shards: Vec<Mutex<Shard>>,
+    shard_cap: usize,
+    capacity: usize,
+    page_size: usize,
+    stats: Arc<AccessStats>,
+}
+
+impl<S: PageStore> SharedBufferPool<S> {
+    /// Creates a pool holding at most (approximately) `capacity` pages,
+    /// split evenly across [`SHARD_COUNT`] shards.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(store: S, capacity: usize, stats: Arc<AccessStats>) -> Self {
+        assert!(capacity > 0, "buffer pool capacity must be positive");
+        let page_size = store.page_size();
+        // Halve the shard count (keeping it a power of two) until every
+        // shard holds at least one frame, so a deliberately tiny capacity —
+        // eviction-stress tests, paper configurations — is still honoured.
+        let mut shard_count = SHARD_COUNT;
+        while shard_count > capacity {
+            shard_count /= 2;
+        }
+        Self {
+            store: Mutex::new(store),
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(LruCache::new()))
+                .collect(),
+            shard_cap: capacity / shard_count,
+            capacity,
+            page_size,
+            stats,
+        }
+    }
+
+    /// Creates a pool sized for a byte budget (the paper's "50 MByte
+    /// database cache").
+    #[must_use]
+    pub fn with_byte_budget(store: S, bytes: usize, stats: Arc<AccessStats>) -> Self {
+        let cap = (bytes / store.page_size()).max(1);
+        Self::new(store, cap, stats)
+    }
+
+    /// The shared statistics handle.
+    #[must_use]
+    pub fn stats(&self) -> &Arc<AccessStats> {
+        &self.stats
+    }
+
+    /// Page size of the underlying store.
+    #[must_use]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of pages allocated in the underlying store.
+    ///
+    /// # Panics
+    /// Panics if the store mutex is poisoned.
+    #[must_use]
+    pub fn num_pages(&self) -> u64 {
+        self.store.lock().expect("store mutex poisoned").num_pages()
+    }
+
+    /// Number of pages currently cached (sums all shards).
+    ///
+    /// # Panics
+    /// Panics if a shard mutex is poisoned.
+    #[must_use]
+    pub fn cached_pages(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard mutex poisoned").len())
+            .sum()
+    }
+
+    /// Maximum number of cached pages across all shards (never exceeds the
+    /// configured capacity; at most `SHARD_COUNT − 1` below it when the
+    /// capacity does not divide evenly).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shard_cap * self.shards.len()
+    }
+
+    /// The capacity the pool was configured with (before shard rounding).
+    #[must_use]
+    pub fn configured_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Gives back the underlying store, dropping the cache.
+    ///
+    /// # Panics
+    /// Panics if the store mutex is poisoned.
+    #[must_use]
+    pub fn into_store(self) -> S {
+        self.store.into_inner().expect("store mutex poisoned")
+    }
+
+    /// Allocates a fresh zeroed page.
+    ///
+    /// # Errors
+    /// Propagates store errors.
+    ///
+    /// # Panics
+    /// Panics if the store mutex is poisoned.
+    pub fn allocate(&self) -> Result<PageId, StoreError> {
+        self.store.lock().expect("store mutex poisoned").allocate()
+    }
+
+    /// Drops every cached frame — the paper's cold start.
+    ///
+    /// # Panics
+    /// Panics if a shard mutex is poisoned.
+    pub fn clear_cache(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("shard mutex poisoned").clear();
+        }
+    }
+
+    /// Cold start *and* zeroed counters: the combination every measurement
+    /// loop wants. Using [`SharedBufferPool::clear_cache`] alone silently
+    /// carries access counts across runs unless the caller separately
+    /// remembers to reset the stats.
+    pub fn clear_cache_and_stats(&self) {
+        self.clear_cache();
+        self.stats.reset();
+    }
+
+    fn shard_of(&self, id: PageId) -> &Mutex<Shard> {
+        // Fibonacci hash of the page id; top bits select the shard (the
+        // shard count is always a power of two).
+        let h = id.index().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 60) as usize & (self.shards.len() - 1)]
+    }
+
+    /// Reads page `id`, serving from cache when possible.
+    ///
+    /// The returned [`Arc`] is a zero-copy handle to the cached frame; a
+    /// concurrent eviction or write simply replaces the shard's `Arc`
+    /// without invalidating handles already given out.
+    ///
+    /// # Errors
+    /// Propagates store errors on a miss.
+    ///
+    /// # Panics
+    /// Panics if a mutex is poisoned.
+    pub fn page(&self, id: PageId) -> Result<Arc<[u8]>, StoreError> {
+        self.stats.record_logical_read();
+        let mut shard = self.shard_of(id).lock().expect("shard mutex poisoned");
+        if let Some(data) = shard.get(id) {
+            return Ok(Arc::clone(data));
+        }
+        // Miss: read under the shard lock so the same page can never be
+        // fetched twice concurrently (deterministic physical-read counts).
+        self.stats.record_physical_read();
+        let mut buf = vec![0u8; self.page_size];
+        self.store
+            .lock()
+            .expect("store mutex poisoned")
+            .read_page(id, &mut buf)?;
+        let data: Arc<[u8]> = Arc::from(buf);
+        if shard.insert(id, Arc::clone(&data), self.shard_cap) {
+            self.stats.record_eviction();
+        }
+        Ok(data)
+    }
+
+    /// Writes `buf` through to the store and installs the page in the cache
+    /// (write-allocate), so the next read of `id` is a hit.
+    ///
+    /// # Errors
+    /// Propagates store errors.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` differs from the page size, or a mutex is
+    /// poisoned.
+    pub fn write(&self, id: PageId, buf: &[u8]) -> Result<(), StoreError> {
+        assert_eq!(buf.len(), self.page_size, "buffer/page size mismatch");
+        self.stats.record_physical_write();
+        let mut shard = self.shard_of(id).lock().expect("shard mutex poisoned");
+        self.store
+            .lock()
+            .expect("store mutex poisoned")
+            .write_page(id, buf)?;
+        if shard.insert(id, Arc::from(buf), self.shard_cap) {
+            self.stats.record_eviction();
+        }
+        Ok(())
+    }
+}
+
+impl<S: PageStore> From<BufferPool<S>> for SharedBufferPool<S> {
+    /// Rewraps a single-threaded pool, keeping its store, capacity and
+    /// stats handle (cached frames are dropped).
+    fn from(pool: BufferPool<S>) -> Self {
+        let capacity = pool.capacity();
+        let stats = Arc::clone(pool.stats());
+        Self::new(pool.into_store(), capacity, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn pool(cap: usize) -> SharedBufferPool<MemStore> {
+        SharedBufferPool::new(MemStore::new(64), cap, AccessStats::new_shared())
+    }
+
+    fn fill(pool: &SharedBufferPool<MemStore>, n: usize) -> Vec<PageId> {
+        (0..n)
+            .map(|i| {
+                let id = pool.allocate().unwrap();
+                let mut buf = vec![0u8; 64];
+                buf[0] = i as u8;
+                pool.write(id, &buf).unwrap();
+                id
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reads_return_written_content() {
+        let p = pool(64);
+        let ids = fill(&p, 40);
+        p.clear_cache();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(p.page(id).unwrap()[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn writes_are_write_allocate() {
+        let p = pool(64);
+        let ids = fill(&p, 8);
+        // No cold start: the build's writes must have primed the cache.
+        p.stats().reset();
+        for &id in &ids {
+            let _ = p.page(id).unwrap();
+        }
+        let s = p.stats().snapshot();
+        assert_eq!(s.logical_reads, 8);
+        assert_eq!(s.physical_reads, 0, "written pages must be cached");
+    }
+
+    #[test]
+    fn cold_start_forgets_everything() {
+        let p = pool(64);
+        let ids = fill(&p, 10);
+        for &id in &ids {
+            let _ = p.page(id).unwrap();
+        }
+        p.clear_cache_and_stats();
+        assert_eq!(p.cached_pages(), 0);
+        for &id in &ids {
+            let _ = p.page(id).unwrap();
+        }
+        let s = p.stats().snapshot();
+        assert_eq!(s.logical_reads, 10);
+        assert_eq!(s.physical_reads, 10, "all reads must miss after cold start");
+    }
+
+    #[test]
+    fn clear_cache_and_stats_zeroes_counters() {
+        let p = pool(8);
+        let ids = fill(&p, 4);
+        let _ = p.page(ids[0]).unwrap();
+        p.clear_cache_and_stats();
+        assert_eq!(p.stats().snapshot(), crate::stats::StatsSnapshot::default());
+    }
+
+    #[test]
+    fn per_shard_eviction_bounds_the_cache() {
+        let p = pool(SHARD_COUNT); // one frame per shard
+        let ids = fill(&p, 200);
+        p.clear_cache();
+        for &id in &ids {
+            let _ = p.page(id).unwrap();
+        }
+        assert!(p.cached_pages() <= p.capacity());
+        assert!(p.stats().snapshot().evictions > 0);
+    }
+
+    #[test]
+    fn from_buffer_pool_preserves_store_and_stats() {
+        let stats = AccessStats::new_shared();
+        let mut single = BufferPool::new(MemStore::new(64), 32, stats.clone());
+        let id = single.allocate().unwrap();
+        let mut buf = vec![0u8; 64];
+        buf[0] = 77;
+        single.write(id, &buf).unwrap();
+
+        let shared: SharedBufferPool<MemStore> = single.into();
+        assert_eq!(shared.page(id).unwrap()[0], 77);
+        assert!(Arc::ptr_eq(shared.stats(), &stats));
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_data_and_counts() {
+        let p = pool(1024); // big enough: no evictions
+        let ids = fill(&p, 64);
+        p.clear_cache_and_stats();
+
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let p = &p;
+                let ids = &ids;
+                scope.spawn(move || {
+                    for round in 0..50usize {
+                        let idx = (round * 7 + t * 13) % ids.len();
+                        assert_eq!(p.page(ids[idx]).unwrap()[0], idx as u8);
+                    }
+                });
+            }
+        });
+
+        let s = p.stats().snapshot();
+        assert_eq!(s.logical_reads, 4 * 50);
+        // The shard lock is held across a miss, so every page faults at
+        // most once regardless of interleaving.
+        assert_eq!(s.physical_reads, 64);
+        assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn handles_survive_eviction() {
+        let p = pool(SHARD_COUNT);
+        let ids = fill(&p, 64);
+        p.clear_cache();
+        let handle = p.page(ids[0]).unwrap();
+        for &id in &ids[1..] {
+            let _ = p.page(id).unwrap(); // evicts ids[0] eventually
+        }
+        assert_eq!(handle[0], 0, "Arc handle must outlive eviction");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = pool(0);
+    }
+}

@@ -11,7 +11,8 @@
 //! * [`queries`] — the query protocol of §6: select database objects,
 //!   re-observe their feature vectors through the object's own Gaussians,
 //!   attach fresh random uncertainties, remember the source object as
-//!   ground truth;
+//!   ground truth; plus [`generate_query_batch`] for throughput workloads
+//!   that sample with replacement (batch sizes beyond the database size);
 //! * [`metrics`] — precision/recall as used in Figure 6;
 //! * [`figure1`] — the running example of §3 (Figure 1): three facial
 //!   images and a query for which Euclidean NN picks the wrong person while
@@ -24,4 +25,4 @@ pub mod queries;
 
 pub use dataset::{histogram_dataset, uniform_dataset, Dataset, SigmaSpec};
 pub use metrics::{precision_recall_sweep, HitCurve};
-pub use queries::{generate_queries, IdentificationQuery};
+pub use queries::{generate_queries, generate_query_batch, IdentificationQuery};

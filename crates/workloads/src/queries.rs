@@ -48,19 +48,50 @@ pub fn generate_queries(
     ids.truncate(count);
 
     ids.into_iter()
-        .map(|truth| {
-            let v = &dataset.objects[truth];
-            let means: Vec<f64> = v
-                .means()
-                .iter()
-                .zip(v.sigmas().iter())
-                .map(|(&m, &s)| m + s * sample_standard_normal(&mut rng))
-                .collect();
-            let sigmas = query_sigma.draw_object_for(&mut rng, &means);
-            IdentificationQuery {
-                query: Pfv::new(means, sigmas).expect("generated query is valid"),
-                truth,
-            }
+        .map(|truth| IdentificationQuery {
+            query: observe(dataset, truth, query_sigma, &mut rng),
+            truth,
+        })
+        .collect()
+}
+
+/// Re-observes object `truth` through its own Gaussians with fresh
+/// uncertainties from `query_sigma` (the §6 protocol for one query).
+fn observe(dataset: &Dataset, truth: usize, query_sigma: SigmaSpec, rng: &mut StdRng) -> Pfv {
+    let v = &dataset.objects[truth];
+    let means: Vec<f64> = v
+        .means()
+        .iter()
+        .zip(v.sigmas().iter())
+        .map(|(&m, &s)| m + s * sample_standard_normal(rng))
+        .collect();
+    let sigmas = query_sigma.draw_object_for(rng, &means);
+    Pfv::new(means, sigmas).expect("generated query is valid")
+}
+
+/// Generates a throughput-style batch of `count` queries by sampling source
+/// objects **with replacement**, so `count` may exceed the database size —
+/// the shape a concurrent batch executor or a serving benchmark wants, as
+/// opposed to [`generate_queries`]'s distinct-truth protocol for
+/// effectiveness measurements.
+///
+/// Deterministic per `(dataset, count, query_sigma, seed)`.
+///
+/// # Panics
+/// Panics if the data set is empty.
+#[must_use]
+pub fn generate_query_batch(
+    dataset: &Dataset,
+    count: usize,
+    query_sigma: SigmaSpec,
+    seed: u64,
+) -> Vec<Pfv> {
+    assert!(!dataset.is_empty(), "cannot query an empty data set");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let truth = rng.random_range(0..dataset.len());
+            observe(dataset, truth, query_sigma, &mut rng)
         })
         .collect()
 }
@@ -126,5 +157,23 @@ mod tests {
     #[should_panic(expected = "distinct objects")]
     fn rejects_oversampling() {
         let _ = generate_queries(&ds(), 1000, SigmaSpec::uniform(0.1, 0.2), 1);
+    }
+
+    #[test]
+    fn batch_allows_more_queries_than_objects() {
+        let data = ds();
+        let batch = generate_query_batch(&data, 1000, SigmaSpec::uniform(0.1, 0.2), 7);
+        assert_eq!(batch.len(), 1000);
+        assert!(batch.iter().all(|q| q.dims() == data.dims()));
+    }
+
+    #[test]
+    fn batch_deterministic_per_seed() {
+        let data = ds();
+        let a = generate_query_batch(&data, 32, SigmaSpec::uniform(0.1, 0.2), 5);
+        let b = generate_query_batch(&data, 32, SigmaSpec::uniform(0.1, 0.2), 5);
+        assert_eq!(a, b);
+        let c = generate_query_batch(&data, 32, SigmaSpec::uniform(0.1, 0.2), 6);
+        assert_ne!(a, c, "different seeds should give different batches");
     }
 }

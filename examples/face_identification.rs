@@ -51,7 +51,7 @@ fn main() {
         4096,
         AccessStats::new_shared(),
     );
-    let mut tree = GaussTree::bulk_load(
+    let tree = GaussTree::bulk_load(
         pool,
         TreeConfig::new(DIMS),
         gallery

@@ -56,7 +56,7 @@ fn main() {
             "persisted {} stations into {} ({} pages)",
             tree.len(),
             path.display(),
-            tree.pool_mut().num_pages()
+            tree.pool().num_pages()
         );
     } // tree dropped, file closed
 
@@ -64,7 +64,7 @@ fn main() {
     {
         let store = FileStore::open(&path, DEFAULT_PAGE_SIZE).unwrap();
         let pool = BufferPool::new(store, 1024, AccessStats::new_shared());
-        let mut tree = GaussTree::open(pool).unwrap();
+        let tree = GaussTree::open(pool).unwrap();
         println!(
             "reopened: {} stations, height {}, dims {}",
             tree.len(),

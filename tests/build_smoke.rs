@@ -59,6 +59,14 @@ fn quickstart_flow_works_through_the_umbrella_crate() {
     // The buffer pool actually recorded traffic.
     let snap = tree.stats().snapshot();
     assert!(snap.logical_reads > 0);
+
+    // Concurrent read surface: queries take &self behind a SharedBufferPool
+    // and the batch executor answers in input order.
+    let _: &gausstree::storage::SharedBufferPool<MemStore> = tree.pool();
+    let batch = [query.clone(), query];
+    let ranked = tree.batch(2).k_mliq(&batch, 1).unwrap();
+    assert_eq!(ranked.len(), 2);
+    assert_eq!(ranked[0][0].id, hits[0].id);
 }
 
 #[test]

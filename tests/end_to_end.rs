@@ -26,8 +26,7 @@ fn effectiveness_pipeline_mliq_beats_nn() {
     let dataset = histogram_dataset(2000, 27, sigma, 99);
     let queries = generate_queries(&dataset, 40, sigma, 7);
 
-    let mut tree =
-        GaussTree::bulk_load(mem_pool(4096), TreeConfig::new(27), dataset.items()).unwrap();
+    let tree = GaussTree::bulk_load(mem_pool(4096), TreeConfig::new(27), dataset.items()).unwrap();
 
     let mut mliq_ranks = Vec::new();
     let mut nn_ranks = Vec::new();
@@ -69,7 +68,7 @@ fn efficiency_pipeline_tree_reads_fewer_pages_than_scan() {
     let queries = generate_queries(&dataset, 10, sigma, 3);
 
     let mut file = PfvFile::build(mem_pool(1 << 14), 27, dataset.items()).unwrap();
-    let mut tree =
+    let tree =
         GaussTree::bulk_load(mem_pool(1 << 14), TreeConfig::new(27), dataset.items()).unwrap();
 
     let mut scan_pages = 0u64;
@@ -139,8 +138,7 @@ fn scan_and_tree_tiq_agree_on_pipeline_data() {
     let queries = generate_queries(&dataset, 15, sigma, 23);
 
     let mut file = PfvFile::build(mem_pool(4096), 5, dataset.items()).unwrap();
-    let mut tree =
-        GaussTree::bulk_load(mem_pool(4096), TreeConfig::new(5), dataset.items()).unwrap();
+    let tree = GaussTree::bulk_load(mem_pool(4096), TreeConfig::new(5), dataset.items()).unwrap();
 
     for q in &queries {
         for theta in [0.1, 0.5] {

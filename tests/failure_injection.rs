@@ -25,13 +25,13 @@ fn build_small_tree() -> GaussTree<MemStore> {
 
 #[test]
 fn corrupt_node_page_is_reported_not_panicked() {
-    let mut tree = build_small_tree();
+    let tree = build_small_tree();
     let root = tree.root_page();
 
     // Smash the root page with garbage through the raw store.
     let garbage = vec![0xFFu8; DEFAULT_PAGE_SIZE];
-    tree.pool_mut().write(root, &garbage).unwrap();
-    tree.pool_mut().clear_cache();
+    tree.pool().write(root, &garbage).unwrap();
+    tree.pool().clear_cache();
 
     let q = Pfv::new(vec![1.0, 1.0], vec![0.2, 0.2]).unwrap();
     match tree.k_mliq(&q, 1) {
@@ -58,17 +58,17 @@ fn zeroed_meta_page_rejected_on_open() {
 
 #[test]
 fn dangling_child_pointer_is_an_error() {
-    let mut tree = build_small_tree();
+    let tree = build_small_tree();
     assert!(tree.height() >= 1, "need an inner root for this test");
     let root = tree.root_page();
 
     // Read the root page bytes, overwrite the first child pointer with an
     // out-of-range page id, and write it back.
-    let mut bytes = tree.pool_mut().page(root).unwrap().to_vec();
+    let mut bytes = tree.pool().page(root).unwrap().to_vec();
     // Layout: header (8 bytes) then child page id (u64 LE).
     bytes[8..16].copy_from_slice(&u64::to_le_bytes(9_999_999));
-    tree.pool_mut().write(root, &bytes).unwrap();
-    tree.pool_mut().clear_cache();
+    tree.pool().write(root, &bytes).unwrap();
+    tree.pool().clear_cache();
 
     // A full traversal must hit the dangling pointer (a query might prune
     // the branch before dereferencing it).

@@ -64,7 +64,7 @@ fn queries_identical_after_reopen() {
 
     let store = FileStore::open(&path, DEFAULT_PAGE_SIZE).unwrap();
     let pool = BufferPool::new(store, 256, AccessStats::new_shared());
-    let mut tree = GaussTree::open(pool).unwrap();
+    let tree = GaussTree::open(pool).unwrap();
     assert_eq!(tree.len(), 400);
     assert_eq!(tree.dims(), 3);
     let after = tree.k_mliq_refined(&q, 5, 1e-8).unwrap();

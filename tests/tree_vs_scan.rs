@@ -49,7 +49,7 @@ proptest! {
 
     #[test]
     fn k_mliq_matches_scan((db, q) in db_and_query(60, 3), k in 1usize..8) {
-        let mut tree = build_tree(&db, CombineMode::Convolution);
+        let tree = build_tree(&db, CombineMode::Convolution);
         let got = tree.k_mliq(&q, k).unwrap();
         let truth = pfv::posteriors(CombineMode::Convolution, &db, &q);
         let mut want: Vec<(usize, f64)> = truth.iter().map(|p| (p.index, p.log_density)).collect();
@@ -66,7 +66,7 @@ proptest! {
 
     #[test]
     fn refined_probabilities_match_bayes((db, q) in db_and_query(50, 3)) {
-        let mut tree = build_tree(&db, CombineMode::Convolution);
+        let tree = build_tree(&db, CombineMode::Convolution);
         let got = tree.k_mliq_refined(&q, 3, 1e-7).unwrap();
         let truth = pfv::posteriors(CombineMode::Convolution, &db, &q);
         for r in &got {
@@ -81,7 +81,7 @@ proptest! {
     #[test]
     fn tiq_membership_matches_scan((db, q) in db_and_query(50, 3), theta_pct in 1u32..95) {
         let theta = f64::from(theta_pct) / 100.0;
-        let mut tree = build_tree(&db, CombineMode::Convolution);
+        let tree = build_tree(&db, CombineMode::Convolution);
         let got = tree.tiq(&q, theta, 1e-9).unwrap();
         let truth = pfv::posteriors(CombineMode::Convolution, &db, &q);
 
@@ -109,7 +109,7 @@ proptest! {
 
     #[test]
     fn additive_mode_equivalence_too((db, q) in db_and_query(40, 2), k in 1usize..5) {
-        let mut tree = build_tree(&db, CombineMode::AdditiveSigma);
+        let tree = build_tree(&db, CombineMode::AdditiveSigma);
         let got = tree.k_mliq(&q, k).unwrap();
         let truth = pfv::posteriors(CombineMode::AdditiveSigma, &db, &q);
         let mut want: Vec<f64> = truth.iter().map(|p| p.log_density).collect();
@@ -122,7 +122,7 @@ proptest! {
 
     #[test]
     fn tree_invariants_hold_for_random_databases((db, q) in db_and_query(80, 3)) {
-        let mut tree = build_tree(&db, CombineMode::Convolution);
+        let tree = build_tree(&db, CombineMode::Convolution);
         let _ = q;
         let errors = tree.check_invariants(true).unwrap();
         prop_assert!(errors.is_empty(), "invariant violations: {errors:?}");
@@ -131,7 +131,7 @@ proptest! {
     #[test]
     fn anytime_tiq_is_superset_of_exact((db, q) in db_and_query(50, 2), theta_pct in 5u32..90) {
         let theta = f64::from(theta_pct) / 100.0;
-        let mut tree = build_tree(&db, CombineMode::Convolution);
+        let tree = build_tree(&db, CombineMode::Convolution);
         let exact: Vec<u64> = tree.tiq(&q, theta, 1e-9).unwrap().iter().map(|r| r.id).collect();
         let anytime: Vec<u64> = tree.tiq_anytime(&q, theta).unwrap().iter().map(|r| r.id).collect();
         for id in &exact {
