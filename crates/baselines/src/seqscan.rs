@@ -165,6 +165,24 @@ impl<S: PageStore> PfvFile<S> {
         self.pages.len()
     }
 
+    /// Bytes a sequential scan of the file must stream: every page before
+    /// the last in full (their per-page tail slack sits *between* live
+    /// data, so the stream cannot skip it), plus only the used prefix of
+    /// the last page. This is the byte count `DiskModel::scan_time_ms`
+    /// bills — a page-granular model over-bills the scan by up to one page
+    /// of trailing padding.
+    #[must_use]
+    pub fn data_bytes(&self) -> u64 {
+        if self.pages.is_empty() {
+            return 0;
+        }
+        let full_pages = self.pages.len() as u64 - 1;
+        let last_entries = self.len - full_pages * self.per_page as u64;
+        full_pages * self.pool.page_size() as u64
+            + PAGE_HEADER as u64
+            + last_entries * Self::entry_bytes(self.dims) as u64
+    }
+
     /// Buffer pool access (stats, cold start).
     pub fn pool_mut(&mut self) -> &mut BufferPool<S> {
         &mut self.pool
@@ -393,6 +411,30 @@ mod tests {
         let pool = BufferPool::new(MemStore::new(4096), 1024, AccessStats::new_shared());
         let file = PfvFile::build(pool, dims, items.clone()).unwrap();
         (file, items)
+    }
+
+    #[test]
+    fn data_bytes_excludes_only_last_page_padding() {
+        let (f, _) = make_file(100, 3);
+        let entry = PfvFile::<MemStore>::entry_bytes(3);
+        let per_page = (4096 - PAGE_HEADER) / entry;
+        assert!(
+            100 % per_page != 0,
+            "test needs a partially filled last page"
+        );
+        let bytes = f.data_bytes();
+        let page_granular = f.num_pages() as u64 * 4096;
+        assert!(bytes < page_granular, "trailing padding must not be billed");
+        // Full pages stream in full (their tail slack sits between live
+        // data); only the last page's used prefix counts.
+        let full_pages = f.num_pages() as u64 - 1;
+        let last_entries = 100 - full_pages * per_page as u64;
+        assert_eq!(
+            bytes,
+            full_pages * 4096 + PAGE_HEADER as u64 + last_entries * entry as u64
+        );
+        // The discount is strictly less than one page.
+        assert!(page_granular - bytes < 4096);
     }
 
     #[test]

@@ -34,12 +34,12 @@ fn main() {
         let mut mliq_pages = 0u64;
         let mut tiq_pages = 0u64;
         for q in &queries {
-            tree.pool().clear_cache_and_stats();
+            tree.cold_start();
             let before = tree.stats().snapshot();
             let _ = tree.k_mliq(&q.query, 1).expect("mliq");
             mliq_pages += tree.stats().snapshot().since(&before).physical_reads;
 
-            tree.pool().clear_cache_and_stats();
+            tree.cold_start();
             let before = tree.stats().snapshot();
             let _ = tree.tiq(&q.query, 0.2, 1e-3).expect("tiq");
             tiq_pages += tree.stats().snapshot().since(&before).physical_reads;

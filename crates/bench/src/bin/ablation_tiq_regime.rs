@@ -61,7 +61,7 @@ fn main() {
                 top_p += r.2;
             }
 
-            tree.pool().clear_cache_and_stats();
+            tree.cold_start();
             let b = tree.stats().snapshot();
             let _ = tree.tiq_anytime(&q.query, 0.8).expect("tree");
             tree_pages += tree.stats().snapshot().since(&b).logical_reads;

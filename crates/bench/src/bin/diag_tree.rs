@@ -40,7 +40,7 @@ fn report(
     let total_pages = tree.pool().num_pages();
     let mut pages = 0u64;
     for q in queries {
-        tree.pool().clear_cache_and_stats();
+        tree.cold_start();
         let before = tree.stats().snapshot();
         let _ = tree.k_mliq(&q.query, 1).expect("mliq");
         pages += tree.stats().snapshot().since(&before).physical_reads;

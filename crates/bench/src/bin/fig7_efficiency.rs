@@ -92,6 +92,14 @@ fn main() {
                 },
             )
         };
+        // Byte-accurate sequential billing: whole-file passes cost their
+        // exact payload, so the padding of a partial last page is free.
+        let m = m.with_scan_bytes(gauss_bench::scan_bytes_for_faults(
+            m.faults,
+            file.num_pages() as u64,
+            file.data_bytes(),
+            gauss_storage::DEFAULT_PAGE_SIZE,
+        ));
         seq.push(m);
 
         eprintln!("measuring X-tree {}…", kind.label());
@@ -132,7 +140,7 @@ fn main() {
 
         eprintln!("measuring Gauss-tree {}…", kind.label());
         let m = {
-            gtree.pool().clear_cache_and_stats();
+            gtree.cold_start();
             let stats = gtree.stats().clone();
             measure_queries(
                 &queries,

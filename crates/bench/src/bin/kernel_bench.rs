@@ -1,0 +1,218 @@
+//! Scalar vs batched leaf-evaluation kernels: ns per entry.
+//!
+//! The tentpole measurement for the columnar read path: build a set of
+//! fixed-seed leaves at realistic occupancy, then evaluate every leaf
+//! against every query twice —
+//!
+//! * **scalar**: the pre-refactor per-entry path, `combine::log_joint`
+//!   over each stored [`Pfv`] (two boxed slices per entry, σ·σ recomputed
+//!   per evaluation);
+//! * **batched**: [`pfv::batch::log_densities`] over the same leaves in
+//!   [`ColumnarLeaf`] struct-of-arrays form with precomputed σ² columns.
+//!
+//! Both paths are asserted **bit-identical** before timing; the batched
+//! kernel must then win on ns/entry. The inner-node side is measured too:
+//! fused hull pricing (`ParamRect::log_bounds_for_query`, one Lemma-1
+//! σ-mapping per dimension) versus the split upper+lower calls.
+//!
+//! Run: `cargo run --release -p gauss_bench --bin kernel_bench`
+//! Flags: `--dims D` (default 10), `--entries E` (per leaf, default 48 —
+//! the 8 KB-page capacity at d=10), `--leaves L` (default 64),
+//! `--queries Q` (default 32), `--rounds R` (default 15, best-of),
+//! `--json PATH` (write machine-readable results).
+
+use gauss_bench::{arg_value, JsonObj};
+use pfv::batch::{log_densities, ColumnarLeaf};
+use pfv::{combine, CombineMode, ParamRect, Pfv};
+use std::time::Instant;
+
+/// Deterministic xorshift so the workload needs no external RNG.
+struct Rng(u64);
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn random_pfv(rng: &mut Rng, dims: usize) -> Pfv {
+    let means: Vec<f64> = (0..dims).map(|_| rng.next_f64() * 10.0).collect();
+    let sigmas: Vec<f64> = (0..dims).map(|_| 0.005 + rng.next_f64() * 0.3).collect();
+    Pfv::new(means, sigmas).unwrap()
+}
+
+/// Best-of-`rounds` wall time of `f`, in seconds.
+fn best_of(rounds: usize, mut f: impl FnMut() -> f64) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut sink = 0.0;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        sink += f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, sink)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dims: usize = arg_value(&args, "--dims")
+        .map(|v| v.parse().expect("--dims"))
+        .unwrap_or(10);
+    let entries: usize = arg_value(&args, "--entries")
+        .map(|v| v.parse().expect("--entries"))
+        .unwrap_or(48);
+    let leaves: usize = arg_value(&args, "--leaves")
+        .map(|v| v.parse().expect("--leaves"))
+        .unwrap_or(64);
+    let queries: usize = arg_value(&args, "--queries")
+        .map(|v| v.parse().expect("--queries"))
+        .unwrap_or(32);
+    let rounds: usize = arg_value(&args, "--rounds")
+        .map(|v| v.parse().expect("--rounds"))
+        .unwrap_or(15);
+    let json_path = arg_value(&args, "--json");
+    let mode = CombineMode::Convolution;
+
+    let mut rng = Rng(0x1CDE_2006);
+    let scalar_leaves: Vec<Vec<Pfv>> = (0..leaves)
+        .map(|_| (0..entries).map(|_| random_pfv(&mut rng, dims)).collect())
+        .collect();
+    let columnar: Vec<ColumnarLeaf> = scalar_leaves
+        .iter()
+        .map(|l| ColumnarLeaf::from_pfvs(dims, l.iter()))
+        .collect();
+    let qs: Vec<Pfv> = (0..queries).map(|_| random_pfv(&mut rng, dims)).collect();
+
+    // Correctness gate before any timing: the batched kernel must agree
+    // bit-for-bit with the scalar path on every (query, leaf, entry).
+    let mut out = vec![0.0f64; entries];
+    for q in &qs {
+        for (sl, cl) in scalar_leaves.iter().zip(columnar.iter()) {
+            log_densities(mode, q, cl, &mut out);
+            for (v, &got) in sl.iter().zip(out.iter()) {
+                let want = combine::log_joint(mode, v, q);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "batched kernel diverged from scalar path"
+                );
+            }
+        }
+    }
+
+    let evals = (queries * leaves * entries) as f64;
+    println!(
+        "kernel_bench — {leaves} leaves x {entries} entries, {dims} dims, {queries} queries, best of {rounds}"
+    );
+
+    let (scalar_s, sink_a) = best_of(rounds, || {
+        let mut acc = 0.0;
+        for q in &qs {
+            for leaf in &scalar_leaves {
+                for v in leaf {
+                    acc += combine::log_joint(mode, v, q);
+                }
+            }
+        }
+        acc
+    });
+    let (batched_s, sink_b) = best_of(rounds, || {
+        let mut acc = 0.0;
+        for q in &qs {
+            for leaf in &columnar {
+                log_densities(mode, q, leaf, &mut out);
+                acc += out.iter().sum::<f64>();
+            }
+        }
+        acc
+    });
+    let scalar_ns = scalar_s * 1e9 / evals;
+    let batched_ns = batched_s * 1e9 / evals;
+    println!("  leaf densities  scalar : {scalar_ns:>8.2} ns/entry");
+    println!(
+        "  leaf densities  batched: {batched_ns:>8.2} ns/entry  ({:.2}x)",
+        scalar_ns / batched_ns
+    );
+
+    // Inner-node hull pricing: split upper+lower vs the fused sweep.
+    let children_per_node = 32usize;
+    let rects: Vec<Vec<ParamRect>> = (0..leaves)
+        .map(|_| {
+            (0..children_per_node)
+                .map(|_| {
+                    let a = random_pfv(&mut rng, dims);
+                    let b = random_pfv(&mut rng, dims);
+                    let mut r = ParamRect::from_pfv(&a);
+                    r.extend_pfv(&b);
+                    r
+                })
+                .collect()
+        })
+        .collect();
+    for q in &qs {
+        for node in &rects {
+            for r in node {
+                let (up, lo) = r.log_bounds_for_query(q, mode);
+                assert_eq!(up.to_bits(), r.log_upper_for_query(q, mode).to_bits());
+                assert_eq!(lo.to_bits(), r.log_lower_for_query(q, mode).to_bits());
+            }
+        }
+    }
+    let hull_evals = (queries * leaves * children_per_node) as f64;
+    let (split_s, sink_c) = best_of(rounds, || {
+        let mut acc = 0.0;
+        for q in &qs {
+            for node in &rects {
+                for r in node {
+                    acc += r.log_upper_for_query(q, mode) + r.log_lower_for_query(q, mode);
+                }
+            }
+        }
+        acc
+    });
+    let (fused_s, sink_d) = best_of(rounds, || {
+        let mut acc = 0.0;
+        for q in &qs {
+            for node in &rects {
+                for r in node {
+                    let (up, lo) = r.log_bounds_for_query(q, mode);
+                    acc += up + lo;
+                }
+            }
+        }
+        acc
+    });
+    let split_ns = split_s * 1e9 / hull_evals;
+    let fused_ns = fused_s * 1e9 / hull_evals;
+    println!("  hull bounds     split  : {split_ns:>8.2} ns/child");
+    println!(
+        "  hull bounds     fused  : {fused_ns:>8.2} ns/child  ({:.2}x)",
+        split_ns / fused_ns
+    );
+    println!();
+    println!("(bit-identity verified on every entry and every child bound)");
+    // Keep the accumulators alive so the measured loops cannot be elided.
+    assert!((sink_a + sink_b + sink_c + sink_d).is_finite());
+
+    if let Some(path) = json_path {
+        let j = JsonObj::new().obj(
+            "kernel_bench",
+            JsonObj::new()
+                .int("dims", dims as u64)
+                .int("entries_per_leaf", entries as u64)
+                .int("leaves", leaves as u64)
+                .int("queries", queries as u64)
+                .num("scalar_ns_per_entry", scalar_ns)
+                .num("batched_ns_per_entry", batched_ns)
+                .num("batched_speedup", scalar_ns / batched_ns)
+                .num("hull_split_ns_per_child", split_ns)
+                .num("hull_fused_ns_per_child", fused_ns)
+                .num("hull_fused_speedup", split_ns / fused_ns),
+        );
+        j.write_to(&path).expect("write bench json");
+        eprintln!("wrote {path}");
+    }
+}

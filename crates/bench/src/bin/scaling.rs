@@ -100,7 +100,7 @@ fn run_point(n: usize, dims: usize, k: usize, n_queries: usize, sigma: SigmaSpec
             .expect("scan");
         scan_pages += file.stats().snapshot().since(&b).physical_reads;
 
-        tree.pool().clear_cache_and_stats();
+        tree.cold_start();
         let b = tree.stats().snapshot();
         let _ = tree.k_mliq(&q.query, k).expect("tree");
         tree_pages += tree.stats().snapshot().since(&b).physical_reads;

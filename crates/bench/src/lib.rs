@@ -142,16 +142,33 @@ pub struct Measurement {
     pub faults: u64,
     /// Whether this workload reads sequentially (scan) or randomly (index).
     pub sequential: bool,
+    /// Exact payload bytes a sequential workload transferred, when the
+    /// caller knows them (see [`Measurement::with_scan_bytes`]). `None`
+    /// falls back to page-granular billing of `faults`.
+    pub scan_bytes: Option<u64>,
     /// Measured CPU (wall) time in seconds.
     pub cpu_s: f64,
 }
 
 impl Measurement {
+    /// Attaches the exact byte count a sequential scan transferred, so the
+    /// disk model bills `DiskModel::sequential_scan_s(bytes)` instead of
+    /// charging every faulted page in full — a file whose last page is
+    /// half-empty is then no longer over-billed for the padding.
+    #[must_use]
+    pub fn with_scan_bytes(mut self, bytes: u64) -> Self {
+        self.scan_bytes = Some(bytes);
+        self
+    }
+
     /// Modelled I/O time under a disk model, in seconds.
     #[must_use]
     pub fn io_s(&self, disk: &DiskModel) -> f64 {
         if self.sequential {
-            disk.sequential_io_s(self.faults)
+            match self.scan_bytes {
+                Some(bytes) => disk.sequential_scan_s(bytes),
+                None => disk.sequential_io_s(self.faults),
+            }
         } else {
             disk.random_io_s(self.faults)
         }
@@ -189,7 +206,104 @@ pub fn measure_queries(
         pages,
         faults,
         sequential,
+        scan_bytes: None,
         cpu_s,
+    }
+}
+
+/// Exact bytes transferred by `faults` sequential page reads over a file of
+/// `file_pages` pages and `file_bytes` payload bytes: whole-file passes are
+/// billed their true payload size (no padding for the partial last page),
+/// any remainder of pages at full page size.
+#[must_use]
+pub fn scan_bytes_for_faults(
+    faults: u64,
+    file_pages: u64,
+    file_bytes: u64,
+    page_size: usize,
+) -> u64 {
+    if file_pages == 0 {
+        return 0;
+    }
+    let full_scans = faults / file_pages;
+    let rem_pages = faults % file_pages;
+    full_scans * file_bytes + rem_pages * page_size as u64
+}
+
+/// Minimal JSON object builder for the bench bins' machine-readable output
+/// (`BENCH_*.json` — consumed by `scripts/bench_compare.py`). Supports the
+/// small subset the perf pipeline needs: string/integer/float fields and
+/// one level of nested objects, insertion-ordered, no external deps.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObj {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObj {
+    /// An empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(mut self, key: &str, rendered: String) -> Self {
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds a float field (non-finite values are emitted as `null` so the
+    /// output stays strict JSON).
+    #[must_use]
+    pub fn num(self, key: &str, v: f64) -> Self {
+        let r = if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        };
+        self.push(key, r)
+    }
+
+    /// Adds an integer field.
+    #[must_use]
+    pub fn int(self, key: &str, v: u64) -> Self {
+        self.push(key, format!("{v}"))
+    }
+
+    /// Adds a string field (keys and values must not need escaping beyond
+    /// quotes/backslashes, which are handled).
+    #[must_use]
+    pub fn str(self, key: &str, v: &str) -> Self {
+        let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+        self.push(key, format!("\"{escaped}\""))
+    }
+
+    /// Adds a nested object field.
+    #[must_use]
+    pub fn obj(self, key: &str, v: JsonObj) -> Self {
+        let r = v.render();
+        self.push(key, r)
+    }
+
+    /// Renders the object as a JSON string.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{k}\":{v}"));
+        }
+        s.push('}');
+        s
+    }
+
+    /// Writes the rendered object (plus a trailing newline) to `path`.
+    ///
+    /// # Errors
+    /// I/O errors from the filesystem.
+    pub fn write_to(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.render() + "\n")
     }
 }
 
@@ -255,17 +369,57 @@ mod tests {
             pages: 100,
             faults: 100,
             sequential: true,
+            scan_bytes: None,
             cpu_s: 2.0,
         };
         let m = Measurement {
             pages: 25,
             faults: 10,
             sequential: false,
+            scan_bytes: None,
             cpu_s: 0.5,
         };
         // Sequential base streams; random access pays a seek per fault.
         assert!(base.io_s(&disk) < m.io_s(&disk) * 2.0);
         assert!(m.overall_s(&disk) > m.cpu_s);
+    }
+
+    #[test]
+    fn json_obj_renders_strict_json() {
+        let j = JsonObj::new()
+            .str("name", "kernel \"bench\"")
+            .int("entries", 48)
+            .num("ns", 12.5)
+            .num("bad", f64::NAN)
+            .obj("nested", JsonObj::new().num("qps", 1000.0));
+        assert_eq!(
+            j.render(),
+            r#"{"name":"kernel \"bench\"","entries":48,"ns":12.5,"bad":null,"nested":{"qps":1000}}"#
+        );
+    }
+
+    #[test]
+    fn scan_byte_accounting_discounts_partial_last_page() {
+        // File: 3 pages, 2.5 pages' worth of payload.
+        let (pages, bytes, page) = (3u64, 8192 * 2 + 4096, 8192usize);
+        // One full cold scan: billed the exact payload.
+        assert_eq!(scan_bytes_for_faults(3, pages, bytes, page), bytes);
+        // Two full scans.
+        assert_eq!(scan_bytes_for_faults(6, pages, bytes, page), 2 * bytes);
+        // A partial pass bills whole pages (we cannot know which).
+        assert_eq!(scan_bytes_for_faults(4, pages, bytes, page), bytes + 8192);
+        assert_eq!(scan_bytes_for_faults(5, 0, bytes, page), 0);
+        // The byte-accurate sequential bill undercuts page-granular billing.
+        let disk = DiskModel::hdd_2006(page);
+        let m = Measurement {
+            pages: 3,
+            faults: 3,
+            sequential: true,
+            scan_bytes: None,
+            cpu_s: 0.0,
+        };
+        let exact = m.with_scan_bytes(bytes);
+        assert!(exact.io_s(&disk) < m.io_s(&disk));
     }
 
     #[test]

@@ -5,14 +5,16 @@
 //! human operator confirms", "until cumulative probability exceeds 99 %").
 //! [`RankingCursor`] wraps the same Hjaltason–Samet best-first traversal and
 //! yields objects one at a time in non-increasing density order, reading
-//! only the pages needed so far.
+//! only the pages needed so far. Expanded leaves are evaluated through the
+//! batched columnar kernel ([`pfv::batch::log_densities`]), so the cursor's
+//! per-hit densities are bit-identical to the scalar per-entry path.
 
-use crate::node::Node;
+use crate::node::CachedNode;
 use crate::query::MliqResult;
 use crate::tree::{GaussTree, TreeError};
 use gauss_storage::store::PageStore;
 use gauss_storage::PageId;
-use pfv::{combine, Pfv};
+use pfv::{batch, Pfv};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -70,6 +72,8 @@ pub struct RankingCursor<'t, S: PageStore> {
     query: Pfv,
     heap: BinaryHeap<Frontier>,
     emitted: u64,
+    /// Scratch buffer for the batched leaf kernel, reused across leaves.
+    dens: Vec<f64>,
 }
 
 impl<'t, S: PageStore> RankingCursor<'t, S> {
@@ -92,17 +96,18 @@ impl<'t, S: PageStore> RankingCursor<'t, S> {
                     self.emitted += 1;
                     return Ok(Some(MliqResult { id, log_density }));
                 }
-                Frontier::NodeBound { page, .. } => match self.tree.read_node(page)? {
-                    Node::Leaf(es) => {
-                        for e in &es {
-                            self.heap.push(Frontier::Object {
-                                log_density: combine::log_joint(mode, &e.pfv, &self.query),
-                                id: e.id,
-                            });
+                Frontier::NodeBound { page, .. } => match &*self.tree.read_node_cached(page)? {
+                    CachedNode::Leaf(leaf) => {
+                        self.dens.resize(leaf.columns.len(), 0.0);
+                        batch::log_densities(mode, &self.query, &leaf.columns, &mut self.dens);
+                        for (&id, &log_density) in leaf.ids.iter().zip(self.dens.iter()) {
+                            self.heap.push(Frontier::Object { log_density, id });
                         }
                     }
-                    Node::Inner(es) => {
-                        for e in &es {
+                    CachedNode::Inner(es) => {
+                        // The cursor only orders by the upper bound, so no
+                        // fused lower-bound evaluation is needed here.
+                        for e in es {
                             self.heap.push(Frontier::NodeBound {
                                 log_upper: e.rect.log_upper_for_query(&self.query, mode),
                                 page: e.child,
@@ -161,6 +166,7 @@ impl<S: PageStore> GaussTree<S> {
             query: q.clone(),
             heap,
             emitted: 0,
+            dens: Vec::new(),
         })
     }
 }
@@ -170,7 +176,7 @@ mod tests {
     use super::*;
     use crate::config::TreeConfig;
     use gauss_storage::{AccessStats, BufferPool, MemStore};
-    use pfv::CombineMode;
+    use pfv::{combine, CombineMode};
 
     fn build(n: u64) -> (GaussTree<MemStore>, Vec<Pfv>) {
         let pool = BufferPool::new(MemStore::new(8192), 4096, AccessStats::new_shared());
@@ -233,7 +239,7 @@ mod tests {
     fn lazy_cursor_reads_fewer_pages_than_full_ranking() {
         let (tree, _) = build(2000);
         let q = Pfv::new(vec![2.0, -1.0], vec![0.05, 0.05]).unwrap();
-        tree.pool().clear_cache_and_stats();
+        tree.cold_start();
         {
             let mut cursor = tree.ranking_cursor(&q).unwrap();
             let _ = cursor.next_hit().unwrap().unwrap();

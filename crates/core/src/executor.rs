@@ -14,6 +14,13 @@
 //! exactly what its serial counterpart would — the executor adds
 //! parallelism, not approximation.
 //!
+//! Each worker's refinement loop runs the columnar leaf path: visited
+//! leaves come from the tree's shared decoded-node cache and are evaluated
+//! with the batched Lemma-1 kernel ([`pfv::batch::log_densities`]), so the
+//! threads share one set of columnar leaves instead of re-decoding pages,
+//! and results stay bit-identical to the scalar serial path
+//! (`tests/concurrency.rs` pins this down).
+//!
 //! ```
 //! use gauss_storage::{AccessStats, BufferPool, MemStore};
 //! use gauss_tree::{BatchExecutor, GaussTree, TreeConfig};

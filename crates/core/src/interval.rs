@@ -236,7 +236,7 @@ mod tests {
     fn box_query_prunes_pages() {
         let items = grid_items();
         let tree = build(&items);
-        tree.pool().clear_cache_and_stats();
+        tree.cold_start();
         // Tiny box in one corner: most of the grid must be pruned.
         let _ = tree
             .probabilistic_box_query(&[0.5, 0.5], &[1.5, 1.5], 0.2)

@@ -19,7 +19,13 @@
 //!   closed form lives in [`pfv::hull::DimBounds::hull_integral`];
 //! * an STR-style [bulk loader](GaussTree::bulk_load) (an extension — the
 //!   paper only describes incremental insertion);
-//! * [structural invariant checking](GaussTree::check_invariants).
+//! * [structural invariant checking](GaussTree::check_invariants);
+//! * a columnar read hot path: decoded nodes are cached next to their pages
+//!   ([`CachedNode`] behind a [`gauss_storage::SideCache`]), leaves are
+//!   materialized struct-of-arrays and evaluated with the batched Lemma-1
+//!   kernel [`pfv::batch::log_densities`], and inner children are priced in
+//!   one fused hull sweep ([`children_log_hulls`]) — all bit-identical to
+//!   the scalar per-entry path.
 //!
 //! Nodes live in fixed-size pages behind a [`gauss_storage::SharedBufferPool`],
 //! so every query reports the same page-access statistics the paper measures
@@ -63,5 +69,6 @@ pub use cursor::RankingCursor;
 pub use delete::DeleteOutcome;
 pub use executor::BatchExecutor;
 pub use interval::BoxQueryResult;
+pub use node::{children_log_hulls, CachedNode, ColumnarLeafNode};
 pub use query::{MliqResult, RefinedResult, TiqResult};
 pub use tree::{GaussTree, TreeError};

@@ -10,7 +10,8 @@
 //! ```
 
 use gauss_storage::{PageId, Reader, Writer};
-use pfv::{DimBounds, ParamRect, Pfv};
+use pfv::batch::ColumnarLeaf;
+use pfv::{CombineMode, DimBounds, ParamRect, Pfv};
 
 /// Bytes reserved at the start of every node page.
 pub const NODE_HEADER_BYTES: usize = 8;
@@ -49,6 +50,43 @@ pub enum Node {
     Inner(Vec<InnerEntry>),
 }
 
+/// A decoded leaf in query-ready columnar form: the external ids plus the
+/// struct-of-arrays feature columns the batched Lemma-1 kernel
+/// ([`pfv::batch::log_densities`]) consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarLeafNode {
+    /// External object ids, in entry order.
+    pub ids: Box<[u64]>,
+    /// Per-dimension contiguous `μ`/`σ`/`σ²` columns.
+    pub columns: ColumnarLeaf,
+}
+
+/// A node decoded once and cached for the read path (see
+/// [`crate::GaussTree`]'s node cache): leaves are materialized as columnar
+/// scans, inner nodes keep their entry vector for hull sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CachedNode {
+    /// Leaf level, columnar.
+    Leaf(ColumnarLeafNode),
+    /// Inner level.
+    Inner(Vec<InnerEntry>),
+}
+
+/// Conservative bounds `(ln N̂, ln Ň)` of every child of an inner node for
+/// query `q`, priced in one sweep over the entry vector (fused Lemma-2/3
+/// evaluation via [`ParamRect::log_bounds_for_query`]). Bit-identical to
+/// calling `log_upper_for_query` and `log_lower_for_query` per child.
+///
+/// # Panics
+/// Panics on dimensionality mismatch.
+#[must_use]
+pub fn children_log_hulls(entries: &[InnerEntry], q: &Pfv, mode: CombineMode) -> Vec<(f64, f64)> {
+    entries
+        .iter()
+        .map(|e| e.rect.log_bounds_for_query(q, mode))
+        .collect()
+}
+
 /// Errors from node (de)serialisation.
 #[derive(Debug)]
 pub enum NodeCodecError {
@@ -80,6 +118,19 @@ impl Node {
     #[must_use]
     pub fn is_leaf(&self) -> bool {
         matches!(self, Node::Leaf(_))
+    }
+
+    /// Converts the node into its cached, query-ready representation,
+    /// materializing leaves as [`ColumnarLeafNode`]s.
+    #[must_use]
+    pub fn into_cached(self, dims: usize) -> CachedNode {
+        match self {
+            Node::Leaf(es) => CachedNode::Leaf(ColumnarLeafNode {
+                ids: es.iter().map(|e| e.id).collect(),
+                columns: ColumnarLeaf::from_pfvs(dims, es.iter().map(|e| &e.pfv)),
+            }),
+            Node::Inner(es) => CachedNode::Inner(es),
+        }
     }
 
     /// Number of entries in the node.
@@ -340,6 +391,55 @@ mod tests {
         page[24..32].copy_from_slice(&mu_hi.to_le_bytes());
         page[32..40].copy_from_slice(&mu_lo.to_le_bytes());
         assert!(Node::read_from(2, &page).is_err());
+    }
+
+    #[test]
+    fn into_cached_round_trips_leaf_content() {
+        let node = sample_leaf();
+        let Node::Leaf(es) = node.clone() else {
+            unreachable!()
+        };
+        let CachedNode::Leaf(leaf) = node.into_cached(2) else {
+            panic!("leaf must cache as columnar leaf");
+        };
+        assert_eq!(leaf.ids.as_ref(), &[7, 42]);
+        for (e, entry) in es.iter().enumerate() {
+            assert_eq!(leaf.columns.pfv(e), entry.pfv);
+        }
+    }
+
+    #[test]
+    fn into_cached_keeps_inner_entries() {
+        let node = sample_inner();
+        let Node::Inner(es) = node.clone() else {
+            unreachable!()
+        };
+        let CachedNode::Inner(cached) = node.into_cached(2) else {
+            panic!("inner must cache as inner");
+        };
+        assert_eq!(cached, es);
+    }
+
+    #[test]
+    fn children_log_hulls_match_per_child_bounds() {
+        let Node::Inner(es) = sample_inner() else {
+            unreachable!()
+        };
+        let q = Pfv::new(vec![0.5, 1.0], vec![0.2, 0.3]).unwrap();
+        for mode in [CombineMode::Convolution, CombineMode::AdditiveSigma] {
+            let hulls = children_log_hulls(&es, &q, mode);
+            assert_eq!(hulls.len(), es.len());
+            for (h, e) in hulls.iter().zip(es.iter()) {
+                assert_eq!(
+                    h.0.to_bits(),
+                    e.rect.log_upper_for_query(&q, mode).to_bits()
+                );
+                assert_eq!(
+                    h.1.to_bits(),
+                    e.rect.log_lower_for_query(&q, mode).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -17,12 +17,12 @@
 //!   below the threshold, and processing stops when no unexplored node can
 //!   contain a qualifying object and every candidate is decided.
 
-use crate::node::Node;
+use crate::node::CachedNode;
 use crate::tree::{GaussTree, TreeError};
 use gauss_storage::store::PageStore;
 use gauss_storage::PageId;
 use pfv::logsum::{log_add_exp, LogSumAcc, ScaledSum};
-use pfv::{combine, Pfv};
+use pfv::{batch, Pfv};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -240,6 +240,8 @@ impl<S: PageStore> GaussTree<S> {
         });
         // Min-heap keeping the k best candidates.
         let mut best: BinaryHeap<std::cmp::Reverse<Candidate>> = BinaryHeap::new();
+        // Scratch buffer for the batched leaf kernel, reused across leaves.
+        let mut dens: Vec<f64> = Vec::new();
 
         while let Some(top) = active.pop() {
             if best.len() == target {
@@ -248,13 +250,14 @@ impl<S: PageStore> GaussTree<S> {
                     break;
                 }
             }
-            match self.read_node(top.page)? {
-                Node::Leaf(es) => {
-                    for e in &es {
-                        let ld = combine::log_joint(mode, &e.pfv, q);
+            match &*self.read_node_cached(top.page)? {
+                CachedNode::Leaf(leaf) => {
+                    dens.resize(leaf.columns.len(), 0.0);
+                    batch::log_densities(mode, q, &leaf.columns, &mut dens);
+                    for (&id, &ld) in leaf.ids.iter().zip(dens.iter()) {
                         let cand = Candidate {
                             log_density: ld,
-                            id: e.id,
+                            id,
                         };
                         if best.len() < target {
                             best.push(std::cmp::Reverse(cand));
@@ -264,8 +267,10 @@ impl<S: PageStore> GaussTree<S> {
                         }
                     }
                 }
-                Node::Inner(es) => {
-                    for e in &es {
+                CachedNode::Inner(es) => {
+                    // Plain k-MLIQ never consults the lower bound, so price
+                    // the children with upper bounds only.
+                    for e in es {
                         let up = e.rect.log_upper_for_query(q, mode);
                         if best.len() == target
                             && up <= best.peek().expect("non-empty").0.log_density
@@ -274,7 +279,7 @@ impl<S: PageStore> GaussTree<S> {
                         }
                         active.push(ActiveNode {
                             log_upper: up,
-                            log_lower: e.rect.log_lower_for_query(q, mode),
+                            log_lower: f64::NEG_INFINITY,
                             count: e.count,
                             page: e.child,
                         });
@@ -327,32 +332,27 @@ impl<S: PageStore> GaussTree<S> {
 
         // Expand the root eagerly so an anchor for the scaled accumulators
         // is known before anything enters the queue.
-        let root = self.read_node(self.root_page())?;
+        let root = self.read_node_cached(self.root_page())?;
         let mut active: BinaryHeap<ActiveNode> = BinaryHeap::new();
         let mut best: BinaryHeap<std::cmp::Reverse<Candidate>> = BinaryHeap::new();
         let mut best_ld = f64::NEG_INFINITY;
+        // Scratch buffer for the batched leaf kernel, reused across leaves.
+        let mut dens: Vec<f64> = Vec::new();
 
         let mut denom;
-        match root {
-            Node::Leaf(es) => {
+        match &*root {
+            CachedNode::Leaf(leaf) => {
                 denom = DenomBounds::new(0.0);
-                for e in &es {
-                    let ld = combine::log_joint(mode, &e.pfv, q);
+                dens.resize(leaf.columns.len(), 0.0);
+                batch::log_densities(mode, q, &leaf.columns, &mut dens);
+                for (&id, &ld) in leaf.ids.iter().zip(dens.iter()) {
                     denom.add_object(ld);
-                    push_candidate(&mut best, target, ld, e.id);
+                    push_candidate(&mut best, target, ld, id);
                     best_ld = best_ld.max(ld);
                 }
             }
-            Node::Inner(es) => {
-                let children: Vec<ActiveNode> = es
-                    .iter()
-                    .map(|e| ActiveNode {
-                        log_upper: e.rect.log_upper_for_query(q, mode),
-                        log_lower: e.rect.log_lower_for_query(q, mode),
-                        count: e.count,
-                        page: e.child,
-                    })
-                    .collect();
+            CachedNode::Inner(es) => {
+                let children: Vec<ActiveNode> = active_children(es, q, mode);
                 let anchor = children
                     .iter()
                     .map(|c| c.log_upper)
@@ -364,6 +364,7 @@ impl<S: PageStore> GaussTree<S> {
                 }
             }
         }
+        drop(root);
 
         loop {
             let settled = best.len() == target
@@ -375,23 +376,18 @@ impl<S: PageStore> GaussTree<S> {
             }
             let Some(top) = active.pop() else { break };
             denom.remove_node(&top);
-            match self.read_node(top.page)? {
-                Node::Leaf(es) => {
-                    for e in &es {
-                        let ld = combine::log_joint(mode, &e.pfv, q);
+            match &*self.read_node_cached(top.page)? {
+                CachedNode::Leaf(leaf) => {
+                    dens.resize(leaf.columns.len(), 0.0);
+                    batch::log_densities(mode, q, &leaf.columns, &mut dens);
+                    for (&id, &ld) in leaf.ids.iter().zip(dens.iter()) {
                         denom.add_object(ld);
-                        push_candidate(&mut best, target, ld, e.id);
+                        push_candidate(&mut best, target, ld, id);
                         best_ld = best_ld.max(ld);
                     }
                 }
-                Node::Inner(es) => {
-                    for e in &es {
-                        let child = ActiveNode {
-                            log_upper: e.rect.log_upper_for_query(q, mode),
-                            log_lower: e.rect.log_lower_for_query(q, mode),
-                            count: e.count,
-                            page: e.child,
-                        };
+                CachedNode::Inner(es) => {
+                    for child in active_children(es, q, mode) {
                         denom.add_node(&child);
                         active.push(child);
                     }
@@ -473,30 +469,25 @@ impl<S: PageStore> GaussTree<S> {
         let mode = self.config().combine;
         let ln_theta = p_theta.ln();
 
-        let root = self.read_node(self.root_page())?;
+        let root = self.read_node_cached(self.root_page())?;
         let mut active: BinaryHeap<ActiveNode> = BinaryHeap::new();
         let mut cands: Vec<(u64, f64)> = Vec::new();
+        // Scratch buffer for the batched leaf kernel, reused across leaves.
+        let mut dens: Vec<f64> = Vec::new();
 
         let mut denom;
-        match root {
-            Node::Leaf(es) => {
+        match &*root {
+            CachedNode::Leaf(leaf) => {
                 denom = DenomBounds::new(0.0);
-                for e in &es {
-                    let ld = combine::log_joint(mode, &e.pfv, q);
+                dens.resize(leaf.columns.len(), 0.0);
+                batch::log_densities(mode, q, &leaf.columns, &mut dens);
+                for (&id, &ld) in leaf.ids.iter().zip(dens.iter()) {
                     denom.add_object(ld);
-                    cands.push((e.id, ld));
+                    cands.push((id, ld));
                 }
             }
-            Node::Inner(es) => {
-                let children: Vec<ActiveNode> = es
-                    .iter()
-                    .map(|e| ActiveNode {
-                        log_upper: e.rect.log_upper_for_query(q, mode),
-                        log_lower: e.rect.log_lower_for_query(q, mode),
-                        count: e.count,
-                        page: e.child,
-                    })
-                    .collect();
+            CachedNode::Inner(es) => {
+                let children: Vec<ActiveNode> = active_children(es, q, mode);
                 let anchor = children
                     .iter()
                     .map(|c| c.log_upper)
@@ -508,6 +499,7 @@ impl<S: PageStore> GaussTree<S> {
                 }
             }
         }
+        drop(root);
 
         loop {
             let denom_lo = denom.log_lo();
@@ -540,26 +532,21 @@ impl<S: PageStore> GaussTree<S> {
             }
             let Some(top) = active.pop() else { break };
             denom.remove_node(&top);
-            match self.read_node(top.page)? {
-                Node::Leaf(es) => {
-                    for e in &es {
-                        let ld = combine::log_joint(mode, &e.pfv, q);
+            match &*self.read_node_cached(top.page)? {
+                CachedNode::Leaf(leaf) => {
+                    dens.resize(leaf.columns.len(), 0.0);
+                    batch::log_densities(mode, q, &leaf.columns, &mut dens);
+                    for (&id, &ld) in leaf.ids.iter().zip(dens.iter()) {
                         denom.add_object(ld);
                         // Admit only candidates that could still qualify —
                         // the retain step above keeps this set tight.
                         if ld - denom.log_lo() >= ln_theta {
-                            cands.push((e.id, ld));
+                            cands.push((id, ld));
                         }
                     }
                 }
-                Node::Inner(es) => {
-                    for e in &es {
-                        let child = ActiveNode {
-                            log_upper: e.rect.log_upper_for_query(q, mode),
-                            log_lower: e.rect.log_lower_for_query(q, mode),
-                            count: e.count,
-                            page: e.child,
-                        };
+                CachedNode::Inner(es) => {
+                    for child in active_children(es, q, mode) {
                         denom.add_node(&child);
                         active.push(child);
                     }
@@ -601,6 +588,27 @@ impl<S: PageStore> GaussTree<S> {
     }
 }
 
+/// Prices every child of an inner node in one fused hull sweep (the same
+/// per-child evaluation as [`children_log_hulls`], without materializing
+/// the intermediate bounds vector) and wraps them as queue entries.
+fn active_children(
+    es: &[crate::node::InnerEntry],
+    q: &Pfv,
+    mode: pfv::CombineMode,
+) -> Vec<ActiveNode> {
+    es.iter()
+        .map(|e| {
+            let (up, lo) = e.rect.log_bounds_for_query(q, mode);
+            ActiveNode {
+                log_upper: up,
+                log_lower: lo,
+                count: e.count,
+                page: e.child,
+            }
+        })
+        .collect()
+}
+
 fn push_candidate(
     best: &mut BinaryHeap<std::cmp::Reverse<Candidate>>,
     target: usize,
@@ -621,7 +629,7 @@ mod tests {
     use super::*;
     use crate::config::TreeConfig;
     use gauss_storage::{AccessStats, BufferPool, MemStore};
-    use pfv::CombineMode;
+    use pfv::{combine, CombineMode};
 
     /// Deterministic xorshift so tests need no external RNG.
     struct Rng(u64);
@@ -816,7 +824,7 @@ mod tests {
         // The index must not read every page for a selective query.
         let items = random_db(2000, 2, 2024);
         let tree = build_tree(&items, 2);
-        tree.pool().clear_cache_and_stats();
+        tree.cold_start();
         let q = Pfv::new(items[100].1.means().to_vec(), vec![0.05, 0.05]).unwrap();
         let _ = tree.k_mliq(&q, 1).unwrap();
         let accessed = tree.stats().snapshot().physical_reads;

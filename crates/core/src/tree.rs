@@ -1,11 +1,12 @@
 //! The Gauss-tree structure: creation, persistence, insertion, bulk loading.
 
 use crate::config::TreeConfig;
-use crate::node::{InnerEntry, LeafEntry, Node, NodeCodecError};
+use crate::node::{CachedNode, InnerEntry, LeafEntry, Node, NodeCodecError};
 use crate::split::{group_rect, node_cost, partition_groups, split_items};
 use gauss_storage::store::{PageStore, StoreError};
-use gauss_storage::{PageId, Reader, SharedBufferPool, Writer};
+use gauss_storage::{PageId, Reader, SharedBufferPool, SideCache, Writer};
 use pfv::{CombineMode, ParamRect, Pfv};
+use std::sync::Arc;
 
 const META_MAGIC: u32 = 0x4754_5245; // "GTRE"
 const META_VERSION: u32 = 1;
@@ -79,6 +80,13 @@ impl From<NodeCodecError> for TreeError {
 #[derive(Debug)]
 pub struct GaussTree<S: PageStore> {
     pool: SharedBufferPool<S>,
+    /// Decoded-node companion cache: pages already paid for via the pool
+    /// are kept in query-ready form ([`CachedNode`] — columnar leaves,
+    /// inner entry vectors) so the read hot path never re-parses bytes.
+    /// Invalidated on every node write; never consulted without first
+    /// requesting the page from the pool, so access accounting is
+    /// unchanged.
+    node_cache: SideCache<CachedNode>,
     config: TreeConfig,
     leaf_cap: usize,
     inner_cap: usize,
@@ -116,8 +124,10 @@ impl<S: PageStore> GaussTree<S> {
         let inner_cap = config.inner_capacity(page_size);
         let meta_page = pool.allocate()?;
         let root = pool.allocate()?;
+        let node_cache = SideCache::new(pool.capacity().max(1));
         let mut tree = Self {
             pool,
+            node_cache,
             config,
             leaf_cap,
             inner_cap,
@@ -175,8 +185,10 @@ impl<S: PageStore> GaussTree<S> {
         let (config, root, height, len) = parse.map_err(|_| TreeError::NotAGaussTree)?;
         let leaf_cap = config.leaf_capacity(pool.page_size());
         let inner_cap = config.inner_capacity(pool.page_size());
+        let node_cache = SideCache::new(pool.capacity().max(1));
         Ok(Self {
             pool,
+            node_cache,
             config,
             leaf_cap,
             inner_cap,
@@ -320,6 +332,9 @@ impl<S: PageStore> GaussTree<S> {
 
     /// Access to the buffer pool (stats, cold start, raw page access). All
     /// pool operations take `&self` — the pool has interior mutability.
+    ///
+    /// Writing node pages through this handle bypasses the decoded-node
+    /// cache's write invalidation; mutate through the tree API instead.
     #[must_use]
     pub fn pool(&self) -> &SharedBufferPool<S> {
         &self.pool
@@ -529,6 +544,45 @@ impl<S: PageStore> GaussTree<S> {
         Ok(Node::read_from(self.config.dims, &bytes)?)
     }
 
+    /// Reads the node stored at `page` in query-ready cached form.
+    ///
+    /// The page is *always* requested from the buffer pool first — so
+    /// logical/physical access accounting is identical to [`read_node`] —
+    /// and only the decode step is skipped on a node-cache hit. Leaves come
+    /// back as columnar scans for the batched Lemma-1 kernel.
+    ///
+    /// [`read_node`]: Self::read_node
+    ///
+    /// # Errors
+    /// Store / codec errors.
+    pub(crate) fn read_node_cached(&self, page: PageId) -> Result<Arc<CachedNode>, TreeError> {
+        let bytes = self.pool.page(page)?;
+        if let Some(cached) = self.node_cache.get(page) {
+            return Ok(cached);
+        }
+        let node = Node::read_from(self.config.dims, &bytes)?;
+        let cached = Arc::new(node.into_cached(self.config.dims));
+        self.node_cache.insert(page, Arc::clone(&cached));
+        Ok(cached)
+    }
+
+    /// The decoded-node companion cache (size/occupancy introspection).
+    #[must_use]
+    pub fn node_cache(&self) -> &SideCache<CachedNode> {
+        &self.node_cache
+    }
+
+    /// Cold start for measurement loops: drops the buffer pool's cached
+    /// frames, zeroes the access counters, **and** clears the decoded-node
+    /// cache. `pool().clear_cache_and_stats()` alone leaves the decoded
+    /// nodes warm — physical-read counts would still be cold-accurate, but
+    /// CPU timings would silently skip the decode work and depend on what
+    /// ran before.
+    pub fn cold_start(&self) {
+        self.pool.clear_cache_and_stats();
+        self.node_cache.clear();
+    }
+
     /// Serialises `node` into `page` (crate-internal; used by deletion).
     pub(crate) fn write_node_pub(&mut self, page: PageId, node: &Node) -> Result<(), TreeError> {
         self.write_node(page, node)
@@ -558,6 +612,10 @@ impl<S: PageStore> GaussTree<S> {
     fn write_node(&mut self, page: PageId, node: &Node) -> Result<(), TreeError> {
         let mut buf = vec![0u8; self.pool.page_size()];
         node.write_to(self.config.dims, &mut buf);
+        // Invalidate the decoded form before the bytes change so no reader
+        // of the new page content can ever see the stale decode (mutation
+        // holds `&mut self`, but keep the ordering airtight regardless).
+        self.node_cache.remove(page);
         self.pool.write(page, &buf)?;
         Ok(())
     }
@@ -709,6 +767,51 @@ mod tests {
         let pool = BufferPool::new(MemStore::new(8192), 16, AccessStats::new_shared());
         let t = GaussTree::bulk_load(pool, config, Vec::new()).unwrap();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn node_cache_serves_decoded_nodes_and_invalidates_on_write() {
+        let mut t = mem_tree(1, 4, 4);
+        for i in 0..20u64 {
+            t.insert(i, &pfv1(i as f64, 0.1)).unwrap();
+        }
+        let root = t.root_page();
+        let a = t.read_node_cached(root).unwrap();
+        let b = t.read_node_cached(root).unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&a, &b),
+            "second read must hit the node cache"
+        );
+        assert!(!t.node_cache().is_empty());
+
+        // Mutation must invalidate: the next read decodes the new bytes.
+        t.insert(100, &pfv1(50.0, 0.2)).unwrap();
+        let c = t.read_node_cached(t.root_page()).unwrap();
+        assert!(
+            !std::sync::Arc::ptr_eq(&a, &c),
+            "write must invalidate the cached decode"
+        );
+        // And the cached view matches a fresh decode.
+        let fresh = t.read_node(t.root_page()).unwrap().into_cached(1);
+        assert_eq!(*c, fresh);
+    }
+
+    #[test]
+    fn node_cache_accounting_matches_plain_reads() {
+        // The cached read path must request the page from the pool exactly
+        // like the uncached one, so the paper's page-access metrics are
+        // unchanged by the decode cache.
+        let mut t = mem_tree(1, 4, 4);
+        for i in 0..30u64 {
+            t.insert(i, &pfv1(i as f64, 0.1)).unwrap();
+        }
+        let root = t.root_page();
+        t.pool().clear_cache_and_stats();
+        let _ = t.read_node_cached(root).unwrap();
+        let _ = t.read_node_cached(root).unwrap();
+        let snap = t.stats().snapshot();
+        assert_eq!(snap.logical_reads, 2, "every cached read stays logical");
+        assert_eq!(snap.physical_reads, 1, "first read faults, second hits");
     }
 
     #[test]

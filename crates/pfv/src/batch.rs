@@ -1,0 +1,279 @@
+//! Vectorized batch evaluation of Lemma-1 densities over columnar leaves.
+//!
+//! The query hot path of the Gauss-tree spends most of its CPU time
+//! evaluating the joint density `ln p(q|v)` (Lemma 1, see [`crate::combine`])
+//! for every entry of every visited leaf. Doing that through per-entry
+//! [`Pfv`] objects costs two pointer dereferences per entry (each `Pfv`
+//! owns two separate boxed slices), a bounds-checked tuple load per
+//! dimension, and a redundant `σv·σv` multiplication per dimension per
+//! evaluation.
+//!
+//! [`ColumnarLeaf`] stores the same data struct-of-arrays: one contiguous
+//! per-dimension column for the means, one for the sigmas, and one for the
+//! **precomputed variances** `σv²`. [`log_densities`] then evaluates a whole
+//! leaf against one query with a dimension-outer / entry-inner loop whose
+//! inner body reads three contiguous streams — the layout the
+//! auto-vectorizer and the prefetcher both want.
+//!
+//! # Bit-identity contract
+//!
+//! The batched kernel computes **bit-identical** results to the scalar path
+//! `combine::log_joint(mode, v, q)` for every entry, including NaN
+//! propagation and underflow to `-inf`:
+//!
+//! * the per-dimension term is the same expression tree as
+//!   [`crate::gaussian::log_pdf`] (`-s.ln() - LN_SQRT_2PI - 0.5·z²` with
+//!   `z = (μq − μv)/s`);
+//! * the combined spread is built from the precomputed `σv²` column as
+//!   `(σv² + σq²).sqrt()` — the identical multiply/add/sqrt sequence the
+//!   scalar [`CombineMode::combine_sigma`] performs, merely with the
+//!   `σv·σv` product hoisted to leaf-construction time;
+//! * per-entry accumulation runs in dimension order starting from `0.0`,
+//!   exactly like the scalar loop.
+//!
+//! This is also why the kernel keeps the per-entry `ln` and division:
+//! rewriting `-ln √(σv²+σq²)` as `-½·ln(σv²+σq²)` or multiplying by a
+//! precomputed reciprocal would be faster still but changes rounding, and
+//! the equivalence tests (and the refinement algorithms' determinism
+//! guarantees) demand exact agreement with the scalar path. The measured
+//! win comes from the memory layout, the hoisted products and the removed
+//! per-entry call overhead — `kernel_bench` quantifies it.
+
+use crate::combine::CombineMode;
+use crate::vector::Pfv;
+use crate::LN_SQRT_2PI;
+
+/// A struct-of-arrays view of a leaf's probabilistic feature vectors.
+///
+/// Layout is dimension-major: column `d` of the means occupies
+/// `mu[d·len .. (d+1)·len]`, so evaluating dimension `d` for all entries
+/// streams one contiguous slice per column. The `var` column caches
+/// `σv²` for the [`CombineMode::Convolution`] spread; the raw `sigma`
+/// column serves [`CombineMode::AdditiveSigma`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarLeaf {
+    len: usize,
+    dims: usize,
+    mu: Box<[f64]>,
+    sigma: Box<[f64]>,
+    var: Box<[f64]>,
+}
+
+impl ColumnarLeaf {
+    /// Transposes `vs` into columnar form.
+    ///
+    /// # Panics
+    /// Panics if any pfv's dimensionality differs from `dims`.
+    #[must_use]
+    pub fn from_pfvs<'a>(dims: usize, vs: impl ExactSizeIterator<Item = &'a Pfv>) -> Self {
+        let len = vs.len();
+        let mut mu = vec![0.0f64; dims * len].into_boxed_slice();
+        let mut sigma = vec![0.0f64; dims * len].into_boxed_slice();
+        let mut var = vec![0.0f64; dims * len].into_boxed_slice();
+        for (e, v) in vs.enumerate() {
+            assert_eq!(v.dims(), dims, "dimensionality mismatch in leaf");
+            for (d, (&m, &s)) in v.means().iter().zip(v.sigmas().iter()).enumerate() {
+                mu[d * len + e] = m;
+                sigma[d * len + e] = s;
+                var[d * len + e] = s * s;
+            }
+        }
+        Self {
+            len,
+            dims,
+            mu,
+            sigma,
+            var,
+        }
+    }
+
+    /// Number of entries in the leaf.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the leaf holds no entries.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of the stored pfv.
+    #[inline]
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The contiguous mean column of dimension `d` (one value per entry).
+    #[inline]
+    #[must_use]
+    pub fn mu_col(&self, d: usize) -> &[f64] {
+        &self.mu[d * self.len..(d + 1) * self.len]
+    }
+
+    /// The contiguous sigma column of dimension `d`.
+    #[inline]
+    #[must_use]
+    pub fn sigma_col(&self, d: usize) -> &[f64] {
+        &self.sigma[d * self.len..(d + 1) * self.len]
+    }
+
+    /// The contiguous precomputed `σ²` column of dimension `d`.
+    #[inline]
+    #[must_use]
+    pub fn var_col(&self, d: usize) -> &[f64] {
+        &self.var[d * self.len..(d + 1) * self.len]
+    }
+
+    /// Reassembles entry `e` as a [`Pfv`] (diagnostics / round-trip tests;
+    /// the hot path never calls this).
+    ///
+    /// # Panics
+    /// Panics if `e >= self.len()`.
+    #[must_use]
+    pub fn pfv(&self, e: usize) -> Pfv {
+        assert!(e < self.len, "entry index out of range");
+        let means: Vec<f64> = (0..self.dims).map(|d| self.mu[d * self.len + e]).collect();
+        let sigmas: Vec<f64> = (0..self.dims)
+            .map(|d| self.sigma[d * self.len + e])
+            .collect();
+        Pfv::new(means, sigmas).expect("columnar leaf holds valid pfv")
+    }
+}
+
+/// Evaluates `ln p(q|v)` (Lemma 1) for **every** entry of `leaf` in one
+/// sweep, writing entry `e`'s joint log density to `out[e]`.
+///
+/// Bit-identical to calling [`crate::combine::log_joint`] per entry — see
+/// the [module docs](self) for the exact contract.
+///
+/// # Panics
+/// Panics if `q.dims() != leaf.dims()` or `out.len() != leaf.len()`.
+pub fn log_densities(mode: CombineMode, q: &Pfv, leaf: &ColumnarLeaf, out: &mut [f64]) {
+    assert_eq!(q.dims(), leaf.dims(), "dimensionality mismatch");
+    assert_eq!(out.len(), leaf.len(), "output buffer length mismatch");
+    out.fill(0.0);
+    for d in 0..leaf.dims() {
+        let (mq, sq) = q.component(d);
+        let mu = leaf.mu_col(d);
+        match mode {
+            CombineMode::Convolution => {
+                let sq2 = sq * sq;
+                let var = leaf.var_col(d);
+                for ((o, &m), &va) in out.iter_mut().zip(mu).zip(var) {
+                    let s = (va + sq2).sqrt();
+                    let z = (mq - m) / s;
+                    *o += -s.ln() - LN_SQRT_2PI - 0.5 * z * z;
+                }
+            }
+            CombineMode::AdditiveSigma => {
+                let sigma = leaf.sigma_col(d);
+                for ((o, &m), &sv) in out.iter_mut().zip(mu).zip(sigma) {
+                    let s = sv + sq;
+                    let z = (mq - m) / s;
+                    *o += -s.ln() - LN_SQRT_2PI - 0.5 * z * z;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine;
+
+    fn sample_leaf(dims: usize, n: usize, seed: u64) -> (Vec<Pfv>, ColumnarLeaf) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let vs: Vec<Pfv> = (0..n)
+            .map(|_| {
+                let means: Vec<f64> = (0..dims).map(|_| next() * 20.0 - 10.0).collect();
+                let sigmas: Vec<f64> = (0..dims).map(|_| 0.01 + next()).collect();
+                Pfv::new(means, sigmas).unwrap()
+            })
+            .collect();
+        let leaf = ColumnarLeaf::from_pfvs(dims, vs.iter());
+        (vs, leaf)
+    }
+
+    #[test]
+    fn columns_are_a_transpose() {
+        let (vs, leaf) = sample_leaf(4, 7, 99);
+        assert_eq!(leaf.len(), 7);
+        assert_eq!(leaf.dims(), 4);
+        for (e, v) in vs.iter().enumerate() {
+            for d in 0..4 {
+                assert_eq!(leaf.mu_col(d)[e], v.means()[d]);
+                assert_eq!(leaf.sigma_col(d)[e], v.sigmas()[d]);
+                assert_eq!(leaf.var_col(d)[e], v.sigmas()[d] * v.sigmas()[d]);
+            }
+            assert_eq!(leaf.pfv(e), *v);
+        }
+    }
+
+    #[test]
+    fn batched_is_bit_identical_to_scalar() {
+        let (vs, leaf) = sample_leaf(10, 48, 2024);
+        let q = Pfv::new(vec![0.5; 10], vec![0.2; 10]).unwrap();
+        let mut out = vec![f64::NAN; leaf.len()];
+        for mode in [CombineMode::Convolution, CombineMode::AdditiveSigma] {
+            log_densities(mode, &q, &leaf, &mut out);
+            for (v, &got) in vs.iter().zip(out.iter()) {
+                let want = combine::log_joint(mode, v, &q);
+                assert_eq!(got.to_bits(), want.to_bits(), "mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn underflow_maps_to_neg_infinity_like_scalar() {
+        // A query astronomically far from every entry: z² overflows and the
+        // density underflows to -inf, exactly as in the scalar path.
+        let (vs, leaf) = sample_leaf(3, 5, 7);
+        let q = Pfv::new(vec![1e200; 3], vec![0.1; 3]).unwrap();
+        let mut out = vec![0.0; leaf.len()];
+        log_densities(CombineMode::Convolution, &q, &leaf, &mut out);
+        for (v, &got) in vs.iter().zip(out.iter()) {
+            let want = combine::log_joint(CombineMode::Convolution, v, &q);
+            assert_eq!(got.to_bits(), want.to_bits());
+            assert_eq!(got, f64::NEG_INFINITY);
+        }
+    }
+
+    #[test]
+    fn empty_leaf_is_fine() {
+        let leaf = ColumnarLeaf::from_pfvs(2, std::iter::empty::<&Pfv>());
+        assert!(leaf.is_empty());
+        let q = Pfv::new(vec![0.0, 0.0], vec![0.1, 0.1]).unwrap();
+        let mut out: Vec<f64> = Vec::new();
+        log_densities(CombineMode::Convolution, &q, &leaf, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn rejects_wrong_query_dims() {
+        let (_, leaf) = sample_leaf(3, 4, 1);
+        let q = Pfv::new(vec![0.0], vec![0.1]).unwrap();
+        let mut out = vec![0.0; 4];
+        log_densities(CombineMode::Convolution, &q, &leaf, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer")]
+    fn rejects_short_output() {
+        let (_, leaf) = sample_leaf(2, 4, 1);
+        let q = Pfv::new(vec![0.0, 0.0], vec![0.1, 0.1]).unwrap();
+        let mut out = vec![0.0; 3];
+        log_densities(CombineMode::Convolution, &q, &leaf, &mut out);
+    }
+}

@@ -376,6 +376,32 @@ impl ParamRect {
         acc
     }
 
+    /// Both conservative bounds `(ln N̂(q), ln Ň(q))` in one sweep.
+    ///
+    /// Best-first expansion needs the upper *and* lower bound of every
+    /// child ([`ParamRect::log_upper_for_query`] drives the priority queue,
+    /// [`ParamRect::log_lower_for_query`] the §5.2.2 denominator bounds);
+    /// computing them separately maps the σ-interval through Lemma 1 twice
+    /// per dimension. This fused form does it once, and is bit-identical to
+    /// the two separate calls — each bound accumulates the exact same
+    /// per-dimension terms in the same order.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch.
+    #[must_use]
+    pub fn log_bounds_for_query(&self, q: &Pfv, mode: CombineMode) -> (f64, f64) {
+        assert_eq!(q.dims(), self.dims(), "dimensionality mismatch");
+        let mut up = 0.0;
+        let mut lo = 0.0;
+        for i in 0..self.dims.len() {
+            let (mq, sq) = q.component(i);
+            let b = self.dims[i].with_query_sigma(sq, mode);
+            up += b.log_upper(mq);
+            lo += b.log_lower(mq);
+        }
+        (up, lo)
+    }
+
     /// Log of the product of per-dimension hull integrals — the node's
     /// access-probability proxy minimised by the Gauss-tree split strategy.
     ///
@@ -615,6 +641,27 @@ mod tests {
             let j = crate::combine::log_joint(mode, v, &q);
             assert!(up >= j - 1e-12, "upper {up} < joint {j}");
             assert!(lo <= j + 1e-12, "lower {lo} > joint {j}");
+        }
+    }
+
+    #[test]
+    fn fused_bounds_are_bit_identical_to_separate_calls() {
+        let vs = [
+            Pfv::new(vec![0.0, 10.0], vec![0.1, 1.0]).unwrap(),
+            Pfv::new(vec![5.0, 8.0], vec![0.3, 0.5]).unwrap(),
+        ];
+        let rect = ParamRect::covering(vs.iter());
+        for mode in [CombineMode::Convolution, CombineMode::AdditiveSigma] {
+            for &(m0, m1, s0, s1) in &[
+                (1.0, 9.0, 0.2, 0.4),
+                (-100.0, 100.0, 0.01, 5.0),
+                (3.0, 9.5, 1e-9, 0.1),
+            ] {
+                let q = Pfv::new(vec![m0, m1], vec![s0, s1]).unwrap();
+                let (up, lo) = rect.log_bounds_for_query(&q, mode);
+                assert_eq!(up.to_bits(), rect.log_upper_for_query(&q, mode).to_bits());
+                assert_eq!(lo.to_bits(), rect.log_lower_for_query(&q, mode).to_bits());
+            }
         }
     }
 

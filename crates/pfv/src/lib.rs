@@ -19,12 +19,16 @@
 //!   implementation and as the degree-5 polynomial sigmoid approximation the
 //!   paper mentions in §5.3;
 //! * [`logsum`] — numerically robust log-space accumulation (products of 27
-//!   univariate densities overflow/underflow `f64` in linear space).
+//!   univariate densities overflow/underflow `f64` in linear space);
+//! * [`batch`] — struct-of-arrays leaf columns ([`ColumnarLeaf`]) and the
+//!   vectorized Lemma-1 kernel [`batch::log_densities`] that evaluates a
+//!   whole leaf against one query, bit-identical to the scalar path.
 //!
 //! All probability-density computations are performed in **log space**; the
 //! linear-space entry points are thin wrappers provided for convenience and
 //! for small dimensionalities.
 
+pub mod batch;
 pub mod bayes;
 pub mod combine;
 pub mod divergence;
@@ -35,6 +39,7 @@ pub mod phi;
 pub mod quadrature;
 pub mod vector;
 
+pub use batch::ColumnarLeaf;
 pub use bayes::{posterior, posteriors, Posterior};
 pub use combine::CombineMode;
 pub use gaussian::Gaussian;

@@ -61,13 +61,39 @@ impl DiskModel {
 
     /// Simulated time for a sequential read of `pages` pages, in seconds:
     /// one positioning operation, then streaming transfer.
+    ///
+    /// Page-granular: a partially filled last page is billed as a full
+    /// page. When the exact payload size is known, prefer
+    /// [`DiskModel::sequential_scan_s`] / [`DiskModel::scan_time_ms`].
     #[must_use]
     pub fn sequential_io_s(&self, pages: u64) -> f64 {
         if pages == 0 {
             0.0
         } else {
-            self.seek_ms / 1e3 + pages as f64 * self.page_transfer_s()
+            self.sequential_scan_s(pages * self.page_size as u64)
         }
+    }
+
+    /// Simulated time for a sequential scan of exactly `total_bytes` of
+    /// payload, in seconds: one positioning operation, then streaming
+    /// transfer of the bytes actually read.
+    ///
+    /// Byte-granular, so a scan ending mid-page is not over-billed for the
+    /// untouched remainder of its last page.
+    #[must_use]
+    pub fn sequential_scan_s(&self, total_bytes: u64) -> f64 {
+        if total_bytes == 0 {
+            0.0
+        } else {
+            self.seek_ms / 1e3 + total_bytes as f64 / (self.transfer_mb_per_s * 1e6)
+        }
+    }
+
+    /// [`DiskModel::sequential_scan_s`] in milliseconds — the unit the
+    /// figure harnesses report.
+    #[must_use]
+    pub fn scan_time_ms(&self, total_bytes: u64) -> f64 {
+        self.sequential_scan_s(total_bytes) * 1e3
     }
 }
 
@@ -100,6 +126,22 @@ mod tests {
         let m = DiskModel::default();
         assert_eq!(m.sequential_io_s(0), 0.0);
         assert_eq!(m.random_io_s(0), 0.0);
+    }
+
+    #[test]
+    fn partial_last_page_is_not_over_billed() {
+        let m = DiskModel::hdd_2006(8192);
+        // A scan of 2.5 pages' worth of bytes must cost strictly less than
+        // three full pages and strictly more than two.
+        let bytes = 8192 * 2 + 4096;
+        let t = m.sequential_scan_s(bytes);
+        assert!(t < m.sequential_io_s(3), "partial page over-billed: {t}");
+        assert!(t > m.sequential_io_s(2), "partial page under-billed: {t}");
+        // Page-aligned byte counts agree exactly with the page-granular API.
+        assert_eq!(m.sequential_scan_s(8192 * 2), m.sequential_io_s(2));
+        // And the ms wrapper is the same quantity scaled by 1e3.
+        assert!((m.scan_time_ms(bytes) - t * 1e3).abs() < 1e-12);
+        assert_eq!(m.scan_time_ms(0), 0.0);
     }
 
     #[test]

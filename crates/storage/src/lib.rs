@@ -14,6 +14,8 @@
 //!   the cache);
 //! * [`shared`] — a sharded, `&self` variant of the buffer pool so many
 //!   threads can read one index concurrently;
+//! * [`side_cache`] — a sharded `PageId → Arc<T>` LRU companion cache for
+//!   values derived from page bytes (decoded nodes, columnar leaves);
 //! * [`stats`] — shared access counters;
 //! * [`disk`] — a disk cost model (seek + transfer) used to translate page
 //!   accesses into the paper's "overall time" on hardware we do not have.
@@ -24,6 +26,7 @@ pub mod disk;
 mod lru;
 pub mod page;
 pub mod shared;
+pub mod side_cache;
 pub mod stats;
 pub mod store;
 
@@ -32,5 +35,6 @@ pub use codec::{Reader, Writer};
 pub use disk::DiskModel;
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use shared::SharedBufferPool;
+pub use side_cache::SideCache;
 pub use stats::{AccessStats, StatsSnapshot};
 pub use store::{FileStore, MemStore, PageStore, StoreError};

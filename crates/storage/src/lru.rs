@@ -66,6 +66,17 @@ impl<T> LruCache<T> {
         Some(&mut self.frames[slot].data)
     }
 
+    /// Drops the frame for `id`, returning its payload if it was cached.
+    pub(crate) fn remove(&mut self, id: PageId) -> Option<T>
+    where
+        T: Default,
+    {
+        let slot = self.map.remove(&id)?;
+        self.detach(slot);
+        self.free.push(slot);
+        Some(std::mem::take(&mut self.frames[slot].data))
+    }
+
     /// Installs (or replaces) a frame, evicting the least recently used one
     /// when the cache is at `capacity`. Returns `true` iff a frame was
     /// evicted, so callers can account for it.
@@ -163,6 +174,22 @@ mod tests {
         c.insert(PageId(0), 0, 1);
         assert!(!c.insert(PageId(0), 99, 1));
         assert_eq!(*c.get(PageId(0)).unwrap(), 99);
+    }
+
+    #[test]
+    fn remove_frees_the_slot() {
+        let mut c: LruCache<u32> = LruCache::new();
+        c.insert(PageId(0), 10, 4);
+        c.insert(PageId(1), 11, 4);
+        assert_eq!(c.remove(PageId(0)), Some(10));
+        assert_eq!(c.remove(PageId(0)), None);
+        assert!(!c.contains(PageId(0)));
+        assert!(c.contains(PageId(1)));
+        assert_eq!(c.len(), 1);
+        // The freed slot is reusable without growing the frame vector.
+        c.insert(PageId(2), 12, 4);
+        assert_eq!(*c.get(PageId(2)).unwrap(), 12);
+        assert_eq!(c.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Merge bench JSON fragments and gate PRs on perf regressions.
+
+Stdlib-only companion to the `bench-smoke` CI job:
+
+    # combine per-binary outputs into the PR artifact
+    bench_compare.py merge BENCH_throughput.json BENCH_kernel.json -o BENCH_pr.json
+
+    # fail (exit 1) on regressions against the committed baseline
+    bench_compare.py compare BENCH_pr.json BENCH_baseline.json
+
+Gating rules (see README "Performance tracking"):
+
+* keys whose name contains ``qps`` are throughput: the PR value must not
+  fall more than ``--threshold`` percent (default 15, env override
+  ``BENCH_REGRESSION_PCT``) below the baseline;
+* keys containing ``_ns_per_`` are latencies: the PR value must not rise
+  more than the threshold above the baseline;
+* within the PR file alone, the batched kernel must beat the scalar one
+  (``kernel_bench.batched_ns_per_entry < kernel_bench.scalar_ns_per_entry``)
+  — the whole point of the columnar path;
+* every other shared numeric key (page reads, hit counts) is reported as
+  informational only: those are deterministic given a fixed seed, so a
+  drift is worth eyeballing but hardware-independent gating on them would
+  mask intentional algorithm changes.
+
+Absolute qps/ns numbers are hardware-bound: refresh BENCH_baseline.json
+(see README) whenever the CI runner class changes.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def flatten(obj, prefix=""):
+    """Yields (dotted_key, value) for every numeric leaf."""
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            yield from flatten(v, f"{prefix}.{k}" if prefix else k)
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        yield prefix, obj
+
+
+def flat(obj):
+    out = {}
+    for key, val in flatten(obj):
+        out[key] = val
+    return out
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def cmd_merge(args):
+    merged = {}
+    for path in args.inputs:
+        doc = load(path)
+        if not isinstance(doc, dict):
+            sys.exit(f"error: {path} is not a JSON object")
+        merged.update(doc)
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"merged {len(args.inputs)} file(s) -> {args.output}")
+    return 0
+
+
+def classify(key):
+    leaf = key.rsplit(".", 1)[-1]
+    if "qps" in leaf:
+        return "higher"
+    if "_ns_per_" in leaf:
+        return "lower"
+    return "info"
+
+
+def cmd_compare(args):
+    pr = flat(load(args.pr))
+    base = flat(load(args.baseline))
+    threshold = args.threshold
+    failures = []
+
+    print(f"comparing {args.pr} against {args.baseline} (threshold {threshold}%)")
+    print(f"{'key':<44} {'baseline':>14} {'pr':>14} {'delta':>9}")
+    for key in sorted(set(pr) & set(base)):
+        b, p = base[key], pr[key]
+        if b == 0:
+            delta_pct = 0.0 if p == 0 else float("inf")
+        else:
+            delta_pct = (p - b) / b * 100.0
+        kind = classify(key)
+        verdict = ""
+        if kind == "higher" and delta_pct < -threshold:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{key}: throughput fell {-delta_pct:.1f}% ({b:.1f} -> {p:.1f})"
+            )
+        elif kind == "lower" and delta_pct > threshold:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{key}: latency rose {delta_pct:.1f}% ({b:.2f} -> {p:.2f})"
+            )
+        elif kind == "info" and p != b:
+            verdict = "changed (informational)"
+        print(f"{key:<44} {b:>14.2f} {p:>14.2f} {delta_pct:>+8.1f}% {verdict}")
+
+    only_pr = sorted(set(pr) - set(base))
+    if only_pr:
+        print(f"new keys (not in baseline, not gated): {', '.join(only_pr)}")
+    only_base = sorted(set(base) - set(pr))
+    if only_base:
+        failures.append(
+            "keys missing from the PR results: " + ", ".join(only_base)
+        )
+
+    # The columnar kernel must actually win, independent of any baseline.
+    scalar = pr.get("kernel_bench.scalar_ns_per_entry")
+    batched = pr.get("kernel_bench.batched_ns_per_entry")
+    if scalar is None or batched is None:
+        failures.append("kernel_bench ns/entry fields missing from the PR results")
+    elif not batched < scalar:
+        failures.append(
+            f"batched kernel does not beat the scalar path: "
+            f"{batched:.2f} ns/entry vs {scalar:.2f} ns/entry"
+        )
+    else:
+        print(
+            f"kernel invariant ok: batched {batched:.2f} ns/entry beats "
+            f"scalar {scalar:.2f} ns/entry ({scalar / batched:.2f}x)"
+        )
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nOK: no perf regressions beyond threshold")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_merge = sub.add_parser("merge", help="merge JSON fragments into one object")
+    p_merge.add_argument("inputs", nargs="+", help="input JSON files")
+    p_merge.add_argument("-o", "--output", required=True, help="output path")
+    p_merge.set_defaults(func=cmd_merge)
+
+    p_cmp = sub.add_parser("compare", help="gate a PR result against a baseline")
+    p_cmp.add_argument("pr", help="PR bench JSON (BENCH_pr.json)")
+    p_cmp.add_argument("baseline", help="committed baseline (BENCH_baseline.json)")
+    p_cmp.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("BENCH_REGRESSION_PCT", "15")),
+        help="allowed regression in percent (default 15, env BENCH_REGRESSION_PCT)",
+    )
+    p_cmp.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

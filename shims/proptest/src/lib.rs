@@ -294,7 +294,7 @@ pub mod prop {
             VecStrategy { element, min, max }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         #[derive(Debug)]
         pub struct VecStrategy<S> {
             element: S,
