@@ -119,6 +119,7 @@ fn main() {
                         logical_reads: a.logical_reads + b.logical_reads,
                         physical_reads: a.physical_reads + b.physical_reads,
                         physical_writes: a.physical_writes + b.physical_writes,
+                        write_calls: a.write_calls + b.write_calls,
                         evictions: a.evictions + b.evictions,
                     }
                 },

@@ -3,7 +3,7 @@
 use crate::args::{parse_pfv, parse_vec, ArgError, Args};
 use crate::csvio;
 use gauss_storage::{AccessStats, BufferPool, FileStore, DEFAULT_PAGE_SIZE};
-use gauss_tree::{DeleteOutcome, GaussTree, SplitStrategy, TreeConfig};
+use gauss_tree::{BulkLoadOptions, DeleteOutcome, GaussTree, SpillKind, SplitStrategy, TreeConfig};
 use gauss_workloads::{histogram_dataset, uniform_dataset, SigmaSpec};
 use std::path::Path;
 
@@ -13,6 +13,7 @@ pub const USAGE: &str = "usage:
                      [--seed S] [--sigma-min X] [--sigma-max Y]
   gauss-cli build    --data FILE.csv --index FILE.gtree
                      [--page-size BYTES] [--split hull|mu|volume] [--bulk true|false]
+                     [--threads N] [--mem-budget BYTES] [--append true|false]
   gauss-cli info     --index FILE.gtree [--check true]
   gauss-cli mliq     --index FILE.gtree --query 'm1,..;s1,..' [--query ...]
                      [-k K] [--accuracy A] [--threads N]
@@ -78,6 +79,12 @@ fn build(args: &Args) -> Result<(), ArgError> {
     let index = args.required("index")?;
     let page_size: usize = args.num("page-size", DEFAULT_PAGE_SIZE)?;
     let bulk: bool = args.num("bulk", true)?;
+    let append: bool = args.num("append", false)?;
+    let threads: usize = args.num("threads", 1)?;
+    if threads == 0 {
+        return Err(ArgError("--threads must be at least 1".into()));
+    }
+    let mem_budget: u64 = args.num("mem-budget", 0)?;
     let split = match args.get("split").unwrap_or("hull") {
         "hull" => SplitStrategy::HullIntegral,
         "mu" => SplitStrategy::WidestMu,
@@ -90,15 +97,48 @@ fn build(args: &Args) -> Result<(), ArgError> {
         return Err(ArgError("data file holds no objects".into()));
     }
     let dims = items[0].1.dims();
-    let config = TreeConfig::new(dims).with_split(split);
 
+    if append {
+        // Merge the run into an existing index instead of rebuilding it.
+        let mut tree = open_tree(args)?;
+        let t0 = std::time::Instant::now();
+        let added = tree.extend(items).map_err(|e| ArgError(e.to_string()))?;
+        tree.flush().map_err(|e| ArgError(e.to_string()))?;
+        println!(
+            "appended {added} objects to {index}: {} total, height {}, {} pages, {:.2}s",
+            tree.len(),
+            tree.height(),
+            tree.pool().num_pages(),
+            t0.elapsed().as_secs_f64()
+        );
+        return Ok(());
+    }
+
+    let config = TreeConfig::new(dims).with_split(split);
     let store = FileStore::create(index, page_size)
         .map_err(|e| ArgError(format!("cannot create {index}: {e}")))?;
     let pool = BufferPool::with_byte_budget(store, 50 * 1024 * 1024, AccessStats::new_shared());
 
     let t0 = std::time::Instant::now();
     let mut tree = if bulk {
-        GaussTree::bulk_load(pool, config, items).map_err(|e| ArgError(e.to_string()))?
+        let mut opts = BulkLoadOptions::default()
+            .with_threads(threads)
+            .with_spill(SpillKind::TempFile);
+        if mem_budget > 0 {
+            opts =
+                opts.with_mem_budget(gauss_tree::bulk::entries_for_byte_budget(mem_budget, dims));
+        }
+        let (tree, report) = GaussTree::bulk_load_with(pool, config, items, &opts)
+            .map_err(|e| ArgError(e.to_string()))?;
+        let writes = tree.stats().snapshot();
+        eprintln!(
+            "(ingest: peak {} resident entries, {} spilled, {} pages in {} write calls)",
+            report.peak_resident_entries,
+            report.spilled_entries,
+            writes.physical_writes,
+            writes.write_calls
+        );
+        tree
     } else {
         let mut tree = GaussTree::create(pool, config).map_err(|e| ArgError(e.to_string()))?;
         for (id, v) in items {
@@ -443,6 +483,51 @@ mod tests {
             &lit
         ])
         .is_err());
+    }
+
+    #[test]
+    fn parallel_budgeted_build_and_append() {
+        let tmp = TempDir::new();
+        let csv = tmp.p("base.csv");
+        let more = tmp.p("more.csv");
+        let idx = tmp.p("base.gtree");
+        run(&[
+            "generate", "--out", &csv, "--kind", "uniform", "--n", "400", "--dims", "3", "--seed",
+            "7",
+        ])
+        .unwrap();
+        // Tiny memory budget forces the spill path; two threads exercise
+        // the parallel partitioner.
+        run(&[
+            "build",
+            "--data",
+            &csv,
+            "--index",
+            &idx,
+            "--threads",
+            "2",
+            "--mem-budget",
+            "16384",
+        ])
+        .unwrap();
+        run(&["info", "--index", &idx, "--check", "true"]).unwrap();
+
+        // Append a second CSV without a rebuild; the index keeps both runs.
+        run(&[
+            "generate", "--out", &more, "--kind", "uniform", "--n", "150", "--dims", "3", "--seed",
+            "8",
+        ])
+        .unwrap();
+        run(&[
+            "build", "--data", &more, "--index", &idx, "--append", "true",
+        ])
+        .unwrap();
+        run(&["info", "--index", &idx, "--check", "true"]).unwrap();
+
+        // --threads 0 rejected; appending to a missing index fails cleanly.
+        assert!(run(&["build", "--data", &csv, "--index", &idx, "--threads", "0"]).is_err());
+        let missing = tmp.p("missing.gtree");
+        assert!(run(&["build", "--data", &more, "--index", &missing, "--append", "true"]).is_err());
     }
 
     #[test]

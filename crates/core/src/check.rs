@@ -73,6 +73,22 @@ pub enum InvariantError {
         /// Entries actually stored.
         actual: u64,
     },
+    /// Allocated pages are neither reachable from the root, nor the meta
+    /// page, nor on the free list — the store is leaking pages.
+    PageLeak {
+        /// Pages allocated in the store.
+        allocated: u64,
+        /// Node pages reachable from the root (excluding the meta page).
+        reachable: u64,
+        /// Pages parked on the free list.
+        freed: u64,
+    },
+    /// A page on the free list is still reachable from the root (a reuse
+    /// of it would corrupt the tree).
+    FreedPageReachable {
+        /// The doubly-owned page.
+        page: u64,
+    },
 }
 
 impl std::fmt::Display for InvariantError {
@@ -107,6 +123,17 @@ impl std::fmt::Display for InvariantError {
             InvariantError::LenMismatch { meta, actual } => {
                 write!(f, "metadata says {meta} entries, tree holds {actual}")
             }
+            InvariantError::PageLeak {
+                allocated,
+                reachable,
+                freed,
+            } => write!(
+                f,
+                "page leak: {allocated} allocated, {reachable} reachable + 1 meta + {freed} freed"
+            ),
+            InvariantError::FreedPageReachable { page } => {
+                write!(f, "freed page {page} is still reachable from the root")
+            }
         }
     }
 }
@@ -124,24 +151,62 @@ impl<S: PageStore> GaussTree<S> {
     /// Storage/codec errors while traversing.
     pub fn check_invariants(&self, strict_fanout: bool) -> Result<Vec<InvariantError>, TreeError> {
         let mut errors = Vec::new();
+        let mut reachable: Vec<u64> = Vec::new();
         if self.is_empty() {
-            return Ok(errors);
+            // The empty tree still owns its (empty) root leaf.
+            reachable.push(self.root_page().index());
+        } else {
+            let root = self.root_page();
+            let height = self.height();
+            let total = self
+                .check_node(
+                    root,
+                    0,
+                    height,
+                    true,
+                    strict_fanout,
+                    &mut errors,
+                    &mut reachable,
+                )?
+                .0;
+            if total != self.len() {
+                errors.push(InvariantError::LenMismatch {
+                    meta: self.len(),
+                    actual: total,
+                });
+            }
         }
-        let root = self.root_page();
-        let height = self.height();
-        let total = self
-            .check_node(root, 0, height, true, strict_fanout, &mut errors)?
-            .0;
-        if total != self.len() {
-            errors.push(InvariantError::LenMismatch {
-                meta: self.len(),
-                actual: total,
-            });
-        }
+        self.check_page_accounting(&reachable, &mut errors);
         Ok(errors)
     }
 
+    /// Allocation-leak assertion: every page of the store is either the
+    /// meta page, reachable from the root, or parked on the free list —
+    /// nothing more, nothing less. Bulk loading, insertion, batch merges
+    /// and deletion (which returns dissolved pages to the free list) all
+    /// preserve this; a violation means some code path dropped or
+    /// double-owned a page.
+    fn check_page_accounting(&self, reachable: &[u64], errors: &mut Vec<InvariantError>) {
+        let reachable_set: std::collections::HashSet<u64> = reachable.iter().copied().collect();
+        let freed = self.free_pages();
+        for p in freed {
+            if reachable_set.contains(&p.index()) {
+                errors.push(InvariantError::FreedPageReachable { page: p.index() });
+            }
+        }
+        let allocated = self.pool().num_pages();
+        let accounted = 1 + reachable_set.len() as u64 + freed.len() as u64;
+        if accounted != allocated {
+            errors.push(InvariantError::PageLeak {
+                allocated,
+                reachable: reachable_set.len() as u64,
+                freed: freed.len() as u64,
+            });
+        }
+    }
+
     /// Returns `(subtree count, subtree rect)`.
+    #[allow(clippy::too_many_arguments)]
     fn check_node(
         &self,
         page: PageId,
@@ -150,7 +215,9 @@ impl<S: PageStore> GaussTree<S> {
         is_root: bool,
         strict_fanout: bool,
         errors: &mut Vec<InvariantError>,
+        reachable: &mut Vec<u64>,
     ) -> Result<(u64, ParamRect), TreeError> {
+        reachable.push(page.index());
         let node = self.read_node(page)?;
         match node {
             Node::Leaf(es) => {
@@ -203,8 +270,15 @@ impl<S: PageStore> GaussTree<S> {
                 let mut total = 0u64;
                 let mut rect: Option<ParamRect> = None;
                 for e in &es {
-                    let (count, child_rect) =
-                        self.check_node(e.child, depth + 1, height, false, strict_fanout, errors)?;
+                    let (count, child_rect) = self.check_node(
+                        e.child,
+                        depth + 1,
+                        height,
+                        false,
+                        strict_fanout,
+                        errors,
+                        reachable,
+                    )?;
                     if count != e.count {
                         errors.push(InvariantError::CountMismatch {
                             parent: page.index(),
@@ -288,6 +362,67 @@ mod tests {
         let tree = GaussTree::bulk_load(pool, config, items).unwrap();
         let errs = tree.check_invariants(false).unwrap();
         assert!(errs.is_empty(), "violations: {errs:?}");
+    }
+
+    #[test]
+    fn page_leak_is_detected() {
+        // Build a sound tree, then allocate a page nobody references: the
+        // accounting check must flag exactly one leak.
+        let config = TreeConfig::new(2).with_capacities(6, 4);
+        let pool = BufferPool::new(MemStore::new(8192), 1024, AccessStats::new_shared());
+        let mut tree = GaussTree::create(pool, config).unwrap();
+        for i in 0..80u64 {
+            tree.insert(i, &pfv2(i as f64, -(i as f64), 0.1)).unwrap();
+        }
+        assert!(tree.check_invariants(true).unwrap().is_empty());
+        let _orphan = tree.pool().allocate().unwrap();
+        let errs = tree.check_invariants(true).unwrap();
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, InvariantError::PageLeak { .. })),
+            "expected a PageLeak violation, got {errs:?}"
+        );
+    }
+
+    #[test]
+    fn deletion_keeps_page_accounting_exact() {
+        let config = TreeConfig::new(2).with_capacities(6, 4);
+        let pool = BufferPool::new(MemStore::new(8192), 4096, AccessStats::new_shared());
+        let mut tree = GaussTree::create(pool, config).unwrap();
+        let items: Vec<(u64, Pfv)> = (0..300u64)
+            .map(|i| {
+                (
+                    i,
+                    pfv2(
+                        (i as f64 * 0.73).sin() * 15.0,
+                        (i as f64 * 0.41).cos() * 15.0,
+                        0.05 + (i % 7) as f64 * 0.1,
+                    ),
+                )
+            })
+            .collect();
+        for (id, v) in &items {
+            tree.insert(*id, v).unwrap();
+        }
+        // Mass deletion dissolves nodes and collapses the root; every
+        // dropped page must land on the free list, not leak.
+        for (id, v) in items.iter().take(280) {
+            tree.delete(*id, v).unwrap();
+        }
+        let errs = tree.check_invariants(false).unwrap();
+        assert!(errs.is_empty(), "violations after deletes: {errs:?}");
+        assert!(tree.free_page_count() > 0, "deletes must free pages");
+        // Reinsertion reuses freed pages before growing the store.
+        let pages_before = tree.pool().num_pages();
+        for (id, v) in items.iter().take(40) {
+            tree.insert(*id, v).unwrap();
+        }
+        assert_eq!(
+            tree.pool().num_pages(),
+            pages_before,
+            "freed pages must be reused before the store grows"
+        );
+        assert!(tree.check_invariants(false).unwrap().is_empty());
     }
 
     #[test]

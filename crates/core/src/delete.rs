@@ -57,13 +57,15 @@ impl<S: PageStore> GaussTree<S> {
         }
         self.set_len(self.len() - 1);
 
-        // Root adjustments: collapse an inner root with a single child.
+        // Root adjustments: collapse an inner root with a single child
+        // (the abandoned root page goes back to the free list).
         loop {
             let root = self.root_page();
             match self.read_node(root)? {
                 Node::Inner(es) if es.len() == 1 => {
                     let only = es[0].child;
                     self.set_root(only, self.height() - 1);
+                    self.free_page(root);
                 }
                 _ => break,
             }
@@ -115,7 +117,8 @@ impl<S: PageStore> GaussTree<S> {
                     Removal::Done { underflow } => {
                         if underflow && entries.len() > 1 {
                             // Dissolve the child: collect every entry below
-                            // it for re-insertion and drop the branch.
+                            // it for re-insertion, free the branch's pages
+                            // and drop it from the parent.
                             self.collect_subtree(child, level - 1, orphans)?;
                             entries.remove(idx);
                         } else {
@@ -123,6 +126,7 @@ impl<S: PageStore> GaussTree<S> {
                             let child_node = self.read_node(child)?;
                             if child_node.is_empty() {
                                 entries.remove(idx);
+                                self.free_page(child);
                             } else {
                                 entries[idx].rect = child_node.bounding_rect();
                                 entries[idx].count = child_node.subtree_count();
@@ -139,7 +143,8 @@ impl<S: PageStore> GaussTree<S> {
     }
 
     /// Gathers every leaf entry below `page` into `out` (for orphan
-    /// re-insertion after a node is dissolved).
+    /// re-insertion after a node is dissolved) and frees the dissolved
+    /// pages so later allocations reuse them instead of leaking them.
     fn collect_subtree(
         &mut self,
         page: PageId,
@@ -157,6 +162,7 @@ impl<S: PageStore> GaussTree<S> {
                 }
             }
         }
+        self.free_page(page);
         Ok(())
     }
 }

@@ -17,9 +17,18 @@
 //!   hull-cost enlargement) and the split strategy that minimises the
 //!   integral `∫ N̂(x) dx` of the resulting hull functions, for which the
 //!   closed form lives in [`pfv::hull::DimBounds::hull_integral`];
-//! * an STR-style [bulk loader](GaussTree::bulk_load) (an extension — the
-//!   paper only describes incremental insertion);
-//! * [structural invariant checking](GaussTree::check_invariants);
+//! * a parallel, out-of-core STR-style [bulk loader](GaussTree::bulk_load)
+//!   (an extension — the paper only describes incremental insertion) whose
+//!   pipeline runs in three stages (see [`bulk`]): a streaming front end
+//!   that spills runs past a configurable memory budget, partitioning
+//!   fanned across scoped worker threads (the recursion's sub-ranges are
+//!   independent), and batched page writes group-committed as coalesced
+//!   sequential runs — every combination byte-identical to the serial
+//!   resident build; plus [`GaussTree::extend`], the batched sorted-run
+//!   merge into an existing tree (one descent per batch);
+//! * [structural invariant checking](GaussTree::check_invariants),
+//!   including exact page accounting: every allocated page is the meta
+//!   page, reachable from the root, or on the free list deletions refill;
 //! * a columnar read hot path: decoded nodes are cached next to their pages
 //!   ([`CachedNode`] behind a [`gauss_storage::SideCache`]), leaves are
 //!   materialized struct-of-arrays and evaluated with the batched Lemma-1
@@ -52,6 +61,7 @@
 //! assert_eq!(hits[0].id, 1);
 //! ```
 
+pub mod bulk;
 pub mod check;
 pub mod config;
 pub mod cursor;
@@ -63,6 +73,7 @@ pub mod query;
 pub mod split;
 pub mod tree;
 
+pub use bulk::{BulkLoadOptions, BulkLoadReport, SpillKind};
 pub use check::InvariantError;
 pub use config::{SplitStrategy, TreeConfig};
 pub use cursor::RankingCursor;

@@ -10,6 +10,7 @@
 use crate::config::SplitStrategy;
 use crate::node::{InnerEntry, LeafEntry};
 use pfv::{DimBounds, ParamRect};
+use std::sync::Mutex;
 
 /// A split axis: the μ or the σ component of one dimension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,7 +110,7 @@ pub fn node_cost(strategy: SplitStrategy, rect: &ParamRect) -> f64 {
 }
 
 /// `ln(exp(a) + exp(b))` — combines the two child costs for comparison.
-fn log_add(a: f64, b: f64) -> f64 {
+pub(crate) fn log_add(a: f64, b: f64) -> f64 {
     let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
     if lo == f64::NEG_INFINITY {
         hi
@@ -182,6 +183,95 @@ pub fn split_items<T: Splittable + Clone>(
     SplitOutcome { axis, left, right }
 }
 
+/// The candidate split axes of a strategy, in the canonical order every
+/// partitioner (in-memory, parallel, external) must share: all `2·dims`
+/// parameter axes for the cost-driven strategies, the single widest-μ axis
+/// (computed lazily from the covering rectangle) for the baseline.
+pub(crate) fn candidate_axes(
+    strategy: SplitStrategy,
+    dims: usize,
+    whole_rect: impl FnOnce() -> ParamRect,
+) -> Vec<Axis> {
+    match strategy {
+        SplitStrategy::WidestMu => {
+            let rect = whole_rect();
+            let best = (0..dims)
+                .max_by(|&a, &b| rect.dim(a).mu_extent().total_cmp(&rect.dim(b).mu_extent()))
+                .expect("dims >= 1");
+            vec![Axis::Mu(best)]
+        }
+        SplitStrategy::HullIntegral | SplitStrategy::MinVolume => (0..dims)
+            .flat_map(|i| [Axis::Mu(i), Axis::Sigma(i)])
+            .collect(),
+    }
+}
+
+/// MBR of the items selected by `idxs`, unioned in index order — the same
+/// fold [`group_rect`] performs over a materialised group.
+///
+/// # Panics
+/// Panics if `idxs` is empty.
+pub(crate) fn rect_of_indices<T: Splittable>(items: &[T], idxs: &[u32]) -> ParamRect {
+    assert!(!idxs.is_empty(), "empty group has no bounds");
+    let first = &items[idxs[0] as usize];
+    let dims = first.dims();
+    let mut ds: Vec<DimBounds> = (0..dims).map(|d| first.dim_bounds(d)).collect();
+    for &i in &idxs[1..] {
+        let it = &items[i as usize];
+        for (d, b) in ds.iter_mut().enumerate() {
+            *b = b.union(&it.dim_bounds(d));
+        }
+    }
+    ParamRect::from_dims(ds)
+}
+
+/// Splits `items` at `split_at` along the cheapest candidate axis and
+/// returns the two halves in the stable sort order of that axis.
+///
+/// Semantically identical to the original clone-sort-per-axis
+/// implementation, but candidate axes are evaluated on a stable **argsort**
+/// (one `Vec<f64>` of keys and one index permutation per axis) and only the
+/// winning permutation materialises the items — no per-axis full clones.
+fn choose_partition_split<T: Splittable + Clone>(
+    strategy: SplitStrategy,
+    items: Vec<T>,
+    split_at: usize,
+) -> (Vec<T>, Vec<T>) {
+    let dims = items[0].dims();
+    let n = items.len();
+    let axes = candidate_axes(strategy, dims, || group_rect(&items));
+
+    let mut best: Option<(f64, Vec<u32>)> = None;
+    for axis in axes {
+        let keys: Vec<f64> = items.iter().map(|it| it.axis_key(axis)).collect();
+        let mut perm: Vec<u32> = (0..u32::try_from(n).expect("group fits u32")).collect();
+        // Stable argsort == stable sort of the items themselves.
+        perm.sort_by(|&a, &b| keys[a as usize].total_cmp(&keys[b as usize]));
+        let cost = log_add(
+            node_cost(strategy, &rect_of_indices(&items, &perm[..split_at])),
+            node_cost(strategy, &rect_of_indices(&items, &perm[split_at..])),
+        );
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+            best = Some((cost, perm));
+        }
+    }
+    let (_, perm) = best.expect("at least one candidate axis");
+
+    // Move the items into the winning order (no clones).
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut left = Vec::with_capacity(split_at);
+    let mut right = Vec::with_capacity(n - split_at);
+    for (i, &p) in perm.iter().enumerate() {
+        let it = slots[p as usize].take().expect("each index moved once");
+        if i < split_at {
+            left.push(it);
+        } else {
+            right.push(it);
+        }
+    }
+    (left, right)
+}
+
 /// Recursively partitions `items` into `⌈n / cap⌉` groups of at most `cap`
 /// items each, choosing split axes with the same cost objective as node
 /// splits. Used by the bulk loader.
@@ -212,40 +302,151 @@ fn partition_rec<T: Splittable + Clone>(
         out.push(items);
         return;
     }
-    let dims = items[0].dims();
     let g_left = n_groups / 2;
     let split_at = items.len() * g_left / n_groups;
-
-    let axes: Vec<Axis> = match strategy {
-        SplitStrategy::WidestMu => {
-            let rect = group_rect(&items);
-            let best = (0..dims)
-                .max_by(|&a, &b| rect.dim(a).mu_extent().total_cmp(&rect.dim(b).mu_extent()))
-                .expect("dims >= 1");
-            vec![Axis::Mu(best)]
-        }
-        _ => (0..dims)
-            .flat_map(|i| [Axis::Mu(i), Axis::Sigma(i)])
-            .collect(),
-    };
-
-    let mut best: Option<(f64, Vec<T>, Vec<T>)> = None;
-    for axis in axes {
-        let mut sorted = items.clone();
-        sorted.sort_by(|a, b| a.axis_key(axis).total_cmp(&b.axis_key(axis)));
-        let right = sorted.split_off(split_at);
-        let left = sorted;
-        let cost = log_add(
-            node_cost(strategy, &group_rect(&left)),
-            node_cost(strategy, &group_rect(&right)),
-        );
-        if best.as_ref().is_none_or(|(c, ..)| cost < *c) {
-            best = Some((cost, left, right));
-        }
-    }
-    let (_, left, right) = best.expect("at least one axis");
+    let (left, right) = choose_partition_split(strategy, items, split_at);
     partition_rec(strategy, left, g_left, out);
     partition_rec(strategy, right, n_groups - g_left, out);
+}
+
+/// Subtrees below this size are partitioned serially by one worker instead
+/// of feeding the shared queue — the lock traffic would cost more than the
+/// parallelism buys.
+const PARALLEL_TASK_FLOOR: usize = 2048;
+
+/// [`partition_groups`] fanned across `threads` scoped workers.
+///
+/// The recursion of [`partition_groups`] descends into two *independent*
+/// sub-ranges after every split, so the right half goes onto a shared
+/// work-stealing queue while the splitting worker keeps descending into the
+/// left — the same claim-next-unit scheme `BatchExecutor` uses for queries.
+/// Every group's final position is fixed by the recursion shape alone
+/// (`n_groups` splits deterministically), so groups land in their slots in
+/// input-recursion order regardless of which worker computed them: the
+/// result is **identical** to the serial partitioning for any thread count.
+///
+/// # Panics
+/// Panics if `cap < 1` or `items` is empty.
+#[must_use]
+pub fn partition_groups_parallel<T: Splittable + Clone + Send>(
+    strategy: SplitStrategy,
+    items: Vec<T>,
+    cap: usize,
+    threads: usize,
+) -> Vec<Vec<T>> {
+    assert!(cap >= 1, "group capacity must be positive");
+    assert!(!items.is_empty(), "cannot partition zero items");
+    let total = items.len().div_ceil(cap);
+    partition_into_n_parallel(strategy, items, total, threads)
+}
+
+/// [`partition_groups_parallel`] with an explicit group count — the form
+/// the bulk loader's recursion needs, because a sub-range's group count is
+/// fixed by the parent split, not recomputed from the capacity.
+pub(crate) fn partition_into_n_parallel<T: Splittable + Clone + Send>(
+    strategy: SplitStrategy,
+    items: Vec<T>,
+    total: usize,
+    threads: usize,
+) -> Vec<Vec<T>> {
+    assert!(!items.is_empty(), "cannot partition zero items");
+    let threads = threads.max(1);
+    if threads == 1 || total == 1 || items.len() <= PARALLEL_TASK_FLOOR {
+        let mut out = Vec::with_capacity(total);
+        partition_rec(strategy, items, total, &mut out);
+        return out;
+    }
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Condvar;
+    // (items, n_groups, slot offset of the sub-range's first group).
+    let queue: Mutex<Vec<(Vec<T>, usize, usize)>> = Mutex::new(vec![(items, total, 0)]);
+    // Idle workers park on this condvar instead of spinning — during the
+    // serial head (first split) and tail (last sub-floor tasks) the
+    // waiting threads must not tax the one that has work.
+    let work_ready = Condvar::new();
+    let done = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Vec<T>>>> = (0..total).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let task = {
+                    let mut q = queue.lock().expect("queue poisoned");
+                    loop {
+                        if done.load(Ordering::Acquire) >= total {
+                            return;
+                        }
+                        if let Some(task) = q.pop() {
+                            break task;
+                        }
+                        q = work_ready.wait(q).expect("queue poisoned");
+                    }
+                };
+                let (mut items, mut n, off) = task;
+                // Small sub-ranges finish serially; their groups occupy the
+                // consecutive slots [off, off + n) in recursion order.
+                while n > 1 && items.len() > PARALLEL_TASK_FLOOR {
+                    let g_left = n / 2;
+                    let split_at = items.len() * g_left / n;
+                    let (left, right) = choose_partition_split(strategy, items, split_at);
+                    queue
+                        .lock()
+                        .expect("queue poisoned")
+                        .push((right, n - g_left, off + g_left));
+                    work_ready.notify_one();
+                    items = left;
+                    n = g_left;
+                }
+                let mut local = Vec::with_capacity(n);
+                partition_rec(strategy, items, n, &mut local);
+                debug_assert_eq!(local.len(), n);
+                for (i, g) in local.into_iter().enumerate() {
+                    *slots[off + i].lock().expect("slot poisoned") = Some(g);
+                }
+                if done.fetch_add(n, Ordering::Release) + n >= total {
+                    // All groups are placed: wake every parked worker so
+                    // the scope can close. Take the queue lock so the
+                    // notification cannot slip between a waiter's check of
+                    // `done` and its wait.
+                    let _q = queue.lock().expect("queue poisoned");
+                    work_ready.notify_all();
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+/// Splits an overflowing set into as many groups of at most `cap` items as
+/// the recursive median splits produce (at least two) — the multi-way
+/// counterpart of [`split_items`] used when a batch insert overfills one
+/// node by more than a single split's worth.
+///
+/// # Panics
+/// Panics if `cap < 2` or `items.len() < 2`.
+#[must_use]
+pub fn split_many<T: Splittable + Clone>(
+    strategy: SplitStrategy,
+    items: Vec<T>,
+    cap: usize,
+) -> Vec<Vec<T>> {
+    assert!(cap >= 2, "capacity below two cannot hold a split result");
+    if items.len() <= cap {
+        return vec![items];
+    }
+    let out = split_items(strategy, items);
+    let mut groups = split_many(strategy, out.left, cap);
+    groups.extend(split_many(strategy, out.right, cap));
+    groups
 }
 
 #[cfg(test)]
@@ -409,5 +610,50 @@ mod tests {
         let groups = partition_groups(SplitStrategy::HullIntegral, items, 10);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].len(), 5);
+    }
+
+    #[test]
+    fn parallel_partition_identical_to_serial() {
+        // Enough items that the work queue actually fans out (the serial
+        // floor is 2048), on every strategy and several thread counts.
+        let items: Vec<LeafEntry> = (0..6000)
+            .map(|i| {
+                leaf(
+                    i,
+                    (i as f64 * 0.917).sin() * 40.0,
+                    0.02 + ((i * 7) % 11) as f64 * 0.09,
+                )
+            })
+            .collect();
+        for strategy in [
+            SplitStrategy::HullIntegral,
+            SplitStrategy::MinVolume,
+            SplitStrategy::WidestMu,
+        ] {
+            let serial = partition_groups(strategy, items.clone(), 24);
+            for threads in [1, 2, 3, 8] {
+                let par = partition_groups_parallel(strategy, items.clone(), 24, threads);
+                assert_eq!(par, serial, "strategy {strategy:?}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_many_respects_capacity_and_keeps_items() {
+        let items: Vec<LeafEntry> = (0..77)
+            .map(|i| leaf(i, (i as f64 * 1.3).cos() * 15.0, 0.1 + (i % 6) as f64 * 0.1))
+            .collect();
+        for cap in [4, 8, 80] {
+            let groups = split_many(SplitStrategy::HullIntegral, items.clone(), cap);
+            let mut ids: Vec<u64> = groups.iter().flatten().map(|e| e.id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..77).collect::<Vec<_>>());
+            for g in &groups {
+                assert!(!g.is_empty() && g.len() <= cap);
+            }
+            if cap >= 80 {
+                assert_eq!(groups.len(), 1);
+            }
+        }
     }
 }

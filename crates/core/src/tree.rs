@@ -1,11 +1,13 @@
 //! The Gauss-tree structure: creation, persistence, insertion, bulk loading.
 
+use crate::bulk::{BulkLoadOptions, BulkLoadReport};
 use crate::config::TreeConfig;
 use crate::node::{CachedNode, InnerEntry, LeafEntry, Node, NodeCodecError};
-use crate::split::{group_rect, node_cost, partition_groups, split_items};
+use crate::split::{group_rect, node_cost, split_items, split_many};
 use gauss_storage::store::{PageStore, StoreError};
-use gauss_storage::{PageId, Reader, SharedBufferPool, SideCache, Writer};
+use gauss_storage::{PageId, Reader, SharedBufferPool, SideCache, WriteBatch, Writer};
 use pfv::{CombineMode, ParamRect, Pfv};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 const META_MAGIC: u32 = 0x4754_5245; // "GTRE"
@@ -14,6 +16,15 @@ const META_VERSION: u32 = 1;
 /// Fill factor applied by the bulk loader so bulk-built nodes can absorb a
 /// few inserts before splitting.
 const BULK_FILL: f64 = 0.75;
+
+/// Base metadata bytes in the meta page before the persisted free-list ids:
+/// the fixed fields (42) plus the in-meta id count (u32) and the overflow
+/// chain pointer (u64).
+const META_BASE_BYTES: usize = 4 + 4 + 4 + 1 + 1 + 4 + 4 + 8 + 4 + 8 + 4 + 8;
+
+/// Bytes of a free-list overflow carrier page consumed by its header
+/// (next-pointer u64 + id count u32).
+const FREE_CHAIN_HEADER_BYTES: usize = 8 + 4;
 
 /// Errors surfaced by the Gauss-tree.
 #[derive(Debug)]
@@ -94,6 +105,21 @@ pub struct GaussTree<S: PageStore> {
     root: PageId,
     height: u32,
     len: u64,
+    /// Pages freed by deletion and not yet reused. Allocation pops from
+    /// here before extending the store, so a tree's store never accumulates
+    /// unreachable pages — [`GaussTree::check_invariants`] asserts exactly
+    /// that. Persisted by [`GaussTree::flush`]: ids that fit live in the
+    /// meta page, any overflow is chained through the freed pages
+    /// themselves (their content is dead by definition), so the list
+    /// survives reopen in full at any size.
+    free_list: Vec<PageId>,
+}
+
+/// Descriptor of one subtree produced by a batch merge ([`GaussTree::extend`]).
+struct SubtreeDesc {
+    page: PageId,
+    rect: ParamRect,
+    count: u64,
 }
 
 /// Result of a recursive insert below some node.
@@ -135,6 +161,7 @@ impl<S: PageStore> GaussTree<S> {
             root,
             height: 0,
             len: 0,
+            free_list: Vec::new(),
         };
         tree.write_node(root, &Node::Leaf(Vec::new()))?;
         tree.flush()?;
@@ -153,7 +180,8 @@ impl<S: PageStore> GaussTree<S> {
         }
         let page = pool.page(PageId(0))?;
         let mut r = Reader::new(&page);
-        let parse = (|| -> Result<(TreeConfig, PageId, u32, u64), NodeCodecError> {
+        type MetaFields = (TreeConfig, PageId, u32, u64, Vec<PageId>, PageId);
+        let parse = (|| -> Result<MetaFields, NodeCodecError> {
             let magic = r.get_u32()?;
             let version = r.get_u32()?;
             if magic != META_MAGIC || version != META_VERSION {
@@ -175,14 +203,42 @@ impl<S: PageStore> GaussTree<S> {
             if dims == 0 || leaf_cap < 2 || inner_cap < 2 || !root.is_valid() {
                 return Err(NodeCodecError::Corrupt("bad metadata values"));
             }
+            let free_count = r.get_u32()? as usize;
+            let free_next = PageId(r.get_u64()?);
+            let mut free_list = Vec::with_capacity(free_count);
+            for _ in 0..free_count {
+                free_list.push(PageId(r.get_u64()?));
+            }
             let mut config = TreeConfig::new(dims)
                 .with_combine(combine)
                 .with_split(split);
             config.max_leaf_entries = Some(leaf_cap);
             config.max_inner_entries = Some(inner_cap);
-            Ok((config, root, height, len))
+            Ok((config, root, height, len, free_list, free_next))
         })();
-        let (config, root, height, len) = parse.map_err(|_| TreeError::NotAGaussTree)?;
+        let (config, root, height, len, mut free_list, mut free_next) =
+            parse.map_err(|_| TreeError::NotAGaussTree)?;
+        // Follow the overflow chain through the freed carrier pages.
+        let allocated = pool.num_pages();
+        while free_next.is_valid() {
+            if free_next.index() >= allocated || free_list.len() as u64 > allocated {
+                return Err(TreeError::NotAGaussTree);
+            }
+            let page = pool.page(free_next)?;
+            let mut r = Reader::new(&page);
+            let chain = (|| -> Result<(PageId, Vec<PageId>), NodeCodecError> {
+                let next = PageId(r.get_u64()?);
+                let count = r.get_u32()? as usize;
+                let mut ids = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ids.push(PageId(r.get_u64()?));
+                }
+                Ok((next, ids))
+            })();
+            let (next, ids) = chain.map_err(|_| TreeError::NotAGaussTree)?;
+            free_list.extend(ids);
+            free_next = next;
+        }
         let leaf_cap = config.leaf_capacity(pool.page_size());
         let inner_cap = config.inner_capacity(pool.page_size());
         let node_cache = SideCache::new(pool.capacity().max(1));
@@ -196,12 +252,17 @@ impl<S: PageStore> GaussTree<S> {
             root,
             height,
             len,
+            free_list,
         })
     }
 
     /// Bulk-loads a tree from `(id, pfv)` pairs (STR-style recursive
     /// partitioning driven by the configured split cost — an extension over
     /// the paper's incremental insertion).
+    ///
+    /// Runs the pipeline of [`GaussTree::bulk_load_with`] with
+    /// [`BulkLoadOptions::default`]: single-threaded, fully resident,
+    /// batched page writes.
     ///
     /// # Errors
     /// Propagates store errors; rejects dimensionality mismatches.
@@ -210,76 +271,28 @@ impl<S: PageStore> GaussTree<S> {
         config: TreeConfig,
         items: impl IntoIterator<Item = (u64, Pfv)>,
     ) -> Result<Self, TreeError> {
+        Ok(Self::bulk_load_with(pool, config, items, &BulkLoadOptions::default())?.0)
+    }
+
+    /// Bulk-loads a tree through the full ingest pipeline (see
+    /// [`crate::bulk`]): streaming chunked consumption of `items` under an
+    /// optional memory budget with runs spilled through a page store,
+    /// partitioning fanned across worker threads, and node pages written in
+    /// coalesced batches. The produced tree is **byte-identical** to the
+    /// serial fully-resident build for every thread count, memory budget
+    /// and write mode.
+    ///
+    /// # Errors
+    /// Propagates store errors; rejects dimensionality mismatches.
+    pub fn bulk_load_with(
+        pool: impl Into<SharedBufferPool<S>>,
+        config: TreeConfig,
+        items: impl IntoIterator<Item = (u64, Pfv)>,
+        opts: &BulkLoadOptions,
+    ) -> Result<(Self, BulkLoadReport), TreeError> {
         let mut tree = Self::create(pool, config)?;
-        let mut entries = Vec::new();
-        for (id, pfv) in items {
-            if pfv.dims() != tree.config.dims {
-                return Err(TreeError::DimMismatch {
-                    expected: tree.config.dims,
-                    got: pfv.dims(),
-                });
-            }
-            entries.push(LeafEntry { id, pfv });
-        }
-        if entries.is_empty() {
-            return Ok(tree);
-        }
-        tree.len = entries.len() as u64;
-
-        let leaf_target = ((tree.leaf_cap as f64 * BULK_FILL) as usize).max(2);
-        let inner_target = ((tree.inner_cap as f64 * BULK_FILL) as usize).max(2);
-
-        // Level 0: pack pfv into leaves.
-        let groups = partition_groups(tree.config.split, entries, leaf_target);
-        let mut level: Vec<InnerEntry> = Vec::with_capacity(groups.len());
-        let mut reuse_root = Some(tree.root);
-        for g in groups {
-            let page = match reuse_root.take() {
-                Some(p) => p,
-                None => tree.pool.allocate()?,
-            };
-            let rect = group_rect(&g);
-            let count = g.len() as u64;
-            tree.write_node(page, &Node::Leaf(g))?;
-            level.push(InnerEntry {
-                child: page,
-                count,
-                rect,
-            });
-        }
-
-        // Upper levels until everything fits under one root.
-        let mut height = 0;
-        while level.len() > 1 {
-            height += 1;
-            if level.len() <= tree.inner_cap {
-                let page = tree.pool.allocate()?;
-                tree.write_node(page, &Node::Inner(level))?;
-                tree.root = page;
-                tree.height = height;
-                tree.flush()?;
-                return Ok(tree);
-            }
-            let groups = partition_groups(tree.config.split, level, inner_target);
-            let mut next: Vec<InnerEntry> = Vec::with_capacity(groups.len());
-            for g in groups {
-                let page = tree.pool.allocate()?;
-                let rect = group_rect(&g);
-                let count = g.iter().map(|e| e.count).sum();
-                tree.write_node(page, &Node::Inner(g))?;
-                next.push(InnerEntry {
-                    child: page,
-                    count,
-                    rect,
-                });
-            }
-            level = next;
-        }
-        // Single leaf: root stays the (reused) leaf page.
-        tree.root = level[0].child;
-        tree.height = 0;
-        tree.flush()?;
-        Ok(tree)
+        let report = crate::bulk::run(&mut tree, items, opts)?;
+        Ok((tree, report))
     }
 
     /// Number of stored pfv.
@@ -367,7 +380,95 @@ impl<S: PageStore> GaussTree<S> {
         w.put_u64(self.root.index());
         w.put_u32(self.height);
         w.put_u64(self.len);
+        // Persist the free list in full: ids that fit go into the meta
+        // page, any overflow is chained through carrier pages drawn from
+        // the freed ids themselves (their content is dead by definition,
+        // and each carrier also appears in the persisted id set, so the
+        // page accounting stays exact across reopen).
+        let page_size = self.pool.page_size();
+        let meta_cap = page_size.saturating_sub(META_BASE_BYTES) / 8;
+        let in_meta = self.free_list.len().min(meta_cap);
+        let rest = &self.free_list[in_meta..];
+        let per_carrier = ((page_size - FREE_CHAIN_HEADER_BYTES) / 8).max(1);
+        let chunks: Vec<&[PageId]> = rest.chunks(per_carrier).collect();
+        let first_carrier = chunks.first().map_or(PageId::INVALID, |c| c[0]);
+        w.put_u32(u32::try_from(in_meta).expect("free count fits u32"));
+        w.put_u64(first_carrier.index());
+        for id in &self.free_list[..in_meta] {
+            w.put_u64(id.index());
+        }
         self.pool.write(self.meta_page, &page)?;
+        for (i, chunk) in chunks.iter().enumerate() {
+            let carrier = chunk[0];
+            let next = chunks.get(i + 1).map_or(PageId::INVALID, |c| c[0]);
+            let mut buf = vec![0u8; page_size];
+            let mut cw = Writer::new(&mut buf);
+            cw.put_u64(next.index());
+            cw.put_u32(u32::try_from(chunk.len()).expect("chunk fits u32"));
+            for id in *chunk {
+                cw.put_u64(id.index());
+            }
+            // A carrier may still carry a stale decoded node from before it
+            // was freed; its bytes are changing, so drop that decode.
+            self.node_cache.remove(carrier);
+            self.pool.write(carrier, &buf)?;
+        }
+        Ok(())
+    }
+
+    /// Allocates a page for a new node, reusing a freed page when one is
+    /// available.
+    pub(crate) fn alloc_page(&mut self) -> Result<PageId, TreeError> {
+        match self.free_list.pop() {
+            Some(p) => Ok(p),
+            None => Ok(self.pool.allocate()?),
+        }
+    }
+
+    /// Returns a no-longer-referenced node page to the free list.
+    pub(crate) fn free_page(&mut self, page: PageId) {
+        debug_assert!(!self.free_list.contains(&page), "double free of {page}");
+        self.free_list.push(page);
+    }
+
+    /// Pages freed by deletions and not yet reused by later allocations.
+    #[must_use]
+    pub fn free_page_count(&self) -> usize {
+        self.free_list.len()
+    }
+
+    /// The freed-page ids (for the invariant checker).
+    pub(crate) fn free_pages(&self) -> &[PageId] {
+        &self.free_list
+    }
+
+    /// Bulk-loader leaf fill target (`BULK_FILL` of the capacity).
+    pub(crate) fn bulk_leaf_target(&self) -> usize {
+        ((self.leaf_cap as f64 * BULK_FILL) as usize).max(2)
+    }
+
+    /// Bulk-loader inner fill target.
+    pub(crate) fn bulk_inner_target(&self) -> usize {
+        ((self.inner_cap as f64 * BULK_FILL) as usize).max(2)
+    }
+
+    /// Serialises `node` into a fresh page-sized buffer.
+    pub(crate) fn encode_node(&self, node: &Node) -> Vec<u8> {
+        let mut buf = vec![0u8; self.pool.page_size()];
+        node.write_to(self.config.dims, &mut buf);
+        buf
+    }
+
+    /// Stages `node` for `page` in a [`WriteBatch`] (group commit),
+    /// invalidating the decoded-node cache exactly like a direct write.
+    pub(crate) fn stage_node(&self, batch: &mut WriteBatch, page: PageId, node: &Node) {
+        self.node_cache.remove(page);
+        batch.put(page, &self.encode_node(node));
+    }
+
+    /// Flushes a staged [`WriteBatch`] through the pool (coalesced runs).
+    pub(crate) fn commit_batch(&self, batch: &mut WriteBatch) -> Result<(), TreeError> {
+        self.pool.write_batch(batch)?;
         Ok(())
     }
 
@@ -391,7 +492,7 @@ impl<S: PageStore> GaussTree<S> {
             } => {
                 // Grow a new root.
                 let old_root = self.root;
-                let new_root = self.pool.allocate()?;
+                let new_root = self.alloc_page()?;
                 let node = Node::Inner(vec![
                     InnerEntry {
                         child: old_root,
@@ -433,7 +534,7 @@ impl<S: PageStore> GaussTree<S> {
                 Ok(ChildUpdate::Updated(rect, count))
             } else {
                 let out = split_items(self.config.split, entries);
-                let right_page = self.pool.allocate()?;
+                let right_page = self.alloc_page()?;
                 let left_rect = group_rect(&out.left);
                 let right_rect = group_rect(&out.right);
                 let left_count = out.left.len() as u64;
@@ -484,7 +585,7 @@ impl<S: PageStore> GaussTree<S> {
                 Ok(ChildUpdate::Updated(rect, count))
             } else {
                 let out = split_items(self.config.split, entries);
-                let right_page = self.pool.allocate()?;
+                let right_page = self.alloc_page()?;
                 let left_rect = group_rect(&out.left);
                 let right_rect = group_rect(&out.right);
                 let left_count = out.left.iter().map(|e| e.count).sum();
@@ -497,6 +598,167 @@ impl<S: PageStore> GaussTree<S> {
                     right: (right_rect, right_count),
                 })
             }
+        }
+    }
+
+    /// Batch-inserts a run of `(id, pfv)` pairs into an existing tree — the
+    /// append path of the ingest pipeline (`build --append` in the CLI).
+    ///
+    /// Unlike looping [`GaussTree::insert`], the whole run descends the
+    /// tree **once**: at every inner node the batch is routed to child
+    /// subtrees with the §5.3 subtree-selection rule and merged group-wise,
+    /// so each touched node is rewritten a single time per batch instead of
+    /// once per item, and overflowing nodes are split multi-way in one go
+    /// ([`split_many`]). Returns the number of items added.
+    ///
+    /// # Errors
+    /// [`TreeError::DimMismatch`] for wrong dimensionality; store errors.
+    pub fn extend(
+        &mut self,
+        items: impl IntoIterator<Item = (u64, Pfv)>,
+    ) -> Result<u64, TreeError> {
+        let mut batch = Vec::new();
+        for (id, pfv) in items {
+            if pfv.dims() != self.config.dims {
+                return Err(TreeError::DimMismatch {
+                    expected: self.config.dims,
+                    got: pfv.dims(),
+                });
+            }
+            batch.push(LeafEntry { id, pfv });
+        }
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let added = batch.len() as u64;
+        let mut descs = self.extend_rec(self.root, self.height, batch)?;
+        // Grow new levels until a single root covers every sibling the
+        // batch created (a large run can overflow the old root multi-way,
+        // raising the height by more than one).
+        while descs.len() > 1 {
+            let entries: Vec<InnerEntry> = descs
+                .iter()
+                .map(|d| InnerEntry {
+                    child: d.page,
+                    count: d.count,
+                    rect: d.rect.clone(),
+                })
+                .collect();
+            if entries.len() <= self.inner_cap {
+                let page = self.alloc_page()?;
+                let rect = group_rect(&entries);
+                let count = entries.iter().map(|e| e.count).sum();
+                self.write_node(page, &Node::Inner(entries))?;
+                self.height += 1;
+                descs = vec![SubtreeDesc { page, rect, count }];
+            } else {
+                let groups = split_many(self.config.split, entries, self.inner_cap);
+                let mut next = Vec::with_capacity(groups.len());
+                for g in groups {
+                    let page = self.alloc_page()?;
+                    let rect = group_rect(&g);
+                    let count = g.iter().map(|e| e.count).sum();
+                    self.write_node(page, &Node::Inner(g))?;
+                    next.push(SubtreeDesc { page, rect, count });
+                }
+                self.height += 1;
+                descs = next;
+            }
+        }
+        self.root = descs[0].page;
+        self.len += added;
+        Ok(added)
+    }
+
+    /// Merges `items` into the subtree rooted at `page`, returning the
+    /// descriptors of the subtree(s) that replace it (more than one when
+    /// the node overflowed and split).
+    fn extend_rec(
+        &mut self,
+        page: PageId,
+        level: u32,
+        items: Vec<LeafEntry>,
+    ) -> Result<Vec<SubtreeDesc>, TreeError> {
+        let node = self.read_node(page)?;
+        if level == 0 {
+            let Node::Leaf(mut entries) = node else {
+                return Err(TreeError::Corrupt("expected leaf at level 0"));
+            };
+            entries.extend(items);
+            return if entries.len() <= self.leaf_cap {
+                let rect = group_rect(&entries);
+                let count = entries.len() as u64;
+                self.write_node(page, &Node::Leaf(entries))?;
+                Ok(vec![SubtreeDesc { page, rect, count }])
+            } else {
+                let groups = split_many(self.config.split, entries, self.leaf_cap);
+                let mut descs = Vec::with_capacity(groups.len());
+                for (i, g) in groups.into_iter().enumerate() {
+                    let target = if i == 0 { page } else { self.alloc_page()? };
+                    let rect = group_rect(&g);
+                    let count = g.len() as u64;
+                    self.write_node(target, &Node::Leaf(g))?;
+                    descs.push(SubtreeDesc {
+                        page: target,
+                        rect,
+                        count,
+                    });
+                }
+                Ok(descs)
+            };
+        }
+        let Node::Inner(mut entries) = node else {
+            return Err(TreeError::Corrupt("expected inner node above level 0"));
+        };
+        if entries.is_empty() {
+            return Err(TreeError::Corrupt("empty inner node"));
+        }
+        // Route every item with the single-insert descent rule, against the
+        // rectangles as they were when the batch arrived, then recurse once
+        // per targeted child with its whole group.
+        let mut groups: BTreeMap<usize, Vec<LeafEntry>> = BTreeMap::new();
+        for item in items {
+            let idx = self.choose_subtree(&entries, &item.pfv);
+            groups.entry(idx).or_default().push(item);
+        }
+        let mut extra: Vec<InnerEntry> = Vec::new();
+        for (idx, group) in groups {
+            let child = entries[idx].child;
+            let descs = self.extend_rec(child, level - 1, group)?;
+            let mut it = descs.into_iter();
+            let first = it.next().expect("extend_rec returns at least one desc");
+            entries[idx] = InnerEntry {
+                child: first.page,
+                count: first.count,
+                rect: first.rect,
+            };
+            extra.extend(it.map(|d| InnerEntry {
+                child: d.page,
+                count: d.count,
+                rect: d.rect,
+            }));
+        }
+        entries.extend(extra);
+        if entries.len() <= self.inner_cap {
+            let rect = group_rect(&entries);
+            let count = entries.iter().map(|e| e.count).sum();
+            self.write_node(page, &Node::Inner(entries))?;
+            Ok(vec![SubtreeDesc { page, rect, count }])
+        } else {
+            let groups = split_many(self.config.split, entries, self.inner_cap);
+            let mut descs = Vec::with_capacity(groups.len());
+            for (i, g) in groups.into_iter().enumerate() {
+                let target = if i == 0 { page } else { self.alloc_page()? };
+                let rect = group_rect(&g);
+                let count = g.iter().map(|e| e.count).sum();
+                self.write_node(target, &Node::Inner(g))?;
+                descs.push(SubtreeDesc {
+                    page: target,
+                    rect,
+                    count,
+                });
+            }
+            Ok(descs)
         }
     }
 
@@ -812,6 +1074,122 @@ mod tests {
         let snap = t.stats().snapshot();
         assert_eq!(snap.logical_reads, 2, "every cached read stays logical");
         assert_eq!(snap.physical_reads, 1, "first read faults, second hits");
+    }
+
+    #[test]
+    fn extend_merges_batches_like_single_inserts() {
+        let items: Vec<(u64, Pfv)> = (0..120u64)
+            .map(|i| (i, pfv1((i % 31) as f64, 0.05 + (i % 5) as f64 * 0.08)))
+            .collect();
+        let config = TreeConfig::new(1).with_capacities(6, 4);
+        let pool = BufferPool::new(MemStore::new(8192), 1024, AccessStats::new_shared());
+        let mut t = GaussTree::bulk_load(pool, config, items).unwrap();
+
+        let run: Vec<(u64, Pfv)> = (200..320u64)
+            .map(|i| {
+                (
+                    i,
+                    pfv1((i as f64 * 0.37).sin() * 25.0, 0.1 + (i % 3) as f64 * 0.1),
+                )
+            })
+            .collect();
+        assert_eq!(t.extend(run).unwrap(), 120);
+        assert_eq!(t.len(), 240);
+        let mut seen = Vec::new();
+        t.for_each_entry(|id, _| seen.push(id)).unwrap();
+        seen.sort_unstable();
+        let mut want: Vec<u64> = (0..120).chain(200..320).collect();
+        want.sort_unstable();
+        assert_eq!(seen, want);
+        let errs = t.check_invariants(false).unwrap();
+        assert!(errs.is_empty(), "violations after extend: {errs:?}");
+    }
+
+    #[test]
+    fn extend_into_empty_tree_and_empty_batch() {
+        let mut t = mem_tree(1, 4, 4);
+        assert_eq!(t.extend(Vec::new()).unwrap(), 0);
+        assert!(t.is_empty());
+        let run: Vec<(u64, Pfv)> = (0..40u64).map(|i| (i, pfv1(i as f64, 0.2))).collect();
+        assert_eq!(t.extend(run).unwrap(), 40);
+        assert_eq!(t.len(), 40);
+        assert!(t.height() >= 1, "40 entries with cap 4 must have split");
+        let errs = t.check_invariants(false).unwrap();
+        assert!(errs.is_empty(), "{errs:?}");
+        // Plain inserts still work after a batch merge.
+        for i in 100..120u64 {
+            t.insert(i, &pfv1(i as f64 * 0.3, 0.15)).unwrap();
+        }
+        assert_eq!(t.len(), 60);
+        assert!(t.check_invariants(false).unwrap().is_empty());
+    }
+
+    #[test]
+    fn extend_rejects_wrong_dims_without_mutation() {
+        let mut t = mem_tree(2, 4, 4);
+        let err = t.extend(vec![(0u64, pfv1(0.0, 0.1))]).unwrap_err();
+        assert!(matches!(err, TreeError::DimMismatch { .. }));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn extend_persists_across_reopen() {
+        let config = TreeConfig::new(1).with_capacities(6, 4);
+        let pool = BufferPool::new(MemStore::new(4096), 1024, AccessStats::new_shared());
+        let items: Vec<(u64, Pfv)> = (0..50u64).map(|i| (i, pfv1(i as f64, 0.2))).collect();
+        let mut t = GaussTree::bulk_load(pool, config, items).unwrap();
+        t.extend((50..90u64).map(|i| (i, pfv1(i as f64 * 0.5, 0.3))))
+            .unwrap();
+        t.flush().unwrap();
+        let store = {
+            let GaussTree { pool, .. } = t;
+            pool.into_store()
+        };
+        let pool = BufferPool::new(store, 1024, AccessStats::new_shared());
+        let t2 = GaussTree::open(pool).unwrap();
+        assert_eq!(t2.len(), 90);
+        assert!(t2.check_invariants(false).unwrap().is_empty());
+    }
+
+    #[test]
+    fn huge_free_list_survives_reopen_via_overflow_chain() {
+        // A 1 KiB meta page holds ~121 free ids inline; mass deletion on a
+        // small-page tree frees far more. The overflow must persist through
+        // the carrier chain: after reopen the full list is back and the
+        // page accounting still balances (no false PageLeak).
+        let config = TreeConfig::new(1).with_capacities(4, 4);
+        let pool = BufferPool::new(MemStore::new(1024), 4096, AccessStats::new_shared());
+        let mut t = GaussTree::create(pool, config).unwrap();
+        let items: Vec<(u64, Pfv)> = (0..900u64)
+            .map(|i| {
+                (
+                    i,
+                    pfv1((i as f64 * 0.61).sin() * 40.0, 0.05 + (i % 9) as f64 * 0.07),
+                )
+            })
+            .collect();
+        for (id, v) in &items {
+            t.insert(*id, v).unwrap();
+        }
+        for (id, v) in items.iter().take(850) {
+            t.delete(*id, v).unwrap();
+        }
+        let freed = t.free_page_count();
+        let meta_cap = (1024 - super::META_BASE_BYTES) / 8;
+        assert!(freed > meta_cap, "need overflow: {freed} <= {meta_cap}");
+        assert!(t.check_invariants(false).unwrap().is_empty());
+        t.flush().unwrap();
+
+        let store = {
+            let GaussTree { pool, .. } = t;
+            pool.into_store()
+        };
+        let pool = BufferPool::new(store, 4096, AccessStats::new_shared());
+        let t2 = GaussTree::open(pool).unwrap();
+        assert_eq!(t2.free_page_count(), freed, "free list truncated on reopen");
+        let errs = t2.check_invariants(false).unwrap();
+        assert!(errs.is_empty(), "violations after reopen: {errs:?}");
+        assert_eq!(t2.len(), 50);
     }
 
     #[test]

@@ -148,6 +148,7 @@ impl<S: PageStore> BufferPool<S> {
             "buffer/page size mismatch"
         );
         self.stats.record_physical_write();
+        self.stats.record_write_call();
         self.store.write_page(id, buf)?;
         if self.cache.contains(id) {
             self.cache

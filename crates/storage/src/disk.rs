@@ -95,6 +95,32 @@ impl DiskModel {
     pub fn scan_time_ms(&self, total_bytes: u64) -> f64 {
         self.sequential_scan_s(total_bytes) * 1e3
     }
+
+    /// Simulated time for `pages` random single-page writes, in seconds:
+    /// one positioning operation plus one page transfer each — the
+    /// per-node write storm of an unbatched index build.
+    #[must_use]
+    pub fn random_write_s(&self, pages: u64) -> f64 {
+        self.random_io_s(pages)
+    }
+
+    /// Simulated time for a batched write workload of `calls` positioning
+    /// operations transferring `total_bytes` in total, in seconds. Mirrors
+    /// the byte-granular scan billing ([`DiskModel::sequential_scan_s`]):
+    /// each coalesced run pays one seek, and transfer is billed by the
+    /// exact bytes moved, not by whole-page counts per call.
+    ///
+    /// `(calls, total_bytes)` come straight from the buffer-pool write
+    /// counters: `write_calls` and `physical_writes × page_size`. With
+    /// `calls == pages` and page-aligned bytes this degenerates to
+    /// [`DiskModel::random_write_s`].
+    #[must_use]
+    pub fn batched_write_s(&self, calls: u64, total_bytes: u64) -> f64 {
+        if calls == 0 && total_bytes == 0 {
+            return 0.0;
+        }
+        calls as f64 * self.seek_ms / 1e3 + total_bytes as f64 / (self.transfer_mb_per_s * 1e6)
+    }
 }
 
 impl Default for DiskModel {
@@ -142,6 +168,19 @@ mod tests {
         // And the ms wrapper is the same quantity scaled by 1e3.
         assert!((m.scan_time_ms(bytes) - t * 1e3).abs() < 1e-12);
         assert_eq!(m.scan_time_ms(0), 0.0);
+    }
+
+    #[test]
+    fn batched_writes_bill_seeks_per_call_and_exact_bytes() {
+        let m = DiskModel::hdd_2006(8192);
+        // 1000 per-page writes vs the same pages in 10 coalesced runs.
+        let per_node = m.random_write_s(1000);
+        let batched = m.batched_write_s(10, 1000 * 8192);
+        assert_eq!(per_node, m.batched_write_s(1000, 1000 * 8192));
+        assert!(batched < per_node / 10.0, "{batched} vs {per_node}");
+        // Byte-granular: a run ending mid-page is not billed the padding.
+        assert!(m.batched_write_s(1, 8192 + 100) < m.batched_write_s(1, 2 * 8192));
+        assert_eq!(m.batched_write_s(0, 0), 0.0);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub use buffer::BufferPool;
 pub use codec::{Reader, Writer};
 pub use disk::DiskModel;
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
-pub use shared::SharedBufferPool;
+pub use shared::{SharedBufferPool, WriteBatch};
 pub use side_cache::SideCache;
 pub use stats::{AccessStats, StatsSnapshot};
 pub use store::{FileStore, MemStore, PageStore, StoreError};

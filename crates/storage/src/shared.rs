@@ -38,6 +38,49 @@ use crate::stats::AccessStats;
 use crate::store::{PageStore, StoreError};
 use std::sync::{Arc, Mutex};
 
+/// A group-commit buffer of page writes, flushed through
+/// [`SharedBufferPool::write_batch`].
+///
+/// Staged pages are sorted by id at flush time and written as maximal runs
+/// of *consecutive* ids, each run through one [`PageStore::write_pages`]
+/// call — one positioning operation instead of one per page. The bulk
+/// loader stages every node of a tree level here, turning its per-node
+/// write storm into a handful of sequential multi-page transfers
+/// ([`crate::AccessStats`] counts the difference as `write_calls` vs
+/// `physical_writes`).
+///
+/// Staging the same page twice keeps the later image (last-writer-wins,
+/// like issuing the two writes in order).
+#[derive(Debug, Default)]
+pub struct WriteBatch {
+    pages: Vec<(PageId, Box<[u8]>)>,
+}
+
+impl WriteBatch {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages `buf` as the new content of page `id`.
+    pub fn put(&mut self, id: PageId, buf: &[u8]) {
+        self.pages.push((id, Box::from(buf)));
+    }
+
+    /// Number of staged pages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the batch holds no staged pages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
 /// Number of independently locked cache shards (a power of two).
 pub const SHARD_COUNT: usize = 16;
 
@@ -164,6 +207,21 @@ impl<S: PageStore> SharedBufferPool<S> {
         self.store.lock().expect("store mutex poisoned").allocate()
     }
 
+    /// Allocates `n` fresh zeroed pages with consecutive ids in one store
+    /// operation and returns the first id ([`PageId::INVALID`] for `n == 0`).
+    ///
+    /// # Errors
+    /// Propagates store errors.
+    ///
+    /// # Panics
+    /// Panics if the store mutex is poisoned.
+    pub fn allocate_many(&self, n: u64) -> Result<PageId, StoreError> {
+        self.store
+            .lock()
+            .expect("store mutex poisoned")
+            .allocate_many(n)
+    }
+
     /// Drops every cached frame — the paper's cold start.
     ///
     /// # Panics
@@ -183,11 +241,15 @@ impl<S: PageStore> SharedBufferPool<S> {
         self.stats.reset();
     }
 
-    fn shard_of(&self, id: PageId) -> &Mutex<Shard> {
+    fn shard_index(&self, id: PageId) -> usize {
         // Fibonacci hash of the page id; top bits select the shard (the
         // shard count is always a power of two).
         let h = id.index().wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.shards[(h >> 60) as usize & (self.shards.len() - 1)]
+        (h >> 60) as usize & (self.shards.len() - 1)
+    }
+
+    fn shard_of(&self, id: PageId) -> &Mutex<Shard> {
+        &self.shards[self.shard_index(id)]
     }
 
     /// Reads page `id`, serving from cache when possible.
@@ -234,6 +296,7 @@ impl<S: PageStore> SharedBufferPool<S> {
     pub fn write(&self, id: PageId, buf: &[u8]) -> Result<(), StoreError> {
         assert_eq!(buf.len(), self.page_size, "buffer/page size mismatch");
         self.stats.record_physical_write();
+        self.stats.record_write_call();
         let mut shard = self.shard_of(id).lock().expect("shard mutex poisoned");
         self.store
             .lock()
@@ -241,6 +304,85 @@ impl<S: PageStore> SharedBufferPool<S> {
             .write_page(id, buf)?;
         if shard.insert(id, Arc::from(buf), self.shard_cap) {
             self.stats.record_eviction();
+        }
+        Ok(())
+    }
+
+    /// Flushes a [`WriteBatch`]: stages are sorted by page id, coalesced
+    /// into maximal consecutive runs, and each run goes to the store as one
+    /// [`PageStore::write_pages`] call (one positioning operation). Every
+    /// written page is installed in the cache (write-allocate), exactly as
+    /// [`SharedBufferPool::write`] would. The batch is drained.
+    ///
+    /// Accounting: `physical_writes` counts pages, `write_calls` counts
+    /// runs — their ratio is the coalescing factor of the batch.
+    ///
+    /// # Errors
+    /// Propagates store errors.
+    ///
+    /// # Panics
+    /// Panics if a staged buffer's length differs from the page size, or a
+    /// mutex is poisoned.
+    pub fn write_batch(&self, batch: &mut WriteBatch) -> Result<(), StoreError> {
+        let mut pages = std::mem::take(&mut batch.pages);
+        if pages.is_empty() {
+            return Ok(());
+        }
+        for (_, buf) in &pages {
+            assert_eq!(buf.len(), self.page_size, "buffer/page size mismatch");
+        }
+        // Stable sort + keep-last dedup: a page staged twice behaves like
+        // two ordered writes.
+        pages.sort_by_key(|(id, _)| id.index());
+        let mut deduped: Vec<(PageId, Box<[u8]>)> = Vec::with_capacity(pages.len());
+        for (id, buf) in pages {
+            match deduped.last_mut() {
+                Some(last) if last.0 == id => last.1 = buf,
+                _ => deduped.push((id, buf)),
+            }
+        }
+        // Hold every involved shard lock (in ascending shard order) across
+        // both the store write and the cache install, mirroring the
+        // shard-then-store order of [`SharedBufferPool::write`]: a
+        // concurrent single-page write to one of these pages can therefore
+        // never interleave between our store write and our install and
+        // leave a stale frame in the cache. Ascending acquisition keeps
+        // concurrent batches deadlock-free, and `write` holds no other
+        // lock while it waits for its shard.
+        let mut involved: Vec<usize> = deduped
+            .iter()
+            .map(|(id, _)| self.shard_index(*id))
+            .collect();
+        involved.sort_unstable();
+        involved.dedup();
+        let mut guards: Vec<Option<std::sync::MutexGuard<'_, Shard>>> =
+            (0..self.shards.len()).map(|_| None).collect();
+        for &si in &involved {
+            guards[si] = Some(self.shards[si].lock().expect("shard mutex poisoned"));
+        }
+        {
+            let mut store = self.store.lock().expect("store mutex poisoned");
+            let mut run_start = 0usize;
+            for i in 1..=deduped.len() {
+                let run_ends =
+                    i == deduped.len() || deduped[i].0.index() != deduped[i - 1].0.index() + 1;
+                if run_ends {
+                    let run = &deduped[run_start..i];
+                    let bufs: Vec<&[u8]> = run.iter().map(|(_, b)| &b[..]).collect();
+                    store.write_pages(run[0].0, &bufs)?;
+                    self.stats.record_write_call();
+                    self.stats.record_physical_writes(run.len() as u64);
+                    run_start = i;
+                }
+            }
+        }
+        for (id, buf) in deduped {
+            let shard = guards[self.shard_index(id)]
+                .as_mut()
+                .expect("involved shard locked");
+            if shard.insert(id, Arc::from(buf), self.shard_cap) {
+                self.stats.record_eviction();
+            }
         }
         Ok(())
     }
@@ -396,5 +538,95 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _ = pool(0);
+    }
+
+    #[test]
+    fn write_batch_coalesces_consecutive_runs() {
+        let p = pool(64);
+        let first = {
+            let _ = p.allocate().unwrap(); // page 0
+            p.allocate_many(7).unwrap() // pages 1..=7
+        };
+        assert_eq!(first, PageId(1));
+        p.stats().reset();
+
+        // Stage pages 1,2,3 and 5,6 (out of order) plus a restage of 2:
+        // two consecutive runs -> two write calls, five pages written.
+        let mut batch = WriteBatch::new();
+        for id in [3u64, 1, 2, 6, 5] {
+            let mut buf = vec![0u8; 64];
+            buf[0] = id as u8;
+            batch.put(PageId(id), &buf);
+        }
+        let mut restage = vec![0u8; 64];
+        restage[0] = 99;
+        batch.put(PageId(2), &restage);
+        assert_eq!(batch.len(), 6);
+        p.write_batch(&mut batch).unwrap();
+        assert!(batch.is_empty(), "flush drains the batch");
+
+        let s = p.stats().snapshot();
+        assert_eq!(s.physical_writes, 5, "dedup keeps one image per page");
+        assert_eq!(s.write_calls, 2, "runs [1..=3] and [5..=6]");
+
+        // Contents are the staged images (last-writer-wins for page 2) and
+        // the writes are write-allocate: no physical read needed.
+        p.stats().reset();
+        assert_eq!(p.page(PageId(1)).unwrap()[0], 1);
+        assert_eq!(p.page(PageId(2)).unwrap()[0], 99);
+        assert_eq!(p.page(PageId(3)).unwrap()[0], 3);
+        assert_eq!(p.page(PageId(5)).unwrap()[0], 5);
+        assert_eq!(p.page(PageId(6)).unwrap()[0], 6);
+        assert_eq!(p.stats().snapshot().physical_reads, 0);
+    }
+
+    #[test]
+    fn write_batch_matches_per_page_writes_byte_for_byte() {
+        let a = pool(64);
+        let b = pool(64);
+        for p in [&a, &b] {
+            let _ = p.allocate_many(10).unwrap();
+        }
+        let images: Vec<(PageId, Vec<u8>)> = (0..10u64)
+            .map(|i| {
+                let mut buf = vec![0u8; 64];
+                buf[0] = 100 + i as u8;
+                (PageId(i), buf)
+            })
+            .collect();
+        for (id, buf) in &images {
+            a.write(*id, buf).unwrap();
+        }
+        let mut batch = WriteBatch::new();
+        for (id, buf) in &images {
+            batch.put(*id, buf);
+        }
+        b.write_batch(&mut batch).unwrap();
+        for (id, _) in &images {
+            assert_eq!(&a.page(*id).unwrap()[..], &b.page(*id).unwrap()[..]);
+        }
+        // Same pages written, far fewer positioning operations.
+        assert_eq!(a.stats().snapshot().write_calls, 10);
+        assert_eq!(b.stats().snapshot().write_calls, 1);
+        assert_eq!(
+            a.stats().snapshot().physical_writes,
+            b.stats().snapshot().physical_writes
+        );
+    }
+
+    #[test]
+    fn empty_write_batch_is_free() {
+        let p = pool(8);
+        p.write_batch(&mut WriteBatch::new()).unwrap();
+        assert_eq!(p.stats().snapshot().write_calls, 0);
+    }
+
+    #[test]
+    fn write_batch_rejects_unallocated_pages() {
+        let p = pool(8);
+        let _ = p.allocate().unwrap();
+        let mut batch = WriteBatch::new();
+        batch.put(PageId(7), &[0u8; 64]);
+        assert!(p.write_batch(&mut batch).is_err());
     }
 }

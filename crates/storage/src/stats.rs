@@ -13,6 +13,7 @@ pub struct AccessStats {
     logical_reads: AtomicU64,
     physical_reads: AtomicU64,
     physical_writes: AtomicU64,
+    write_calls: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -41,6 +42,22 @@ impl AccessStats {
         self.physical_writes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` pages physically written.
+    #[inline]
+    pub fn record_physical_writes(&self, n: u64) {
+        self.physical_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one positioning operation on the write path (a seek followed
+    /// by one contiguous transfer). A single-page write is one call; a
+    /// coalesced batch of `k` consecutive pages is also one call — the gap
+    /// between `physical_writes` and `write_calls` is exactly what write
+    /// batching saves.
+    #[inline]
+    pub fn record_write_call(&self) {
+        self.write_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a cache eviction.
     #[inline]
     pub fn record_eviction(&self) {
@@ -54,6 +71,7 @@ impl AccessStats {
             logical_reads: self.logical_reads.load(Ordering::Relaxed),
             physical_reads: self.physical_reads.load(Ordering::Relaxed),
             physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            write_calls: self.write_calls.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
@@ -63,6 +81,7 @@ impl AccessStats {
         self.logical_reads.store(0, Ordering::Relaxed);
         self.physical_reads.store(0, Ordering::Relaxed);
         self.physical_writes.store(0, Ordering::Relaxed);
+        self.write_calls.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
     }
 }
@@ -76,6 +95,9 @@ pub struct StatsSnapshot {
     pub physical_reads: u64,
     /// Pages written to the store.
     pub physical_writes: u64,
+    /// Positioning operations on the write path (one per single-page
+    /// write, one per coalesced run of consecutive pages in a batch).
+    pub write_calls: u64,
     /// Frames evicted to make room.
     pub evictions: u64,
 }
@@ -88,6 +110,7 @@ impl StatsSnapshot {
             logical_reads: self.logical_reads.saturating_sub(earlier.logical_reads),
             physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
             physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
+            write_calls: self.write_calls.saturating_sub(earlier.write_calls),
             evictions: self.evictions.saturating_sub(earlier.evictions),
         }
     }
@@ -114,11 +137,14 @@ mod tests {
         s.record_logical_read();
         s.record_physical_read();
         s.record_physical_write();
+        s.record_physical_writes(3);
+        s.record_write_call();
         s.record_eviction();
         let snap = s.snapshot();
         assert_eq!(snap.logical_reads, 2);
         assert_eq!(snap.physical_reads, 1);
-        assert_eq!(snap.physical_writes, 1);
+        assert_eq!(snap.physical_writes, 4);
+        assert_eq!(snap.write_calls, 1);
         assert_eq!(snap.evictions, 1);
         assert!((snap.hit_ratio() - 0.5).abs() < 1e-12);
     }

@@ -60,6 +60,53 @@ pub trait PageStore {
     /// # Errors
     /// [`StoreError::PageOutOfRange`] for unallocated ids, or I/O errors.
     fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<(), StoreError>;
+
+    /// Allocates `n` fresh zeroed pages with consecutive ids and returns the
+    /// first id (`PageId::INVALID` when `n == 0`). Backends that can extend
+    /// in one operation override this; the default loops [`allocate`].
+    ///
+    /// [`allocate`]: PageStore::allocate
+    ///
+    /// # Errors
+    /// Propagates allocation errors.
+    fn allocate_many(&mut self, n: u64) -> Result<PageId, StoreError> {
+        let mut first = PageId::INVALID;
+        for i in 0..n {
+            let id = self.allocate()?;
+            if i == 0 {
+                first = id;
+            }
+        }
+        Ok(first)
+    }
+
+    /// Writes `pages` to the consecutive range starting at `first` — the
+    /// group-commit primitive behind [`crate::WriteBatch`]. Backends with a
+    /// positioning cost override this with one seek plus one streaming
+    /// transfer; the default loops [`write_page`].
+    ///
+    /// [`write_page`]: PageStore::write_page
+    ///
+    /// # Errors
+    /// [`StoreError::PageOutOfRange`] if any page of the run is
+    /// unallocated, or I/O errors.
+    fn write_pages(&mut self, first: PageId, pages: &[&[u8]]) -> Result<(), StoreError> {
+        let Some(n) = pages.len().checked_sub(1) else {
+            return Ok(());
+        };
+        let last = PageId(first.index() + n as u64);
+        if !first.is_valid() || last.index() >= self.num_pages() {
+            // Reject the whole run up front so no prefix is written.
+            return Err(StoreError::PageOutOfRange {
+                page: last,
+                allocated: self.num_pages(),
+            });
+        }
+        for (i, buf) in pages.iter().enumerate() {
+            self.write_page(PageId(first.index() + i as u64), buf)?;
+        }
+        Ok(())
+    }
 }
 
 /// Heap-backed page store.
@@ -211,6 +258,31 @@ impl PageStore for FileStore {
         Ok(id)
     }
 
+    fn allocate_many(&mut self, n: u64) -> Result<PageId, StoreError> {
+        if n == 0 {
+            return Ok(PageId::INVALID);
+        }
+        let first = PageId(self.num_pages);
+        self.file
+            .seek(SeekFrom::Start(self.num_pages * self.page_size as u64))?;
+        // One positioning, then a streaming zero-extension in bounded
+        // chunks: a huge level allocation must not materialise an
+        // O(n · page_size) scratch buffer (that would dwarf the bulk
+        // loader's memory budget).
+        const ZERO_CHUNK_BYTES: usize = 1 << 20;
+        let pages_per_chunk = (ZERO_CHUNK_BYTES / self.page_size).max(1) as u64;
+        let chunk_pages = usize::try_from(pages_per_chunk.min(n)).expect("chunk fits usize");
+        let zeros = vec![0u8; self.page_size * chunk_pages];
+        let mut remaining = n;
+        while remaining > 0 {
+            let k = usize::try_from(remaining.min(pages_per_chunk)).expect("chunk fits usize");
+            self.file.write_all(&zeros[..self.page_size * k])?;
+            remaining -= k as u64;
+        }
+        self.num_pages += n;
+        Ok(first)
+    }
+
     fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<(), StoreError> {
         assert_eq!(buf.len(), self.page_size, "buffer/page size mismatch");
         let off = self.check(id)?;
@@ -224,6 +296,23 @@ impl PageStore for FileStore {
         let off = self.check(id)?;
         self.file.seek(SeekFrom::Start(off))?;
         self.file.write_all(buf)?;
+        Ok(())
+    }
+
+    fn write_pages(&mut self, first: PageId, pages: &[&[u8]]) -> Result<(), StoreError> {
+        let Some(n) = pages.len().checked_sub(1) else {
+            return Ok(());
+        };
+        let off = self.check(first)?;
+        self.check(PageId(first.index() + n as u64))?;
+        let mut run = Vec::with_capacity(self.page_size * pages.len());
+        for buf in pages {
+            assert_eq!(buf.len(), self.page_size, "buffer/page size mismatch");
+            run.extend_from_slice(buf);
+        }
+        // One seek, one contiguous transfer for the whole run.
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.write_all(&run)?;
         Ok(())
     }
 }
@@ -255,6 +344,31 @@ mod tests {
         // out-of-range and invalid ids rejected
         assert!(store.read_page(PageId(99), &mut back).is_err());
         assert!(store.read_page(PageId::INVALID, &mut back).is_err());
+
+        // Multi-page allocation hands out consecutive ids.
+        let first = store.allocate_many(3).unwrap();
+        assert_eq!(first, PageId(2));
+        assert_eq!(store.num_pages(), 5);
+        store.read_page(PageId(4), &mut back).unwrap();
+        assert!(back.iter().all(|&x| x == 0));
+
+        // Batched run writes land on the right pages.
+        let mut p1 = vec![0u8; ps];
+        let mut p2 = vec![0u8; ps];
+        p1[0] = 11;
+        p2[0] = 22;
+        store
+            .write_pages(first, &[p1.as_slice(), p2.as_slice()])
+            .unwrap();
+        store.read_page(PageId(2), &mut back).unwrap();
+        assert_eq!(back[0], 11);
+        store.read_page(PageId(3), &mut back).unwrap();
+        assert_eq!(back[0], 22);
+        // Empty run is a no-op; out-of-range run rejected.
+        store.write_pages(first, &[]).unwrap();
+        assert!(store
+            .write_pages(PageId(4), &[p1.as_slice(), p2.as_slice()])
+            .is_err());
     }
 
     #[test]
@@ -275,7 +389,7 @@ mod tests {
         // Re-open and verify persistence.
         {
             let mut s = FileStore::open(&path, 256).unwrap();
-            assert_eq!(s.num_pages(), 2);
+            assert_eq!(s.num_pages(), 5);
             let mut buf = vec![0u8; 256];
             s.read_page(PageId(0), &mut buf).unwrap();
             assert_eq!(buf[0], 42);

@@ -11,14 +11,21 @@ Stdlib-only companion to the `bench-smoke` CI job:
 
 Gating rules (see README "Performance tracking"):
 
-* keys whose name contains ``qps`` are throughput: the PR value must not
-  fall more than ``--threshold`` percent (default 15, env override
-  ``BENCH_REGRESSION_PCT``) below the baseline;
+* keys whose name contains ``qps`` or ``objs_per_s`` are throughput: the
+  PR value must not fall more than ``--threshold`` percent (default 15,
+  env override ``BENCH_REGRESSION_PCT``) below the baseline;
 * keys containing ``_ns_per_`` are latencies: the PR value must not rise
   more than the threshold above the baseline;
 * within the PR file alone, the batched kernel must beat the scalar one
   (``kernel_bench.batched_ns_per_entry < kernel_bench.scalar_ns_per_entry``)
   — the whole point of the columnar path;
+* within the PR file alone, batched page writes must cut physical write
+  calls at least 4x against per-node writes
+  (``build_bench.write_call_reduction >= 4``; deterministic for the fixed
+  seed), and on a multi-core runner the parallel bulk load must not lose
+  to the serial one (``parallel_objs_per_s >= serial_objs_per_s`` whenever
+  the PR reports ``cores >= 2`` and ``threads_max >= 2``; skipped — not
+  failed — on a 1-core runner);
 * every other shared numeric key (page reads, hit counts) is reported as
   informational only: those are deterministic given a fixed seed, so a
   drift is worth eyeballing but hardware-independent gating on them would
@@ -71,7 +78,7 @@ def cmd_merge(args):
 
 def classify(key):
     leaf = key.rsplit(".", 1)[-1]
-    if "qps" in leaf:
+    if "qps" in leaf or "objs_per_s" in leaf:
         return "higher"
     if "_ns_per_" in leaf:
         return "lower"
@@ -131,6 +138,44 @@ def cmd_compare(args):
         print(
             f"kernel invariant ok: batched {batched:.2f} ns/entry beats "
             f"scalar {scalar:.2f} ns/entry ({scalar / batched:.2f}x)"
+        )
+
+    # Batched page writes must actually coalesce (deterministic: write-call
+    # counts depend only on the fixed-seed tree shape, not the hardware).
+    reduction = pr.get("build_bench.write_call_reduction")
+    if reduction is None:
+        failures.append("build_bench.write_call_reduction missing from the PR results")
+    elif reduction < 4.0:
+        failures.append(
+            f"batched page writes coalesce only {reduction:.2f}x "
+            f"(< 4x) against per-node writes"
+        )
+    else:
+        print(f"build invariant ok: batched writes cut write calls {reduction:.1f}x")
+
+    # Parallel bulk load must not lose to serial — but only where the
+    # hardware can express parallelism at all; a 1-core runner skips.
+    cores = pr.get("build_bench.cores", 0)
+    threads_max = pr.get("build_bench.threads_max", 0)
+    serial = pr.get("build_bench.serial_objs_per_s")
+    parallel = pr.get("build_bench.parallel_objs_per_s")
+    if cores >= 2 and threads_max >= 2:
+        if serial is None or parallel is None:
+            failures.append("build_bench objs_per_s fields missing from the PR results")
+        elif parallel < serial:
+            failures.append(
+                f"parallel bulk load is slower than serial on a {cores:.0f}-core "
+                f"runner: {parallel:.0f} vs {serial:.0f} objects/s"
+            )
+        else:
+            print(
+                f"build invariant ok: parallel {parallel:.0f} objects/s >= "
+                f"serial {serial:.0f} on {cores:.0f} cores"
+            )
+    else:
+        print(
+            f"build parallel>=serial invariant skipped "
+            f"(cores={cores:.0f}, threads_max={threads_max:.0f})"
         )
 
     if failures:

@@ -1,0 +1,224 @@
+//! Property and integration tests of the parallel out-of-core bulk-load
+//! pipeline.
+//!
+//! The pipeline's contract is determinism: for any thread count, chunk
+//! size, memory budget, spill backend and write mode, `bulk_load_with`
+//! must produce a store **byte-identical** to the serial fully-resident
+//! build — and every produced tree must satisfy the full structural
+//! invariants (including exact page accounting) across page sizes, then
+//! keep behaving like a normal tree under later inserts, batch merges and
+//! deletes.
+
+use gausstree::pfv::Pfv;
+use gausstree::storage::{AccessStats, BufferPool, MemStore, PageId, PageStore};
+use gausstree::tree::{BulkLoadOptions, GaussTree, SpillKind, TreeConfig};
+use proptest::prelude::*;
+
+fn pool_with(page_size: usize) -> BufferPool<MemStore> {
+    BufferPool::new(MemStore::new(page_size), 4096, AccessStats::new_shared())
+}
+
+/// Full byte image of a tree's store (every page, in order).
+fn store_image<S: PageStore>(tree: &GaussTree<S>) -> Vec<u8> {
+    let pool = tree.pool();
+    let mut out = Vec::new();
+    for i in 0..pool.num_pages() {
+        out.extend_from_slice(&pool.page(PageId(i)).unwrap());
+    }
+    out
+}
+
+/// Deterministic pseudo-random items built from integer lattices (no
+/// negative zeros, fully reproducible).
+fn synth_items(n: u64, dims: usize, salt: u64) -> Vec<(u64, Pfv)> {
+    (0..n)
+        .map(|i| {
+            let means: Vec<f64> = (0..dims)
+                .map(|d| (((i * 31 + d as u64 * 7 + salt) % 113) as f64 - 56.0) * 0.5)
+                .collect();
+            let sigmas: Vec<f64> = (0..dims)
+                .map(|d| 0.02 + ((i * 13 + d as u64 * 3 + salt) % 17) as f64 * 0.06)
+                .collect();
+            (i, Pfv::new(means, sigmas).unwrap())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any thread count and any memory budget reproduce the serial
+    /// resident build byte for byte, for random shapes and capacities.
+    #[test]
+    fn pipeline_is_byte_identical_to_serial(
+        n in 1u64..400,
+        dims in 1usize..4,
+        leaf_cap in 4usize..12,
+        inner_cap in 4usize..10,
+        threads in 1usize..8,
+        budget_raw in 0usize..200,
+        salt in 0u64..1000,
+    ) {
+        let items = synth_items(n, dims, salt);
+        let config = TreeConfig::new(dims).with_capacities(leaf_cap, inner_cap);
+        let reference =
+            GaussTree::bulk_load(pool_with(2048), config, items.clone()).unwrap();
+        let ref_image = store_image(&reference);
+
+        let mut opts = BulkLoadOptions::default()
+            .with_threads(threads)
+            .with_spill(SpillKind::Memory);
+        // budget_raw below 8 means "unbounded" (the shim has no option-of
+        // strategy); anything else is a real, often spill-forcing budget.
+        if budget_raw >= 8 {
+            opts = opts.with_mem_budget(budget_raw);
+        }
+        // Odd chunk sizes must not matter either.
+        opts.chunk_entries = 1 + (salt as usize % 61);
+        let (tree, report) =
+            GaussTree::bulk_load_with(pool_with(2048), config, items, &opts).unwrap();
+        prop_assert_eq!(store_image(&tree), ref_image);
+        prop_assert_eq!(report.total_entries, n);
+        prop_assert!(tree.check_invariants(false).unwrap().is_empty());
+    }
+
+    /// The full invariant set (balance, fanout, tightness, counts, page
+    /// accounting) holds for parallel + spilled builds across page sizes
+    /// of 1–4 KiB.
+    #[test]
+    fn invariants_hold_across_page_sizes(
+        n in 1u64..500,
+        dims in 1usize..3,
+        page_shift in 0usize..3, // 1024, 2048, 4096
+        budget in 16usize..150,
+        salt in 0u64..1000,
+    ) {
+        let page_size = 1024usize << page_shift;
+        let items = synth_items(n, dims, salt);
+        let config = TreeConfig::new(dims);
+        let opts = BulkLoadOptions::default()
+            .with_threads(4)
+            .with_mem_budget(budget)
+            .with_spill(SpillKind::Memory);
+        let (tree, _) =
+            GaussTree::bulk_load_with(pool_with(page_size), config, items, &opts).unwrap();
+        let errs = tree.check_invariants(false).unwrap();
+        prop_assert!(errs.is_empty(), "page_size {}: {:?}", page_size, errs);
+    }
+
+    /// Trees built by the parallel pipeline keep splitting correctly under
+    /// later single inserts: structure stays sound and content complete.
+    #[test]
+    fn insert_after_parallel_bulk_load_splits_correctly(
+        n in 8u64..250,
+        extra in 30u64..120,
+        threads in 2usize..6,
+        salt in 0u64..1000,
+    ) {
+        let items = synth_items(n, 2, salt);
+        let config = TreeConfig::new(2).with_capacities(6, 4);
+        let opts = BulkLoadOptions::default()
+            .with_threads(threads)
+            .with_mem_budget(32)
+            .with_spill(SpillKind::Memory);
+        let (mut tree, _) =
+            GaussTree::bulk_load_with(pool_with(2048), config, items, &opts).unwrap();
+        let height_before = tree.height();
+        for (id, pfv) in synth_items(extra, 2, salt ^ 0x5EED) {
+            tree.insert(id + 10_000, &pfv).unwrap();
+        }
+        prop_assert_eq!(tree.len(), n + extra);
+        // Small bulk-loaded trees must have grown through insert splits.
+        if n + extra > 30 {
+            prop_assert!(tree.height() >= height_before.max(1));
+        }
+        let errs = tree.check_invariants(false).unwrap();
+        prop_assert!(errs.is_empty(), "{:?}", errs);
+        let mut count = 0u64;
+        tree.for_each_entry(|_, _| count += 1).unwrap();
+        prop_assert_eq!(count, n + extra);
+    }
+}
+
+#[test]
+fn extend_after_parallel_bulk_load_keeps_queries_exact() {
+    let items = synth_items(300, 2, 42);
+    let config = TreeConfig::new(2).with_capacities(8, 6);
+    let opts = BulkLoadOptions::default()
+        .with_threads(4)
+        .with_mem_budget(64)
+        .with_spill(SpillKind::Memory);
+    let (mut tree, _) =
+        GaussTree::bulk_load_with(pool_with(2048), config, items.clone(), &opts).unwrap();
+
+    // Merge a second run, then compare every k-MLIQ answer against a tree
+    // holding the union, built by plain inserts.
+    let run: Vec<(u64, Pfv)> = synth_items(150, 2, 77)
+        .into_iter()
+        .map(|(id, v)| (id + 1000, v))
+        .collect();
+    assert_eq!(tree.extend(run.clone()).unwrap(), 150);
+    assert!(tree.check_invariants(false).unwrap().is_empty());
+
+    let mut oracle = GaussTree::create(pool_with(2048), config).unwrap();
+    for (id, v) in items.iter().chain(run.iter()) {
+        oracle.insert(*id, v).unwrap();
+    }
+    for (q_id, q) in synth_items(20, 2, 99) {
+        let got = tree.k_mliq(&q, 5).unwrap();
+        let want = oracle.k_mliq(&q, 5).unwrap();
+        assert_eq!(got.len(), want.len(), "query {q_id}");
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert_eq!(g.log_density.to_bits(), w.log_density.to_bits());
+        }
+    }
+}
+
+#[test]
+fn pipeline_tree_survives_deletes_without_leaking_pages() {
+    let items = synth_items(400, 2, 7);
+    let config = TreeConfig::new(2).with_capacities(6, 4);
+    let opts = BulkLoadOptions::default()
+        .with_threads(3)
+        .with_mem_budget(50)
+        .with_spill(SpillKind::Memory);
+    let (mut tree, _) =
+        GaussTree::bulk_load_with(pool_with(2048), config, items.clone(), &opts).unwrap();
+    for (id, v) in items.iter().filter(|(id, _)| id % 2 == 0) {
+        tree.delete(*id, v).unwrap();
+    }
+    assert_eq!(tree.len(), 200);
+    let errs = tree.check_invariants(false).unwrap();
+    assert!(errs.is_empty(), "violations after deletes: {errs:?}");
+    assert!(tree.free_page_count() > 0, "deletes must free pages");
+}
+
+#[test]
+fn big_parallel_spilled_build_matches_serial_and_answers_queries() {
+    // One larger end-to-end shape: external splits definitely trigger
+    // (budget far below n), partitioning fans out, and the result both
+    // matches the serial image and answers queries identically.
+    let items = synth_items(5000, 3, 123);
+    let config = TreeConfig::new(3);
+    let reference = GaussTree::bulk_load(pool_with(4096), config, items.clone()).unwrap();
+    let opts = BulkLoadOptions::default()
+        .with_threads(4)
+        .with_mem_budget(256)
+        .with_spill(SpillKind::Memory);
+    let (tree, report) = GaussTree::bulk_load_with(pool_with(4096), config, items, &opts).unwrap();
+    assert_eq!(store_image(&tree), store_image(&reference));
+    assert!(
+        report.external_splits > 0,
+        "budget must force external splits"
+    );
+    assert!(report.peak_resident_entries < 5000);
+    for (_, q) in synth_items(10, 3, 321) {
+        let a = tree.k_mliq(&q, 3).unwrap();
+        let b = reference.k_mliq(&q, 3).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.log_density.to_bits(), y.log_density.to_bits());
+        }
+    }
+}
