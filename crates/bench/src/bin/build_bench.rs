@@ -27,8 +27,8 @@
 
 use gauss_bench::{arg_value, JsonObj};
 use gauss_storage::{
-    AccessStats, BufferPool, DiskModel, MemStore, PageId, PageStore, StatsSnapshot,
-    DEFAULT_PAGE_SIZE,
+    AccessStats, BufferPool, DiskModel, Durability, FileStore, MemStore, PageId, PageStore,
+    StatsSnapshot, DEFAULT_PAGE_SIZE,
 };
 use gauss_tree::{BulkLoadOptions, GaussTree, SpillKind, TreeConfig};
 use gauss_workloads::{uniform_dataset, SigmaSpec};
@@ -67,6 +67,42 @@ fn build(
         GaussTree::bulk_load_with(pool(), TreeConfig::new(dims), items.to_vec(), opts)
             .expect("bulk load");
     (tree, report, t0.elapsed().as_secs_f64())
+}
+
+/// The durability datapoint: the same workload built into a real file
+/// under `Durability::None` vs `Durability::Fsync`, so the fsync cost of
+/// the crash-safe commit protocol is tracked next to the fast path.
+/// Returns `(none objs/s, fsync objs/s, fsync count)` (best of `rounds`).
+fn durability_datapoint(items: &[(u64, Pfv)], dims: usize, rounds: usize) -> (f64, f64, u64) {
+    let dir = std::env::temp_dir().join(format!("gauss-build-dur-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let mut best = [f64::INFINITY; 2];
+    let mut fsyncs = 0u64;
+    for round in 0..rounds {
+        for (i, durability) in [Durability::None, Durability::Fsync]
+            .into_iter()
+            .enumerate()
+        {
+            let path = dir.join(format!("dur-{i}-{round}.gtree"));
+            let store = FileStore::create(&path, DEFAULT_PAGE_SIZE).expect("store");
+            let fpool = BufferPool::with_byte_budget(store, CACHE_BYTES, AccessStats::new_shared());
+            let opts = BulkLoadOptions::default().with_durability(durability);
+            let t0 = Instant::now();
+            let (tree, _) =
+                GaussTree::bulk_load_with(fpool, TreeConfig::new(dims), items.to_vec(), &opts)
+                    .expect("durability build");
+            best[i] = best[i].min(t0.elapsed().as_secs_f64());
+            if durability == Durability::Fsync {
+                fsyncs = tree.stats().snapshot().syncs;
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    (
+        items.len() as f64 / best[0],
+        items.len() as f64 / best[1],
+        fsyncs,
+    )
 }
 
 fn scenario_million(threads: usize) {
@@ -232,6 +268,14 @@ fn main() {
         spill_report.external_splits
     );
 
+    // Durability cost: file-backed ingest, fast path vs fsync'd commits.
+    let (dur_none_ops, dur_fsync_ops, fsyncs) = durability_datapoint(&items, dims, rounds);
+    println!("  durability none  : {dur_none_ops:>10.0} objects/s (file-backed)");
+    println!(
+        "  durability fsync : {dur_fsync_ops:>10.0} objects/s ({fsyncs} fsyncs, modelled +{:.3}s on 2006 hdd)",
+        disk.fsync_s(fsyncs)
+    );
+
     if let Some(path) = json_path {
         let j = JsonObj::new().obj(
             "build_bench",
@@ -254,7 +298,11 @@ fn main() {
                     spill_report.peak_resident_entries as u64,
                 )
                 .int("spill_budget_entries", budget as u64)
-                .int("spilled_entries", spill_report.spilled_entries),
+                .int("spilled_entries", spill_report.spilled_entries)
+                .num("durability_none_objs_per_s", dur_none_ops)
+                .num("durability_fsync_objs_per_s", dur_fsync_ops)
+                .int("fsync_calls", fsyncs)
+                .num("model_fsync_s", disk.fsync_s(fsyncs)),
         );
         j.write_to(&path).expect("write bench json");
         eprintln!("wrote {path}");

@@ -120,6 +120,7 @@ fn main() {
                         physical_reads: a.physical_reads + b.physical_reads,
                         physical_writes: a.physical_writes + b.physical_writes,
                         write_calls: a.write_calls + b.write_calls,
+                        syncs: a.syncs + b.syncs,
                         evictions: a.evictions + b.evictions,
                     }
                 },

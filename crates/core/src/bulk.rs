@@ -44,7 +44,7 @@ use crate::split::{
     candidate_axes, group_rect, log_add, node_cost, partition_into_n_parallel, Axis,
 };
 use crate::tree::{GaussTree, TreeError};
-use gauss_storage::store::PageStore;
+use gauss_storage::store::{Durability, PageStore};
 use gauss_storage::{FileStore, MemStore, PageId, WriteBatch};
 use pfv::{DimBounds, ParamRect, Pfv};
 use std::ops::Range;
@@ -110,6 +110,11 @@ pub struct BulkLoadOptions {
     pub batched_writes: bool,
     /// Spill backend used when the budget overflows.
     pub spill: SpillKind,
+    /// Crash-safety policy of the produced tree (see
+    /// [`GaussTree::set_durability`]). Under `Flush`/`Fsync` a crash
+    /// mid-load recovers to the committed empty tree; the final flush
+    /// commits the loaded tree atomically.
+    pub durability: Durability,
 }
 
 impl Default for BulkLoadOptions {
@@ -120,6 +125,7 @@ impl Default for BulkLoadOptions {
             chunk_entries: 8192,
             batched_writes: true,
             spill: SpillKind::TempFile,
+            durability: Durability::None,
         }
     }
 }
@@ -150,6 +156,13 @@ impl BulkLoadOptions {
     #[must_use]
     pub fn with_batched_writes(mut self, batched: bool) -> Self {
         self.batched_writes = batched;
+        self
+    }
+
+    /// Sets the crash-safety policy of the produced tree.
+    #[must_use]
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
         self
     }
 }
@@ -293,8 +306,19 @@ pub(crate) fn run<S: PageStore>(
     tree.set_len(total);
 
     // Stage 2+3: leaf level. Group 0 reuses the root page created by
-    // `create()`; the rest of the level is allocated in one consecutive
-    // run up front, so page ids do not depend on write order.
+    // `create()` — except under shadow paging, where that page belongs to
+    // the committed empty tree and must survive a crash mid-load, so a
+    // fresh page is used and the old root deferred to the free list. The
+    // rest of the level is allocated in one consecutive run up front, so
+    // page ids do not depend on write order.
+    let first_page = if tree.is_shadowing() {
+        let old_root = tree.root_page();
+        let fresh = tree.alloc_page()?;
+        tree.free_page(old_root)?;
+        fresh
+    } else {
+        tree.root_page()
+    };
     let n = usize::try_from(total).expect("entry count fits usize");
     let n_groups = n.div_ceil(leaf_target);
     let extra_base = if n_groups > 1 {
@@ -307,7 +331,7 @@ pub(crate) fn run<S: PageStore>(
         dims,
         threads,
         budget: budget.unwrap_or(usize::MAX),
-        first_page: tree.root_page(),
+        first_page,
         extra_base,
     };
     let mut emitter = NodeEmitter::new(opts.batched_writes);

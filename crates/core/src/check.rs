@@ -73,15 +73,18 @@ pub enum InvariantError {
         /// Entries actually stored.
         actual: u64,
     },
-    /// Allocated pages are neither reachable from the root, nor the meta
-    /// page, nor on the free list — the store is leaking pages.
+    /// Allocated pages are neither reachable from the root, nor metadata
+    /// pages, nor on the free list — the store is leaking pages.
     PageLeak {
         /// Pages allocated in the store.
         allocated: u64,
-        /// Node pages reachable from the root (excluding the meta page).
+        /// Node pages reachable from the root (excluding metadata pages).
         reachable: u64,
         /// Pages parked on the free list.
         freed: u64,
+        /// Pages owned by the tree's metadata (1 legacy slot or 2
+        /// versioned slots).
+        meta: u64,
     },
     /// A page on the free list is still reachable from the root (a reuse
     /// of it would corrupt the tree).
@@ -127,9 +130,10 @@ impl std::fmt::Display for InvariantError {
                 allocated,
                 reachable,
                 freed,
+                meta,
             } => write!(
                 f,
-                "page leak: {allocated} allocated, {reachable} reachable + 1 meta + {freed} freed"
+                "page leak: {allocated} allocated, {reachable} reachable + {meta} meta + {freed} freed"
             ),
             InvariantError::FreedPageReachable { page } => {
                 write!(f, "freed page {page} is still reachable from the root")
@@ -153,8 +157,17 @@ impl<S: PageStore> GaussTree<S> {
         let mut errors = Vec::new();
         let mut reachable: Vec<u64> = Vec::new();
         if self.is_empty() {
-            // The empty tree still owns its (empty) root leaf.
+            // The empty tree still owns its root leaf — which must decode
+            // and actually be empty, so a clobbered root page cannot hide
+            // behind `len == 0` (crash recovery relies on this check).
             reachable.push(self.root_page().index());
+            let root = self.read_node(self.root_page())?;
+            if !root.is_empty() {
+                errors.push(InvariantError::LenMismatch {
+                    meta: 0,
+                    actual: root.subtree_count(),
+                });
+            }
         } else {
             let root = self.root_page();
             let height = self.height();
@@ -189,18 +202,20 @@ impl<S: PageStore> GaussTree<S> {
     fn check_page_accounting(&self, reachable: &[u64], errors: &mut Vec<InvariantError>) {
         let reachable_set: std::collections::HashSet<u64> = reachable.iter().copied().collect();
         let freed = self.free_pages();
-        for p in freed {
+        for p in &freed {
             if reachable_set.contains(&p.index()) {
                 errors.push(InvariantError::FreedPageReachable { page: p.index() });
             }
         }
+        let meta = self.meta_page_count();
         let allocated = self.pool().num_pages();
-        let accounted = 1 + reachable_set.len() as u64 + freed.len() as u64;
+        let accounted = meta + reachable_set.len() as u64 + freed.len() as u64;
         if accounted != allocated {
             errors.push(InvariantError::PageLeak {
                 allocated,
                 reachable: reachable_set.len() as u64,
                 freed: freed.len() as u64,
+                meta,
             });
         }
     }

@@ -23,9 +23,11 @@ pub enum DeleteOutcome {
 
 enum Removal {
     NotFound,
-    /// Entry removed; node rewritten; new (count, still-alive) state.
+    /// Entry removed; node rewritten (possibly relocated by shadow
+    /// paging — `page` is where it lives now).
     Done {
         underflow: bool,
+        page: PageId,
     },
 }
 
@@ -51,9 +53,10 @@ impl<S: PageStore> GaussTree<S> {
         let mut orphans: Vec<LeafEntry> = Vec::new();
         let root = self.root_page();
         let height = self.height();
-        let outcome = self.delete_rec(root, height, id, v, &mut orphans)?;
-        if matches!(outcome, Removal::NotFound) {
-            return Ok(DeleteOutcome::NotFound);
+        match self.delete_rec(root, height, id, v, &mut orphans)? {
+            Removal::NotFound => return Ok(DeleteOutcome::NotFound),
+            // Shadow paging may have relocated the root.
+            Removal::Done { page, .. } => self.set_root(page, height),
         }
         self.set_len(self.len() - 1);
 
@@ -65,7 +68,7 @@ impl<S: PageStore> GaussTree<S> {
                 Node::Inner(es) if es.len() == 1 => {
                     let only = es[0].child;
                     self.set_root(only, self.height() - 1);
-                    self.free_page(root);
+                    self.free_page(root)?;
                 }
                 _ => break,
             }
@@ -100,8 +103,8 @@ impl<S: PageStore> GaussTree<S> {
             };
             entries.remove(pos);
             let underflow = entries.len() < self.leaf_min_fill();
-            self.write_node_pub(page, &Node::Leaf(entries))?;
-            Ok(Removal::Done { underflow })
+            let page = self.write_node_shadow(page, &Node::Leaf(entries))?;
+            Ok(Removal::Done { underflow, page })
         } else {
             let Node::Inner(mut entries) = node else {
                 return Err(TreeError::Corrupt("expected inner node above level 0"));
@@ -114,27 +117,31 @@ impl<S: PageStore> GaussTree<S> {
                 let child = entries[idx].child;
                 match self.delete_rec(child, level - 1, id, v, orphans)? {
                     Removal::NotFound => continue,
-                    Removal::Done { underflow } => {
+                    Removal::Done {
+                        underflow,
+                        page: child_page,
+                    } => {
                         if underflow && entries.len() > 1 {
                             // Dissolve the child: collect every entry below
                             // it for re-insertion, free the branch's pages
                             // and drop it from the parent.
-                            self.collect_subtree(child, level - 1, orphans)?;
+                            self.collect_subtree(child_page, level - 1, orphans)?;
                             entries.remove(idx);
                         } else {
                             // Refresh rect and count from the child.
-                            let child_node = self.read_node(child)?;
+                            let child_node = self.read_node(child_page)?;
                             if child_node.is_empty() {
                                 entries.remove(idx);
-                                self.free_page(child);
+                                self.free_page(child_page)?;
                             } else {
+                                entries[idx].child = child_page;
                                 entries[idx].rect = child_node.bounding_rect();
                                 entries[idx].count = child_node.subtree_count();
                             }
                         }
                         let underflow = entries.len() < self.inner_min_fill();
-                        self.write_node_pub(page, &Node::Inner(entries))?;
-                        return Ok(Removal::Done { underflow });
+                        let page = self.write_node_shadow(page, &Node::Inner(entries))?;
+                        return Ok(Removal::Done { underflow, page });
                     }
                 }
             }
@@ -162,7 +169,7 @@ impl<S: PageStore> GaussTree<S> {
                 }
             }
         }
-        self.free_page(page);
+        self.free_page(page)?;
         Ok(())
     }
 }

@@ -82,4 +82,4 @@ pub use executor::BatchExecutor;
 pub use interval::BoxQueryResult;
 pub use node::{children_log_hulls, CachedNode, ColumnarLeafNode};
 pub use query::{MliqResult, RefinedResult, TiqResult};
-pub use tree::{GaussTree, TreeError};
+pub use tree::{GaussTree, RecoveryReport, TreeError};

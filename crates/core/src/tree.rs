@@ -4,23 +4,39 @@ use crate::bulk::{BulkLoadOptions, BulkLoadReport};
 use crate::config::TreeConfig;
 use crate::node::{CachedNode, InnerEntry, LeafEntry, Node, NodeCodecError};
 use crate::split::{group_rect, node_cost, split_items, split_many};
-use gauss_storage::store::{PageStore, StoreError};
-use gauss_storage::{PageId, Reader, SharedBufferPool, SideCache, WriteBatch, Writer};
+use gauss_storage::store::{Durability, PageStore, StoreError};
+use gauss_storage::{fnv1a64, PageId, Reader, SharedBufferPool, SideCache, WriteBatch, Writer};
 use pfv::{CombineMode, ParamRect, Pfv};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 const META_MAGIC: u32 = 0x4754_5245; // "GTRE"
-const META_VERSION: u32 = 1;
+/// Current metadata format: two versioned, checksummed slots (pages 0–1)
+/// committed alternately — see the `flush` docs for the protocol.
+const META_VERSION: u32 = 2;
+/// The pre-durability single-slot format; still readable (and writable,
+/// in place) for files created before the dual-slot commit existed.
+const META_VERSION_V1: u32 = 1;
+
+/// The two metadata slots of a v2 tree.
+const META_SLOT_A: PageId = PageId(0);
+const META_SLOT_B: PageId = PageId(1);
 
 /// Fill factor applied by the bulk loader so bulk-built nodes can absorb a
 /// few inserts before splitting.
 const BULK_FILL: f64 = 0.75;
 
-/// Base metadata bytes in the meta page before the persisted free-list ids:
-/// the fixed fields (42) plus the in-meta id count (u32) and the overflow
-/// chain pointer (u64).
-const META_BASE_BYTES: usize = 4 + 4 + 4 + 1 + 1 + 4 + 4 + 8 + 4 + 8 + 4 + 8;
+/// Base metadata bytes in a v2 meta slot before the persisted free-list
+/// ids: magic + version + checksum + epoch + allocated-page count, the
+/// fixed tree fields, the in-meta id count (u32) and the overflow chain
+/// pointer (u64).
+const META_BASE_BYTES: usize = 4 + 4 + 8 + 8 + 8 + 4 + 1 + 1 + 4 + 4 + 8 + 4 + 8 + 4 + 8;
+
+/// Byte offset of the checksum field inside a v2 meta slot.
+const META_CHECKSUM_OFFSET: usize = 8;
+
+/// v1 equivalent of [`META_BASE_BYTES`] (no checksum/epoch/allocation).
+const META_BASE_BYTES_V1: usize = 4 + 4 + 4 + 1 + 1 + 4 + 4 + 8 + 4 + 8 + 4 + 8;
 
 /// Bytes of a free-list overflow carrier page consumed by its header
 /// (next-pointer u64 + id count u32).
@@ -44,6 +60,14 @@ pub enum TreeError {
     NotAGaussTree,
     /// Structural corruption detected while traversing.
     Corrupt(&'static str),
+    /// A page was returned to the free list twice. Surfaced as a hard
+    /// error (not just a debug assertion) because a double-freed page
+    /// would later be handed out to two nodes at once — exactly the
+    /// free-list corruption crash recovery has to be able to rule out.
+    DoubleFree {
+        /// The doubly freed page id.
+        page: u64,
+    },
 }
 
 impl std::fmt::Display for TreeError {
@@ -59,6 +83,7 @@ impl std::fmt::Display for TreeError {
             }
             TreeError::NotAGaussTree => write!(f, "store does not contain a Gauss-tree"),
             TreeError::Corrupt(what) => write!(f, "corrupt tree: {what}"),
+            TreeError::DoubleFree { page } => write!(f, "page {page} freed twice"),
         }
     }
 }
@@ -101,18 +126,80 @@ pub struct GaussTree<S: PageStore> {
     config: TreeConfig,
     leaf_cap: usize,
     inner_cap: usize,
-    meta_page: PageId,
+    /// On-disk metadata layout this tree was opened with (see `flush`).
+    format: MetaFormat,
+    /// Crash-safety policy. [`Durability::None`] keeps the fast legacy
+    /// write path (in-place node updates, no barriers); `Flush`/`Fsync`
+    /// switch mutation to shadow paging so the last committed epoch is
+    /// never overwritten, and order data barriers before meta commits.
+    durability: Durability,
+    /// Last committed epoch (v2 format; 0 before the first commit).
+    epoch: u64,
     root: PageId,
     height: u32,
     len: u64,
-    /// Pages freed by deletion and not yet reused. Allocation pops from
-    /// here before extending the store, so a tree's store never accumulates
+    /// Free pages whose free was *committed* at an earlier epoch (or that
+    /// never belonged to a committed tree). Allocation pops from here
+    /// before extending the store, so the store never accumulates
     /// unreachable pages — [`GaussTree::check_invariants`] asserts exactly
-    /// that. Persisted by [`GaussTree::flush`]: ids that fit live in the
-    /// meta page, any overflow is chained through the freed pages
-    /// themselves (their content is dead by definition), so the list
-    /// survives reopen in full at any size.
-    free_list: Vec<PageId>,
+    /// that. Under shadow paging these are the only reusable pages: a
+    /// crash rolls back to the committed epoch, which does not reference
+    /// them.
+    free_committed: Vec<PageId>,
+    /// Pages freed during the current epoch that the committed tree still
+    /// references (shadow paging parks them here). Reusing one before the
+    /// next commit would corrupt the crash-fallback state; the next
+    /// successful `flush` promotes them to `free_committed`.
+    free_pending: Vec<PageId>,
+    /// Free pages currently serving as the committed meta slot's free-list
+    /// overflow chain. Free for accounting purposes, but not reusable
+    /// until the *next* commit supersedes the chain they carry.
+    carriers_live: Vec<PageId>,
+    /// Every page currently on any of the three free lists — the release
+    /// double-free guard ([`TreeError::DoubleFree`]).
+    free_set: HashSet<u64>,
+    /// Pages written since the last commit that the committed tree does
+    /// not reference; shadow paging may update them in place.
+    shadowed: HashSet<u64>,
+}
+
+/// On-disk metadata layout of an opened tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetaFormat {
+    /// Single meta page at page 0, no epoch/checksum. Files from before
+    /// the dual-slot commit open (and keep flushing) in this format —
+    /// page 1 holds a node in those files, so the second slot can never
+    /// be claimed in place. Rebuild to upgrade.
+    V1,
+    /// Dual-slot versioned commit (pages 0–1).
+    V2,
+}
+
+/// What [`GaussTree::open_with_recovery`] found and decided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Epoch of the slot the tree was opened from (0 for legacy files).
+    pub epoch: u64,
+    /// Whether the newest slot was rejected (torn/corrupt/invariant
+    /// failure) and an older epoch was used instead.
+    pub fell_back: bool,
+    /// Pages allocated after the chosen epoch's commit (an interrupted
+    /// mutation's shadow pages), reclaimed onto the free list.
+    pub orphaned_pages: u64,
+    /// Whether the file uses the legacy single-slot format.
+    pub legacy: bool,
+}
+
+/// One parsed v2 meta slot, pending validation against the store.
+struct ParsedMeta {
+    epoch: u64,
+    allocated: u64,
+    config: TreeConfig,
+    root: PageId,
+    height: u32,
+    len: u64,
+    free_ids: Vec<PageId>,
+    carriers: Vec<PageId>,
 }
 
 /// Descriptor of one subtree produced by a batch merge ([`GaussTree::extend`]).
@@ -122,12 +209,15 @@ struct SubtreeDesc {
     count: u64,
 }
 
-/// Result of a recursive insert below some node.
+/// Result of a recursive insert below some node. Carries the child's page
+/// id because shadow paging may relocate a node on write — the parent must
+/// re-point at wherever the child landed.
 enum ChildUpdate {
-    /// Child absorbed the entry; new rect and count.
-    Updated(ParamRect, u64),
+    /// Child absorbed the entry; (possibly new) page, new rect and count.
+    Updated(PageId, ParamRect, u64),
     /// Child split in two.
     Split {
+        left_page: PageId,
         left: (ParamRect, u64),
         right_page: PageId,
         right: (ParamRect, u64),
@@ -135,7 +225,8 @@ enum ChildUpdate {
 }
 
 impl<S: PageStore> GaussTree<S> {
-    /// Creates an empty Gauss-tree in a fresh store.
+    /// Creates an empty Gauss-tree in a fresh store with
+    /// [`Durability::None`] (fast in-place writes, no crash guarantees).
     ///
     /// # Errors
     /// Propagates store errors; fails if the page size cannot hold two
@@ -144,11 +235,30 @@ impl<S: PageStore> GaussTree<S> {
         pool: impl Into<SharedBufferPool<S>>,
         config: TreeConfig,
     ) -> Result<Self, TreeError> {
+        Self::create_durable(pool, config, Durability::None)
+    }
+
+    /// Creates an empty Gauss-tree in a fresh store under the given
+    /// [`Durability`] policy (see [`GaussTree::set_durability`]).
+    ///
+    /// # Errors
+    /// Propagates store errors; rejects a non-empty store (the metadata
+    /// slots must own pages 0–1).
+    pub fn create_durable(
+        pool: impl Into<SharedBufferPool<S>>,
+        config: TreeConfig,
+        durability: Durability,
+    ) -> Result<Self, TreeError> {
         let pool = pool.into();
+        if pool.num_pages() != 0 {
+            return Err(TreeError::Corrupt("create requires an empty store"));
+        }
         let page_size = pool.page_size();
         let leaf_cap = config.leaf_capacity(page_size);
         let inner_cap = config.inner_capacity(page_size);
-        let meta_page = pool.allocate()?;
+        let slot_a = pool.allocate()?;
+        let slot_b = pool.allocate()?;
+        debug_assert_eq!((slot_a, slot_b), (META_SLOT_A, META_SLOT_B));
         let root = pool.allocate()?;
         let node_cache = SideCache::new(pool.capacity().max(1));
         let mut tree = Self {
@@ -157,34 +267,341 @@ impl<S: PageStore> GaussTree<S> {
             config,
             leaf_cap,
             inner_cap,
-            meta_page,
+            format: MetaFormat::V2,
+            durability,
+            epoch: 0,
             root,
             height: 0,
             len: 0,
-            free_list: Vec::new(),
+            free_committed: Vec::new(),
+            free_pending: Vec::new(),
+            carriers_live: Vec::new(),
+            free_set: HashSet::new(),
+            shadowed: HashSet::new(),
         };
         tree.write_node(root, &Node::Leaf(Vec::new()))?;
         tree.flush()?;
         Ok(tree)
     }
 
+    /// The tree's crash-safety policy.
+    #[must_use]
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Switches the crash-safety policy for subsequent mutations.
+    ///
+    /// Under [`Durability::None`] nodes are updated in place and no
+    /// barriers are issued: fast, but a crash mid-write can corrupt the
+    /// tree. Under `Flush`/`Fsync` every mutation shadow-writes fresh
+    /// pages (the last committed epoch is never overwritten), frees are
+    /// only reused once their free has been committed, and
+    /// [`GaussTree::flush`] orders a data barrier before the meta-slot
+    /// commit — so a crash at any write boundary recovers to either the
+    /// previous or the new committed state. Legacy (v1-format) trees keep
+    /// their single meta slot, so their meta commit itself is not atomic
+    /// regardless of policy; rebuild to upgrade.
+    pub fn set_durability(&mut self, durability: Durability) {
+        self.durability = durability;
+    }
+
+    /// Last committed epoch (0 for legacy-format trees).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether mutation must shadow-write instead of updating in place.
+    pub(crate) fn is_shadowing(&self) -> bool {
+        self.durability != Durability::None && self.format == MetaFormat::V2
+    }
+
     /// Opens an existing Gauss-tree from its store.
     ///
+    /// v2 files (dual-slot commit): both meta slots are parsed and
+    /// validated — magic, version, checksum, and every referenced page id
+    /// bounds-checked against the store — and the highest valid epoch
+    /// wins, so a torn meta write falls back to the previous commit.
+    /// Pages allocated after that commit (an interrupted mutation's
+    /// shadow writes) are reclaimed onto the free list. v1 files (single
+    /// meta page) keep opening as before.
+    ///
+    /// The opened tree starts at [`Durability::None`]; call
+    /// [`GaussTree::set_durability`] before mutating if crash safety is
+    /// required.
+    ///
     /// # Errors
-    /// [`TreeError::NotAGaussTree`] if the metadata page is missing or
-    /// invalid; store errors otherwise.
+    /// [`TreeError::NotAGaussTree`] if no valid metadata is found; store
+    /// errors otherwise.
     pub fn open(pool: impl Into<SharedBufferPool<S>>) -> Result<Self, TreeError> {
-        let pool = pool.into();
-        if pool.num_pages() == 0 {
+        Self::open_impl(pool.into(), false).map(|(tree, _)| tree)
+    }
+
+    /// Opens an existing Gauss-tree, additionally *verifying* the chosen
+    /// epoch with a full [`GaussTree::check_invariants`] pass (including
+    /// exact page accounting) and falling back to the previous slot when
+    /// verification fails — the belt-and-braces recovery path for stores
+    /// that may have crashed without write ordering.
+    ///
+    /// This reads every page of the tree; prefer [`GaussTree::open`] on
+    /// hot paths and this after an unclean shutdown.
+    ///
+    /// # Errors
+    /// [`TreeError::NotAGaussTree`] if no slot yields a structurally
+    /// sound tree; store errors otherwise.
+    pub fn open_with_recovery(
+        pool: impl Into<SharedBufferPool<S>>,
+    ) -> Result<(Self, RecoveryReport), TreeError> {
+        Self::open_impl(pool.into(), true)
+    }
+
+    fn open_impl(
+        pool: SharedBufferPool<S>,
+        verify: bool,
+    ) -> Result<(Self, RecoveryReport), TreeError> {
+        let allocated_now = pool.num_pages();
+        if allocated_now == 0 {
             return Err(TreeError::NotAGaussTree);
         }
+        // Legacy single-slot format?
+        {
+            let page = pool.page(PageId(0))?;
+            let mut r = Reader::new(&page);
+            let magic = r.get_u32().unwrap_or(0);
+            let version = r.get_u32().unwrap_or(0);
+            if magic == META_MAGIC && version == META_VERSION_V1 {
+                let tree = Self::open_v1(pool)?;
+                if verify {
+                    match tree.check_invariants(false) {
+                        Ok(errs) if errs.is_empty() => {}
+                        _ => return Err(TreeError::NotAGaussTree),
+                    }
+                }
+                let report = RecoveryReport {
+                    legacy: true,
+                    ..RecoveryReport::default()
+                };
+                return Ok((tree, report));
+            }
+        }
+        // v2: parse both slots, try them in descending epoch order. A
+        // slot that holds data but does not validate (torn write, stale
+        // garbage) counts as a fallback even though its epoch is
+        // unknowable — an all-zero slot is just a commit that never
+        // happened (epoch 1 only ever writes one slot).
+        let mut torn_slot = false;
+        let mut candidates: Vec<ParsedMeta> = Vec::new();
+        for slot in [META_SLOT_A, META_SLOT_B] {
+            if slot.index() >= allocated_now {
+                continue;
+            }
+            match Self::parse_slot(&pool, slot, allocated_now) {
+                Some(meta) => candidates.push(meta),
+                None => {
+                    if pool.page(slot)?.iter().any(|&b| b != 0) {
+                        torn_slot = true;
+                    }
+                }
+            }
+        }
+        candidates.sort_by_key(|m| std::cmp::Reverse(m.epoch));
+        let newest = candidates.first().map(|m| m.epoch);
+        let mut pool = pool;
+        for meta in candidates {
+            let fell_back = torn_slot || Some(meta.epoch) != newest;
+            let report = RecoveryReport {
+                epoch: meta.epoch,
+                fell_back,
+                orphaned_pages: allocated_now - meta.allocated,
+                legacy: false,
+            };
+            let mut tree = Self::from_meta(pool, meta);
+            if !verify {
+                return Ok((tree, report));
+            }
+            match tree.check_invariants(false) {
+                Ok(errs) if errs.is_empty() => {
+                    // Seal the recovery: a fallback or orphan reclamation
+                    // exists only in memory so far — a later *plain* open
+                    // would re-select the rejected slot and redo (or
+                    // lose) the reclamation. Committing a fresh epoch
+                    // overwrites the rejected slot and persists the
+                    // reclaimed pages on the free list.
+                    if report.fell_back || report.orphaned_pages > 0 {
+                        let saved = tree.durability;
+                        tree.durability = Durability::Fsync;
+                        tree.flush()?;
+                        tree.durability = saved;
+                    }
+                    return Ok((tree, report));
+                }
+                // Structurally unsound (or unreadable): try the other slot.
+                _ => pool = tree.into_pool(),
+            }
+        }
+        Err(TreeError::NotAGaussTree)
+    }
+
+    /// Parses and validates one v2 meta slot; `None` if the slot is not a
+    /// committed epoch (torn, stale, out of bounds, or plain garbage).
+    fn parse_slot(
+        pool: &SharedBufferPool<S>,
+        slot: PageId,
+        allocated_now: u64,
+    ) -> Option<ParsedMeta> {
+        let page = pool.page(slot).ok()?;
+        let mut r = Reader::new(&page);
+        let magic = r.get_u32().ok()?;
+        let version = r.get_u32().ok()?;
+        if magic != META_MAGIC || version != META_VERSION {
+            return None;
+        }
+        let stored_sum = r.get_u64().ok()?;
+        let mut image = page.to_vec();
+        image[META_CHECKSUM_OFFSET..META_CHECKSUM_OFFSET + 8].fill(0);
+        if fnv1a64(&image) != stored_sum {
+            return None;
+        }
+        let epoch = r.get_u64().ok()?;
+        let allocated = r.get_u64().ok()?;
+        let dims = r.get_u32().ok()? as usize;
+        let combine = match r.get_u8().ok()? {
+            0 => CombineMode::Convolution,
+            1 => CombineMode::AdditiveSigma,
+            _ => return None,
+        };
+        let split = crate::config::SplitStrategy::from_tag(r.get_u8().ok()?)?;
+        let leaf_cap = r.get_u32().ok()? as usize;
+        let inner_cap = r.get_u32().ok()? as usize;
+        let root = PageId(r.get_u64().ok()?);
+        let height = r.get_u32().ok()?;
+        let len = r.get_u64().ok()?;
+        // Every referenced id must be in bounds *of the committed
+        // allocation*, which itself must fit the store — a truncated file
+        // fails here with a clean rejection instead of a decode error
+        // deep inside `read_node`.
+        if epoch == 0
+            || dims == 0
+            || leaf_cap < 2
+            || inner_cap < 2
+            || allocated < 3
+            || allocated > allocated_now
+            || root.index() < 2
+            || root.index() >= allocated
+        {
+            return None;
+        }
+        let free_count = r.get_u32().ok()? as usize;
+        let mut free_next = PageId(r.get_u64().ok()?);
+        let mut free_ids = Vec::with_capacity(free_count);
+        for _ in 0..free_count {
+            free_ids.push(PageId(r.get_u64().ok()?));
+        }
+        // Follow the overflow chain through its carrier pages. Carriers
+        // are not covered by the slot checksum, so the walk must bound
+        // itself: a garbage chain that cycles with zero-count carriers
+        // would otherwise never trip the id-count guard.
+        let mut carriers = Vec::new();
+        while free_next.is_valid() {
+            if free_next.index() < 2
+                || free_next.index() >= allocated
+                || free_ids.len() as u64 > allocated
+                || carriers.len() as u64 > allocated
+            {
+                return None;
+            }
+            carriers.push(free_next);
+            let page = pool.page(free_next).ok()?;
+            let mut r = Reader::new(&page);
+            let next = PageId(r.get_u64().ok()?);
+            let count = r.get_u32().ok()? as usize;
+            if count > (page.len() - FREE_CHAIN_HEADER_BYTES) / 8 {
+                return None;
+            }
+            for _ in 0..count {
+                free_ids.push(PageId(r.get_u64().ok()?));
+            }
+            free_next = next;
+        }
+        // Free ids must be in bounds, unique, and distinct from the meta
+        // slots; the carriers must themselves be persisted as free.
+        let mut seen = HashSet::with_capacity(free_ids.len());
+        for id in &free_ids {
+            if id.index() < 2 || id.index() >= allocated || !seen.insert(id.index()) {
+                return None;
+            }
+        }
+        if !carriers.iter().all(|c| seen.contains(&c.index())) {
+            return None;
+        }
+        let mut config = TreeConfig::new(dims)
+            .with_combine(combine)
+            .with_split(split);
+        config.max_leaf_entries = Some(leaf_cap);
+        config.max_inner_entries = Some(inner_cap);
+        Some(ParsedMeta {
+            epoch,
+            allocated,
+            config,
+            root,
+            height,
+            len,
+            free_ids,
+            carriers,
+        })
+    }
+
+    /// Builds the in-memory tree from a validated slot, reclaiming pages
+    /// the chosen epoch never committed (shadow writes of an interrupted
+    /// mutation) onto the free list.
+    fn from_meta(pool: SharedBufferPool<S>, meta: ParsedMeta) -> Self {
+        let leaf_cap = meta.config.leaf_capacity(pool.page_size());
+        let inner_cap = meta.config.inner_capacity(pool.page_size());
+        let node_cache = SideCache::new(pool.capacity().max(1));
+        let carrier_set: HashSet<u64> = meta.carriers.iter().map(|p| p.index()).collect();
+        let mut free_set: HashSet<u64> = meta.free_ids.iter().map(|p| p.index()).collect();
+        let mut free_committed: Vec<PageId> = meta
+            .free_ids
+            .iter()
+            .copied()
+            .filter(|p| !carrier_set.contains(&p.index()))
+            .collect();
+        let allocated_now = pool.num_pages();
+        for orphan in meta.allocated..allocated_now {
+            free_set.insert(orphan);
+            free_committed.push(PageId(orphan));
+        }
+        Self {
+            pool,
+            node_cache,
+            config: meta.config,
+            leaf_cap,
+            inner_cap,
+            format: MetaFormat::V2,
+            durability: Durability::None,
+            epoch: meta.epoch,
+            root: meta.root,
+            height: meta.height,
+            len: meta.len,
+            free_committed,
+            free_pending: Vec::new(),
+            carriers_live: meta.carriers,
+            free_set,
+            shadowed: HashSet::new(),
+        }
+    }
+
+    /// Opens a legacy v1 (single meta slot) file.
+    fn open_v1(pool: SharedBufferPool<S>) -> Result<Self, TreeError> {
+        let allocated = pool.num_pages();
         let page = pool.page(PageId(0))?;
         let mut r = Reader::new(&page);
         type MetaFields = (TreeConfig, PageId, u32, u64, Vec<PageId>, PageId);
         let parse = (|| -> Result<MetaFields, NodeCodecError> {
             let magic = r.get_u32()?;
             let version = r.get_u32()?;
-            if magic != META_MAGIC || version != META_VERSION {
+            if magic != META_MAGIC || version != META_VERSION_V1 {
                 return Err(NodeCodecError::Corrupt("bad magic/version"));
             }
             let dims = r.get_u32()? as usize;
@@ -200,7 +617,7 @@ impl<S: PageStore> GaussTree<S> {
             let root = PageId(r.get_u64()?);
             let height = r.get_u32()?;
             let len = r.get_u64()?;
-            if dims == 0 || leaf_cap < 2 || inner_cap < 2 || !root.is_valid() {
+            if dims == 0 || leaf_cap < 2 || inner_cap < 2 || root.index() >= allocated {
                 return Err(NodeCodecError::Corrupt("bad metadata values"));
             }
             let free_count = r.get_u32()? as usize;
@@ -218,10 +635,15 @@ impl<S: PageStore> GaussTree<S> {
         })();
         let (config, root, height, len, mut free_list, mut free_next) =
             parse.map_err(|_| TreeError::NotAGaussTree)?;
-        // Follow the overflow chain through the freed carrier pages.
-        let allocated = pool.num_pages();
+        // Follow the overflow chain through the freed carrier pages
+        // (`chain_len` bounds a garbage cycle of zero-count carriers).
+        let mut chain_len = 0u64;
         while free_next.is_valid() {
-            if free_next.index() >= allocated || free_list.len() as u64 > allocated {
+            chain_len += 1;
+            if free_next.index() >= allocated
+                || free_list.len() as u64 > allocated
+                || chain_len > allocated
+            {
                 return Err(TreeError::NotAGaussTree);
             }
             let page = pool.page(free_next)?;
@@ -239,21 +661,39 @@ impl<S: PageStore> GaussTree<S> {
             free_list.extend(ids);
             free_next = next;
         }
+        if free_list
+            .iter()
+            .any(|p| p.index() == 0 || p.index() >= allocated)
+        {
+            return Err(TreeError::NotAGaussTree);
+        }
         let leaf_cap = config.leaf_capacity(pool.page_size());
         let inner_cap = config.inner_capacity(pool.page_size());
         let node_cache = SideCache::new(pool.capacity().max(1));
+        let free_set = free_list.iter().map(|p| p.index()).collect();
         Ok(Self {
             pool,
             node_cache,
             config,
             leaf_cap,
             inner_cap,
-            meta_page: PageId(0),
+            format: MetaFormat::V1,
+            durability: Durability::None,
+            epoch: 0,
             root,
             height,
             len,
-            free_list,
+            free_committed: free_list,
+            free_pending: Vec::new(),
+            carriers_live: Vec::new(),
+            free_set,
+            shadowed: HashSet::new(),
         })
+    }
+
+    /// Gives the pool back (recovery's slot-fallback path).
+    fn into_pool(self) -> SharedBufferPool<S> {
+        self.pool
     }
 
     /// Bulk-loads a tree from `(id, pfv)` pairs (STR-style recursive
@@ -290,7 +730,7 @@ impl<S: PageStore> GaussTree<S> {
         items: impl IntoIterator<Item = (u64, Pfv)>,
         opts: &BulkLoadOptions,
     ) -> Result<(Self, BulkLoadReport), TreeError> {
-        let mut tree = Self::create(pool, config)?;
+        let mut tree = Self::create_durable(pool, config, opts.durability)?;
         let report = crate::bulk::run(&mut tree, items, opts)?;
         Ok((tree, report))
     }
@@ -359,16 +799,106 @@ impl<S: PageStore> GaussTree<S> {
         self.pool.stats()
     }
 
-    /// Writes the metadata page. Call after building; queries never dirty
-    /// the tree.
+    /// Commits the tree's metadata. Call after building; queries never
+    /// dirty the tree.
+    ///
+    /// v2 format: an atomic dual-slot commit. The full free list is
+    /// persisted first (overflow chained through committed-free carrier
+    /// pages the previous epoch does not reference), then a data barrier
+    /// is issued at the tree's [`Durability`] level, then the inactive
+    /// meta slot is written with a bumped epoch and a checksum, then a
+    /// second barrier makes the commit durable. Open picks the highest
+    /// valid epoch, so a crash anywhere in this sequence — or in the
+    /// shadow-paged mutations before it — falls back to the previous
+    /// commit intact.
+    ///
+    /// Legacy v1 files keep their single in-place meta page (their commit
+    /// is not atomic; rebuild to upgrade).
     ///
     /// # Errors
-    /// Propagates store errors.
+    /// Propagates store errors. After an error the in-memory tree may be
+    /// mid-commit and should be dropped; the on-disk state remains
+    /// recoverable.
     pub fn flush(&mut self) -> Result<(), TreeError> {
-        let mut page = vec![0u8; self.pool.page_size()];
+        match self.format {
+            MetaFormat::V1 => self.flush_v1(),
+            MetaFormat::V2 => self.flush_v2(),
+        }
+    }
+
+    fn flush_v2(&mut self) -> Result<(), TreeError> {
+        let page_size = self.pool.page_size();
+        let meta_cap = page_size.saturating_sub(META_BASE_BYTES) / 8;
+        let per_carrier = ((page_size - FREE_CHAIN_HEADER_BYTES) / 8).max(1);
+
+        // Every free id that must survive reopen, whatever sub-list it is
+        // on right now.
+        let mut all_ids: Vec<PageId> =
+            Vec::with_capacity(self.free_pending.len() + self.carriers_live.len());
+        all_ids.extend(&self.free_pending);
+        all_ids.extend(&self.carriers_live);
+        all_ids.extend(&self.free_committed);
+
+        // Overflow carriers for the new chain: committed-free pages (the
+        // live chain's carriers are held out of `free_committed`, so they
+        // can never be clobbered while the previous epoch still needs
+        // them), topped up with fresh allocations. A fresh carrier is
+        // itself a free page and joins the persisted set, which can grow
+        // the overflow — hence the fixpoint loop.
+        let mut new_carriers: Vec<PageId> = Vec::new();
+        loop {
+            let rest = all_ids.len().saturating_sub(meta_cap);
+            let needed = rest.div_ceil(per_carrier);
+            if new_carriers.len() >= needed {
+                break;
+            }
+            if let Some(p) = self.free_committed.pop() {
+                new_carriers.push(p);
+            } else {
+                let p = self.pool.allocate()?;
+                self.free_set.insert(p.index());
+                all_ids.push(p);
+                new_carriers.push(p);
+            }
+        }
+
+        let in_meta = all_ids.len().min(meta_cap);
+        let rest = &all_ids[in_meta..];
+        let chunks: Vec<&[PageId]> = rest.chunks(per_carrier).collect();
+        debug_assert_eq!(chunks.len(), new_carriers.len());
+        for (i, chunk) in chunks.iter().enumerate() {
+            let carrier = new_carriers[i];
+            let next = new_carriers.get(i + 1).copied().unwrap_or(PageId::INVALID);
+            let mut buf = vec![0u8; page_size];
+            let mut cw = Writer::new(&mut buf);
+            cw.put_u64(next.index());
+            cw.put_u32(u32::try_from(chunk.len()).expect("chunk fits u32"));
+            for id in *chunk {
+                cw.put_u64(id.index());
+            }
+            // A carrier may still carry a stale decoded node from before
+            // it was freed; its bytes are changing, so drop that decode.
+            self.node_cache.remove(carrier);
+            self.pool.write(carrier, &buf)?;
+        }
+
+        // Data barrier: every node page and carrier the new meta slot
+        // will reference must be durable before the slot commits to them.
+        self.pool.sync(self.durability)?;
+
+        let new_epoch = self.epoch + 1;
+        let slot = if new_epoch.is_multiple_of(2) {
+            META_SLOT_A
+        } else {
+            META_SLOT_B
+        };
+        let mut page = vec![0u8; page_size];
         let mut w = Writer::new(&mut page);
         w.put_u32(META_MAGIC);
         w.put_u32(META_VERSION);
+        w.put_u64(0); // checksum, patched below
+        w.put_u64(new_epoch);
+        w.put_u64(self.pool.num_pages());
         w.put_u32(u32::try_from(self.config.dims).expect("dims fit u32"));
         w.put_u8(match self.config.combine {
             CombineMode::Convolution => 0,
@@ -380,24 +910,67 @@ impl<S: PageStore> GaussTree<S> {
         w.put_u64(self.root.index());
         w.put_u32(self.height);
         w.put_u64(self.len);
-        // Persist the free list in full: ids that fit go into the meta
-        // page, any overflow is chained through carrier pages drawn from
-        // the freed ids themselves (their content is dead by definition,
-        // and each carrier also appears in the persisted id set, so the
-        // page accounting stays exact across reopen).
+        w.put_u32(u32::try_from(in_meta).expect("free count fits u32"));
+        w.put_u64(
+            new_carriers
+                .first()
+                .copied()
+                .unwrap_or(PageId::INVALID)
+                .index(),
+        );
+        for id in &all_ids[..in_meta] {
+            w.put_u64(id.index());
+        }
+        let sum = fnv1a64(&page);
+        page[META_CHECKSUM_OFFSET..META_CHECKSUM_OFFSET + 8].copy_from_slice(&sum.to_le_bytes());
+        self.pool.write(slot, &page)?;
+        // Commit barrier: the new epoch is durable before flush returns.
+        self.pool.sync(self.durability)?;
+
+        // The commit succeeded: this epoch's deferred frees and the
+        // superseded chain's carriers become reusable.
+        self.epoch = new_epoch;
+        self.free_committed.append(&mut self.free_pending);
+        self.free_committed.append(&mut self.carriers_live);
+        self.carriers_live = new_carriers;
+        self.shadowed.clear();
+        Ok(())
+    }
+
+    fn flush_v1(&mut self) -> Result<(), TreeError> {
+        // Legacy trees never shadow-page, so all frees sit in
+        // `free_committed` and the v1 carrier scheme (carriers drawn from
+        // the overflow ids themselves) still applies.
+        debug_assert!(self.free_pending.is_empty() && self.carriers_live.is_empty());
+        let mut page = vec![0u8; self.pool.page_size()];
+        let mut w = Writer::new(&mut page);
+        w.put_u32(META_MAGIC);
+        w.put_u32(META_VERSION_V1);
+        w.put_u32(u32::try_from(self.config.dims).expect("dims fit u32"));
+        w.put_u8(match self.config.combine {
+            CombineMode::Convolution => 0,
+            CombineMode::AdditiveSigma => 1,
+        });
+        w.put_u8(self.config.split.to_tag());
+        w.put_u32(u32::try_from(self.leaf_cap).expect("leaf cap fits u32"));
+        w.put_u32(u32::try_from(self.inner_cap).expect("inner cap fits u32"));
+        w.put_u64(self.root.index());
+        w.put_u32(self.height);
+        w.put_u64(self.len);
         let page_size = self.pool.page_size();
-        let meta_cap = page_size.saturating_sub(META_BASE_BYTES) / 8;
-        let in_meta = self.free_list.len().min(meta_cap);
-        let rest = &self.free_list[in_meta..];
+        let meta_cap = page_size.saturating_sub(META_BASE_BYTES_V1) / 8;
+        let in_meta = self.free_committed.len().min(meta_cap);
+        let rest = &self.free_committed[in_meta..];
         let per_carrier = ((page_size - FREE_CHAIN_HEADER_BYTES) / 8).max(1);
         let chunks: Vec<&[PageId]> = rest.chunks(per_carrier).collect();
         let first_carrier = chunks.first().map_or(PageId::INVALID, |c| c[0]);
         w.put_u32(u32::try_from(in_meta).expect("free count fits u32"));
         w.put_u64(first_carrier.index());
-        for id in &self.free_list[..in_meta] {
+        for id in &self.free_committed[..in_meta] {
             w.put_u64(id.index());
         }
-        self.pool.write(self.meta_page, &page)?;
+        self.pool.sync(self.durability)?;
+        self.pool.write(PageId(0), &page)?;
         for (i, chunk) in chunks.iter().enumerate() {
             let carrier = chunk[0];
             let next = chunks.get(i + 1).map_or(PageId::INVALID, |c| c[0]);
@@ -408,38 +981,70 @@ impl<S: PageStore> GaussTree<S> {
             for id in *chunk {
                 cw.put_u64(id.index());
             }
-            // A carrier may still carry a stale decoded node from before it
-            // was freed; its bytes are changing, so drop that decode.
             self.node_cache.remove(carrier);
             self.pool.write(carrier, &buf)?;
+        }
+        self.pool.sync(self.durability)?;
+        Ok(())
+    }
+
+    /// Allocates a page for a new node, reusing a committed-free page when
+    /// one is available. The page is marked shadowed: it is not part of
+    /// the committed tree, so shadow paging may write it in place.
+    pub(crate) fn alloc_page(&mut self) -> Result<PageId, TreeError> {
+        let page = match self.free_committed.pop() {
+            Some(p) => {
+                self.free_set.remove(&p.index());
+                p
+            }
+            None => self.pool.allocate()?,
+        };
+        self.shadowed.insert(page.index());
+        Ok(page)
+    }
+
+    /// Returns a no-longer-referenced node page to the free list:
+    /// immediately reusable when the committed tree does not reference it
+    /// (page shadowed this epoch, or the tree is not shadow-paging),
+    /// deferred until the next commit otherwise.
+    ///
+    /// # Errors
+    /// [`TreeError::DoubleFree`] if the page is already free.
+    pub(crate) fn free_page(&mut self, page: PageId) -> Result<(), TreeError> {
+        if !self.free_set.insert(page.index()) {
+            return Err(TreeError::DoubleFree { page: page.index() });
+        }
+        let was_shadowed = self.shadowed.remove(&page.index());
+        if was_shadowed || !self.is_shadowing() {
+            self.free_committed.push(page);
+        } else {
+            self.free_pending.push(page);
         }
         Ok(())
     }
 
-    /// Allocates a page for a new node, reusing a freed page when one is
-    /// available.
-    pub(crate) fn alloc_page(&mut self) -> Result<PageId, TreeError> {
-        match self.free_list.pop() {
-            Some(p) => Ok(p),
-            None => Ok(self.pool.allocate()?),
-        }
-    }
-
-    /// Returns a no-longer-referenced node page to the free list.
-    pub(crate) fn free_page(&mut self, page: PageId) {
-        debug_assert!(!self.free_list.contains(&page), "double free of {page}");
-        self.free_list.push(page);
-    }
-
-    /// Pages freed by deletions and not yet reused by later allocations.
+    /// Pages freed and not yet reused by later allocations (reusable,
+    /// commit-deferred, and live chain carriers together).
     #[must_use]
     pub fn free_page_count(&self) -> usize {
-        self.free_list.len()
+        self.free_committed.len() + self.free_pending.len() + self.carriers_live.len()
     }
 
     /// The freed-page ids (for the invariant checker).
-    pub(crate) fn free_pages(&self) -> &[PageId] {
-        &self.free_list
+    pub(crate) fn free_pages(&self) -> Vec<PageId> {
+        let mut out = Vec::with_capacity(self.free_page_count());
+        out.extend(&self.free_committed);
+        out.extend(&self.free_pending);
+        out.extend(&self.carriers_live);
+        out
+    }
+
+    /// Number of pages owned by the tree's metadata (slot pages).
+    pub(crate) fn meta_page_count(&self) -> u64 {
+        match self.format {
+            MetaFormat::V1 => 1,
+            MetaFormat::V2 => 2,
+        }
     }
 
     /// Bulk-loader leaf fill target (`BULK_FILL` of the capacity).
@@ -484,18 +1089,18 @@ impl<S: PageStore> GaussTree<S> {
             });
         }
         match self.insert_rec(self.root, self.height, id, v)? {
-            ChildUpdate::Updated(..) => {}
+            ChildUpdate::Updated(page, ..) => self.root = page,
             ChildUpdate::Split {
+                left_page,
                 left,
                 right_page,
                 right,
             } => {
                 // Grow a new root.
-                let old_root = self.root;
                 let new_root = self.alloc_page()?;
                 let node = Node::Inner(vec![
                     InnerEntry {
-                        child: old_root,
+                        child: left_page,
                         count: left.1,
                         rect: left.0,
                     },
@@ -530,8 +1135,8 @@ impl<S: PageStore> GaussTree<S> {
             if entries.len() <= self.leaf_cap {
                 let rect = group_rect(&entries);
                 let count = entries.len() as u64;
-                self.write_node(page, &Node::Leaf(entries))?;
-                Ok(ChildUpdate::Updated(rect, count))
+                let page = self.write_node_shadow(page, &Node::Leaf(entries))?;
+                Ok(ChildUpdate::Updated(page, rect, count))
             } else {
                 let out = split_items(self.config.split, entries);
                 let right_page = self.alloc_page()?;
@@ -539,9 +1144,10 @@ impl<S: PageStore> GaussTree<S> {
                 let right_rect = group_rect(&out.right);
                 let left_count = out.left.len() as u64;
                 let right_count = out.right.len() as u64;
-                self.write_node(page, &Node::Leaf(out.left))?;
+                let left_page = self.write_node_shadow(page, &Node::Leaf(out.left))?;
                 self.write_node(right_page, &Node::Leaf(out.right))?;
                 Ok(ChildUpdate::Split {
+                    left_page,
                     left: (left_rect, left_count),
                     right_page,
                     right: (right_rect, right_count),
@@ -557,17 +1163,19 @@ impl<S: PageStore> GaussTree<S> {
             let idx = self.choose_subtree(&entries, v);
             let child_page = entries[idx].child;
             match self.insert_rec(child_page, level - 1, id, v)? {
-                ChildUpdate::Updated(rect, count) => {
+                ChildUpdate::Updated(new_child, rect, count) => {
+                    entries[idx].child = new_child;
                     entries[idx].rect = rect;
                     entries[idx].count = count;
                 }
                 ChildUpdate::Split {
+                    left_page,
                     left,
                     right_page,
                     right,
                 } => {
                     entries[idx] = InnerEntry {
-                        child: child_page,
+                        child: left_page,
                         count: left.1,
                         rect: left.0,
                     };
@@ -581,8 +1189,8 @@ impl<S: PageStore> GaussTree<S> {
             if entries.len() <= self.inner_cap {
                 let rect = group_rect(&entries);
                 let count = entries.iter().map(|e| e.count).sum();
-                self.write_node(page, &Node::Inner(entries))?;
-                Ok(ChildUpdate::Updated(rect, count))
+                let page = self.write_node_shadow(page, &Node::Inner(entries))?;
+                Ok(ChildUpdate::Updated(page, rect, count))
             } else {
                 let out = split_items(self.config.split, entries);
                 let right_page = self.alloc_page()?;
@@ -590,9 +1198,10 @@ impl<S: PageStore> GaussTree<S> {
                 let right_rect = group_rect(&out.right);
                 let left_count = out.left.iter().map(|e| e.count).sum();
                 let right_count = out.right.iter().map(|e| e.count).sum();
-                self.write_node(page, &Node::Inner(out.left))?;
+                let left_page = self.write_node_shadow(page, &Node::Inner(out.left))?;
                 self.write_node(right_page, &Node::Inner(out.right))?;
                 Ok(ChildUpdate::Split {
+                    left_page,
                     left: (left_rect, left_count),
                     right_page,
                     right: (right_rect, right_count),
@@ -688,16 +1297,21 @@ impl<S: PageStore> GaussTree<S> {
             return if entries.len() <= self.leaf_cap {
                 let rect = group_rect(&entries);
                 let count = entries.len() as u64;
-                self.write_node(page, &Node::Leaf(entries))?;
+                let page = self.write_node_shadow(page, &Node::Leaf(entries))?;
                 Ok(vec![SubtreeDesc { page, rect, count }])
             } else {
                 let groups = split_many(self.config.split, entries, self.leaf_cap);
                 let mut descs = Vec::with_capacity(groups.len());
                 for (i, g) in groups.into_iter().enumerate() {
-                    let target = if i == 0 { page } else { self.alloc_page()? };
                     let rect = group_rect(&g);
                     let count = g.len() as u64;
-                    self.write_node(target, &Node::Leaf(g))?;
+                    let target = if i == 0 {
+                        self.write_node_shadow(page, &Node::Leaf(g))?
+                    } else {
+                        let t = self.alloc_page()?;
+                        self.write_node(t, &Node::Leaf(g))?;
+                        t
+                    };
                     descs.push(SubtreeDesc {
                         page: target,
                         rect,
@@ -742,16 +1356,21 @@ impl<S: PageStore> GaussTree<S> {
         if entries.len() <= self.inner_cap {
             let rect = group_rect(&entries);
             let count = entries.iter().map(|e| e.count).sum();
-            self.write_node(page, &Node::Inner(entries))?;
+            let page = self.write_node_shadow(page, &Node::Inner(entries))?;
             Ok(vec![SubtreeDesc { page, rect, count }])
         } else {
             let groups = split_many(self.config.split, entries, self.inner_cap);
             let mut descs = Vec::with_capacity(groups.len());
             for (i, g) in groups.into_iter().enumerate() {
-                let target = if i == 0 { page } else { self.alloc_page()? };
                 let rect = group_rect(&g);
                 let count = g.iter().map(|e| e.count).sum();
-                self.write_node(target, &Node::Inner(g))?;
+                let target = if i == 0 {
+                    self.write_node_shadow(page, &Node::Inner(g))?
+                } else {
+                    let t = self.alloc_page()?;
+                    self.write_node(t, &Node::Inner(g))?;
+                    t
+                };
                 descs.push(SubtreeDesc {
                     page: target,
                     rect,
@@ -880,6 +1499,27 @@ impl<S: PageStore> GaussTree<S> {
         self.node_cache.remove(page);
         self.pool.write(page, &buf)?;
         Ok(())
+    }
+
+    /// Writes `node` where the durability policy allows: in place when the
+    /// committed tree does not reference `page` (or the tree is not
+    /// shadow-paging), otherwise to a freshly allocated shadow page,
+    /// deferring `page` to the post-commit free list. Returns where the
+    /// node landed; callers must re-point the parent at it.
+    pub(crate) fn write_node_shadow(
+        &mut self,
+        page: PageId,
+        node: &Node,
+    ) -> Result<PageId, TreeError> {
+        if !self.is_shadowing() || self.shadowed.contains(&page.index()) {
+            self.write_node(page, node)?;
+            Ok(page)
+        } else {
+            let new = self.alloc_page()?;
+            self.write_node(new, node)?;
+            self.free_page(page)?;
+            Ok(new)
+        }
     }
 
     /// Visits every stored `(id, pfv)` pair (in tree order).
@@ -1190,6 +1830,350 @@ mod tests {
         let errs = t2.check_invariants(false).unwrap();
         assert!(errs.is_empty(), "violations after reopen: {errs:?}");
         assert_eq!(t2.len(), 50);
+    }
+
+    #[test]
+    fn epoch_bumps_and_survives_reopen() {
+        let mut t = mem_tree(1, 4, 4);
+        assert_eq!(t.epoch(), 1, "create commits the empty tree");
+        for i in 0..10u64 {
+            t.insert(i, &pfv1(i as f64, 0.1)).unwrap();
+        }
+        t.flush().unwrap();
+        t.flush().unwrap();
+        assert_eq!(t.epoch(), 3);
+        let store = {
+            let GaussTree { pool, .. } = t;
+            pool.into_store()
+        };
+        let pool = BufferPool::new(store, 1024, AccessStats::new_shared());
+        let (t2, report) = GaussTree::open_with_recovery(pool).unwrap();
+        assert_eq!(t2.epoch(), 3);
+        assert_eq!(report.epoch, 3);
+        assert!(!report.fell_back && !report.legacy);
+        assert_eq!(report.orphaned_pages, 0);
+        assert_eq!(t2.len(), 10);
+    }
+
+    #[test]
+    fn torn_meta_slot_falls_back_to_previous_epoch() {
+        let config = TreeConfig::new(1).with_capacities(4, 4);
+        let pool = BufferPool::new(MemStore::new(1024), 1024, AccessStats::new_shared());
+        let mut t = GaussTree::create_durable(pool, config, Durability::Fsync).unwrap();
+        for i in 0..20u64 {
+            t.insert(i, &pfv1(i as f64, 0.1)).unwrap();
+        }
+        t.flush().unwrap(); // epoch 2 -> slot A
+        for i in 20..40u64 {
+            t.insert(i, &pfv1(i as f64 * 0.5, 0.2)).unwrap();
+        }
+        t.flush().unwrap(); // epoch 3 -> slot B
+        assert_eq!(t.epoch(), 3);
+
+        // Tear the newest slot (epoch 3 lives in slot B = page 1).
+        let mut bytes = t.pool().page(PageId(1)).unwrap().to_vec();
+        for b in bytes.iter_mut().skip(512) {
+            *b = 0xAA;
+        }
+        t.pool().write(PageId(1), &bytes).unwrap();
+
+        let store = {
+            let GaussTree { pool, .. } = t;
+            pool.into_store()
+        };
+        let pool = BufferPool::new(store, 1024, AccessStats::new_shared());
+        let (t2, report) = GaussTree::open_with_recovery(pool).unwrap();
+        assert_eq!(report.epoch, 2, "must fall back to the intact commit");
+        assert!(report.fell_back);
+        assert_eq!(t2.len(), 20, "epoch-2 state: first 20 inserts only");
+        assert!(t2.check_invariants(false).unwrap().is_empty());
+        let mut ids = Vec::new();
+        t2.for_each_entry(|id, _| ids.push(id)).unwrap();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn double_free_is_a_hard_error_in_release() {
+        let mut t = mem_tree(1, 4, 4);
+        let p = t.alloc_page().unwrap();
+        t.free_page(p).unwrap();
+        let err = t.free_page(p).unwrap_err();
+        assert!(matches!(err, TreeError::DoubleFree { page } if page == p.index()));
+    }
+
+    #[test]
+    fn orphan_pages_are_reclaimed_on_open() {
+        let mut t = mem_tree(1, 4, 4);
+        for i in 0..15u64 {
+            t.insert(i, &pfv1(i as f64, 0.1)).unwrap();
+        }
+        t.flush().unwrap();
+        // Simulate an interrupted mutation: pages allocated after the
+        // commit that no meta slot references.
+        for _ in 0..3 {
+            let _ = t.pool().allocate().unwrap();
+        }
+        let free_before = t.free_page_count();
+        let store = {
+            let GaussTree { pool, .. } = t;
+            pool.into_store()
+        };
+        let pool = BufferPool::new(store, 1024, AccessStats::new_shared());
+        let (t2, report) = GaussTree::open_with_recovery(pool).unwrap();
+        assert_eq!(report.orphaned_pages, 3);
+        assert_eq!(t2.free_page_count(), free_before + 3);
+        assert!(t2.check_invariants(false).unwrap().is_empty());
+        // The reclamation was sealed by a commit: a later plain open sees
+        // the orphans on the persisted free list, not as orphans again.
+        let store = {
+            let GaussTree { pool, .. } = t2;
+            pool.into_store()
+        };
+        let pool = BufferPool::new(store, 1024, AccessStats::new_shared());
+        let (t3, report) = GaussTree::open_with_recovery(pool).unwrap();
+        assert_eq!(report.orphaned_pages, 0, "reclamation must be persistent");
+        assert_eq!(t3.free_page_count(), free_before + 3);
+    }
+
+    #[test]
+    fn shadow_paging_defers_reuse_until_commit() {
+        let config = TreeConfig::new(1).with_capacities(4, 4);
+        let pool = BufferPool::new(MemStore::new(4096), 1024, AccessStats::new_shared());
+        let mut t = GaussTree::create_durable(pool, config, Durability::Flush).unwrap();
+        let items: Vec<(u64, Pfv)> = (0..60u64).map(|i| (i, pfv1(i as f64, 0.15))).collect();
+        for (id, v) in &items {
+            t.insert(*id, v).unwrap();
+        }
+        t.flush().unwrap();
+        for (id, v) in items.iter().take(30) {
+            t.delete(*id, v).unwrap();
+        }
+        // Deletion shadow-freed committed pages: they must sit on the
+        // deferred list until the commit, not be handed back out.
+        assert!(
+            !t.free_pending.is_empty(),
+            "committed pages freed this epoch are reuse-deferred"
+        );
+        assert!(t.check_invariants(false).unwrap().is_empty());
+        t.flush().unwrap();
+        assert!(t.free_pending.is_empty(), "commit promotes deferred frees");
+        assert!(!t.free_committed.is_empty());
+        assert!(t.check_invariants(false).unwrap().is_empty());
+        // And the tree still behaves: reinsert and query.
+        for (id, v) in items.iter().take(30) {
+            t.insert(*id, v).unwrap();
+        }
+        assert_eq!(t.len(), 60);
+        assert!(t.check_invariants(false).unwrap().is_empty());
+    }
+
+    #[test]
+    fn legacy_v1_file_opens_flushes_and_stays_v1() {
+        // Hand-build a v1-format file: single meta page at 0, root leaf at
+        // page 1 — the layout every pre-dual-slot release wrote.
+        let dims = 1usize;
+        let config = TreeConfig::new(dims).with_capacities(4, 4);
+        let entries = vec![
+            LeafEntry {
+                id: 7,
+                pfv: pfv1(1.0, 0.2),
+            },
+            LeafEntry {
+                id: 9,
+                pfv: pfv1(-2.0, 0.4),
+            },
+        ];
+        let mut store = MemStore::new(1024);
+        {
+            use gauss_storage::store::PageStore as _;
+            let meta = store.allocate().unwrap();
+            let root = store.allocate().unwrap();
+            let mut page = vec![0u8; 1024];
+            let mut w = Writer::new(&mut page);
+            w.put_u32(META_MAGIC);
+            w.put_u32(META_VERSION_V1);
+            w.put_u32(dims as u32);
+            w.put_u8(0); // Convolution
+            w.put_u8(config.split.to_tag());
+            w.put_u32(4);
+            w.put_u32(4);
+            w.put_u64(root.index());
+            w.put_u32(0); // height
+            w.put_u64(entries.len() as u64);
+            w.put_u32(0); // free count
+            w.put_u64(PageId::INVALID.index());
+            store.write_page(meta, &page).unwrap();
+            let mut node_page = vec![0u8; 1024];
+            Node::Leaf(entries.clone()).write_to(dims, &mut node_page);
+            store.write_page(root, &node_page).unwrap();
+        }
+        let pool = BufferPool::new(store, 64, AccessStats::new_shared());
+        let (mut t, report) = GaussTree::open_with_recovery(pool).unwrap();
+        assert!(report.legacy);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.root_page(), PageId(1));
+        assert!(t.check_invariants(false).unwrap().is_empty());
+        let mut ids = Vec::new();
+        t.for_each_entry(|id, _| ids.push(id)).unwrap();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![7, 9]);
+
+        // Mutating and flushing keeps the v1 format (page 1 is a node, so
+        // the second slot can never be claimed) and the file reopens.
+        t.insert(11, &pfv1(4.0, 0.3)).unwrap();
+        t.flush().unwrap();
+        let store = {
+            let GaussTree { pool, .. } = t;
+            pool.into_store()
+        };
+        let pool = BufferPool::new(store, 64, AccessStats::new_shared());
+        let t2 = GaussTree::open(pool).unwrap();
+        assert_eq!(t2.len(), 3);
+        assert_eq!(t2.epoch(), 0, "legacy files have no epochs");
+        assert!(t2.check_invariants(false).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_store_is_rejected_cleanly() {
+        // A store cut below what the meta commits to must fail with
+        // NotAGaussTree (bounds validation), not a decode error deep in
+        // read_node.
+        let mut t = mem_tree(1, 4, 4);
+        for i in 0..40u64 {
+            t.insert(i, &pfv1(i as f64, 0.1)).unwrap();
+        }
+        t.flush().unwrap();
+        let full = {
+            let GaussTree { pool, .. } = t;
+            pool.into_store()
+        };
+        // Copy only the two meta slot pages into a fresh store — a
+        // page-aligned truncation that cut away every node. Both slots
+        // commit to more pages than the store holds, so both must be
+        // rejected by the bounds validation.
+        let mut cut = MemStore::new(8192);
+        {
+            use gauss_storage::store::PageStore as _;
+            let mut full = full;
+            let mut buf = vec![0u8; 8192];
+            for i in 0..2u64 {
+                let id = cut.allocate().unwrap();
+                full.read_page(PageId(i), &mut buf).unwrap();
+                cut.write_page(id, &buf).unwrap();
+            }
+        }
+        let pool = BufferPool::new(cut, 64, AccessStats::new_shared());
+        assert!(matches!(
+            GaussTree::open(pool),
+            Err(TreeError::NotAGaussTree)
+        ));
+    }
+
+    #[test]
+    fn cyclic_free_chain_is_rejected_not_looped() {
+        // Carrier pages are outside the slot checksum; a garbage carrier
+        // whose header decodes as (next = itself, count = 0) must bound
+        // the chain walk and fall back to the previous epoch, not hang.
+        let config = TreeConfig::new(1).with_capacities(4, 4);
+        let pool = BufferPool::new(MemStore::new(1024), 4096, AccessStats::new_shared());
+        let mut t = GaussTree::create(pool, config).unwrap();
+        let items: Vec<(u64, Pfv)> = (0..400u64).map(|i| (i, pfv1(i as f64, 0.1))).collect();
+        for (id, v) in &items {
+            t.insert(*id, v).unwrap();
+        }
+        for (id, v) in items.iter().take(380) {
+            t.delete(*id, v).unwrap();
+        }
+        t.flush().unwrap(); // epoch 2: overflow chain exists
+        t.flush().unwrap(); // epoch 3: a second chain, epoch 2 stays intact
+        let newest_slot = PageId(1); // epoch 3 is odd -> slot B
+        let slot_bytes = t.pool().page(newest_slot).unwrap();
+        let first_carrier = PageId(u64::from_le_bytes(slot_bytes[70..78].try_into().unwrap()));
+        assert!(first_carrier.is_valid(), "test needs an overflow chain");
+        let mut cycle = vec![0u8; 1024];
+        cycle[..8].copy_from_slice(&first_carrier.index().to_le_bytes()); // next = itself
+        t.pool().write(first_carrier, &cycle).unwrap();
+
+        let store = {
+            let GaussTree { pool, .. } = t;
+            pool.into_store()
+        };
+        let pool = BufferPool::new(store, 4096, AccessStats::new_shared());
+        let t2 = GaussTree::open(pool).unwrap();
+        assert_eq!(t2.epoch(), 2, "cyclic chain slot must be rejected");
+        assert_eq!(t2.len(), 20);
+        assert!(t2.check_invariants(false).unwrap().is_empty());
+    }
+
+    #[test]
+    fn recovery_fallback_is_sealed_for_later_plain_opens() {
+        // A checksum-valid slot whose tree fails verification: plain open
+        // happily picks it, open_with_recovery must reject it AND persist
+        // that decision so later plain opens stop re-selecting it.
+        let config = TreeConfig::new(1).with_capacities(4, 4);
+        let pool = BufferPool::new(MemStore::new(1024), 4096, AccessStats::new_shared());
+        let mut t = GaussTree::create_durable(pool, config, Durability::Fsync).unwrap();
+        for i in 0..20u64 {
+            t.insert(i, &pfv1(i as f64, 0.1)).unwrap();
+        }
+        t.flush().unwrap(); // epoch 2 -> slot A
+        for i in 20..40u64 {
+            t.insert(i, &pfv1(i as f64 * 0.3, 0.2)).unwrap();
+        }
+        t.flush().unwrap(); // epoch 3 -> slot B
+                            // Corrupt epoch 3 semantically: point its root at some other
+                            // in-bounds page and recompute the checksum so parsing passes.
+        let slot = PageId(1);
+        let mut bytes = t.pool().page(slot).unwrap().to_vec();
+        let bogus_root = t.pool().num_pages() - 1;
+        bytes[46..54].copy_from_slice(&bogus_root.to_le_bytes());
+        bytes[8..16].fill(0);
+        let sum = gauss_storage::fnv1a64(&bytes);
+        bytes[8..16].copy_from_slice(&sum.to_le_bytes());
+        t.pool().write(slot, &bytes).unwrap();
+
+        let store = {
+            let GaussTree { pool, .. } = t;
+            pool.into_store()
+        };
+        let pool = BufferPool::new(store, 4096, AccessStats::new_shared());
+        let (t2, report) = GaussTree::open_with_recovery(pool).unwrap();
+        assert!(report.fell_back);
+        assert_eq!(report.epoch, 2);
+        assert_eq!(t2.len(), 20);
+        // The seal commits epoch 3 — rewriting exactly the rejected slot.
+        assert_eq!(t2.epoch(), 3, "recovery must commit a sealing epoch");
+
+        // The seal persists: a plain (unverified) open now lands on the
+        // recovered state instead of the corrupt higher epoch.
+        let store = {
+            let GaussTree { pool, .. } = t2;
+            pool.into_store()
+        };
+        let pool = BufferPool::new(store, 4096, AccessStats::new_shared());
+        let t3 = GaussTree::open(pool).unwrap();
+        assert_eq!(t3.len(), 20);
+        assert!(t3.check_invariants(false).unwrap().is_empty());
+    }
+
+    #[test]
+    fn durable_flush_issues_ordered_barriers() {
+        let config = TreeConfig::new(1).with_capacities(4, 4);
+        let pool = BufferPool::new(MemStore::new(4096), 64, AccessStats::new_shared());
+        let mut t = GaussTree::create_durable(pool, config, Durability::Fsync).unwrap();
+        assert_eq!(
+            t.stats().snapshot().syncs,
+            2,
+            "create's commit pays a data barrier and a commit barrier"
+        );
+        t.insert(1, &pfv1(0.5, 0.1)).unwrap();
+        t.flush().unwrap();
+        assert_eq!(t.stats().snapshot().syncs, 4);
+        // Durability::None trees never sync.
+        let pool = BufferPool::new(MemStore::new(4096), 64, AccessStats::new_shared());
+        let t2 = GaussTree::create(pool, config).unwrap();
+        assert_eq!(t2.stats().snapshot().syncs, 0);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use crate::lru::LruCache;
 use crate::page::PageId;
 use crate::stats::AccessStats;
-use crate::store::{PageStore, StoreError};
+use crate::store::{Durability, PageStore, StoreError};
 use std::sync::Arc;
 
 /// LRU buffer pool over a [`PageStore`].
@@ -100,6 +100,20 @@ impl<S: PageStore> BufferPool<S> {
     /// Propagates store errors.
     pub fn allocate(&mut self) -> Result<PageId, StoreError> {
         self.store.allocate()
+    }
+
+    /// Issues a durability barrier to the store ([`PageStore::sync`]).
+    /// Counted in [`AccessStats`] unless the level is
+    /// [`Durability::None`], which is free.
+    ///
+    /// # Errors
+    /// Propagates store errors.
+    pub fn sync(&mut self, durability: Durability) -> Result<(), StoreError> {
+        if durability == Durability::None {
+            return Ok(());
+        }
+        self.stats.record_sync();
+        self.store.sync(durability)
     }
 
     /// Drops every cached frame — the paper's cold start.

@@ -16,6 +16,9 @@ pub struct DiskModel {
     pub seek_ms: f64,
     /// Sustained transfer rate in MB/s.
     pub transfer_mb_per_s: f64,
+    /// Cost of one durability barrier (fsync), in milliseconds: the device
+    /// must drain its volatile write cache before acknowledging.
+    pub fsync_ms: f64,
     /// Page size in bytes.
     pub page_size: usize,
 }
@@ -27,6 +30,7 @@ impl DiskModel {
         Self {
             seek_ms: 8.0,
             transfer_mb_per_s: 60.0,
+            fsync_ms: 10.0,
             page_size,
         }
     }
@@ -43,6 +47,7 @@ impl DiskModel {
         Self {
             seek_ms: 0.1,
             transfer_mb_per_s: 500.0,
+            fsync_ms: 0.5,
             page_size,
         }
     }
@@ -102,6 +107,16 @@ impl DiskModel {
     #[must_use]
     pub fn random_write_s(&self, pages: u64) -> f64 {
         self.random_io_s(pages)
+    }
+
+    /// Simulated time for `count` durability barriers (fsyncs), in
+    /// seconds. `count` comes straight from the buffer-pool `syncs`
+    /// counter; adding this to a write-path model prices what a
+    /// [`crate::store::Durability::Fsync`] policy costs over
+    /// [`crate::store::Durability::None`].
+    #[must_use]
+    pub fn fsync_s(&self, count: u64) -> f64 {
+        count as f64 * self.fsync_ms / 1e3
     }
 
     /// Simulated time for a batched write workload of `calls` positioning
@@ -181,6 +196,16 @@ mod tests {
         // Byte-granular: a run ending mid-page is not billed the padding.
         assert!(m.batched_write_s(1, 8192 + 100) < m.batched_write_s(1, 2 * 8192));
         assert_eq!(m.batched_write_s(0, 0), 0.0);
+    }
+
+    #[test]
+    fn fsyncs_bill_linearly() {
+        let m = DiskModel::hdd_2006(8192);
+        assert_eq!(m.fsync_s(0), 0.0);
+        assert!((m.fsync_s(100) - 1.0).abs() < 1e-12, "100 × 10 ms = 1 s");
+        // An fsync-per-commit policy is visibly more expensive on the 2006
+        // drive than on the NVMe model.
+        assert!(DiskModel::nvme(8192).fsync_s(100) < m.fsync_s(100) / 10.0);
     }
 
     #[test]

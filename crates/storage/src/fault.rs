@@ -1,0 +1,251 @@
+//! Fault injection for crash-safety testing.
+//!
+//! [`FaultStore`] wraps any [`PageStore`] and simulates a process being
+//! killed mid-write: every page-granular write consumes one unit of a
+//! write budget, and the write that exhausts the budget *kills* the store.
+//! The killing write is either dropped whole ([`KillMode::Drop`]) or torn
+//! ([`KillMode::Tear`] — the first half of the new image lands, the second
+//! half keeps the old bytes, like a page write interrupted by power loss).
+//! After the kill every mutation and every [`PageStore::sync`] fails, but
+//! reads keep working, so a test can reopen "the disk as the crash left
+//! it" and assert what recovery finds.
+//!
+//! Budgets are page-granular on purpose: a [`PageStore::write_pages`] run
+//! of `k` pages costs `k` units, so a kill point can land in the middle of
+//! a coalesced group commit. Allocation (zero-extension of the store) is
+//! free — it never touches committed data, and charging it would only
+//! shift every kill point without adding a distinguishable failure mode.
+//!
+//! The simulation is *ordered*: writes that happened before the kill are
+//! all on the "disk", writes after it are not. Real devices may reorder
+//! un-synced writes, which is exactly why the tree's commit protocol puts
+//! a [`Durability`] barrier between data and metadata — the wrapper tests
+//! the protocol's ordering, the barrier covers the hardware's.
+
+use crate::page::PageId;
+use crate::store::{Durability, PageStore, StoreError};
+
+/// What happens to the write that exhausts the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KillMode {
+    /// The killing write is dropped entirely (kill between two writes).
+    #[default]
+    Drop,
+    /// The killing write lands half-old half-new (a torn page).
+    Tear,
+}
+
+/// A [`PageStore`] wrapper that kills writes after a configured budget.
+///
+/// See the [module docs](self) for the failure model.
+#[derive(Debug)]
+pub struct FaultStore<S: PageStore> {
+    inner: S,
+    /// Remaining full-page writes before the kill; `None` = unlimited.
+    remaining: Option<u64>,
+    mode: KillMode,
+    killed: bool,
+    write_ops: u64,
+}
+
+impl<S: PageStore> FaultStore<S> {
+    /// Wraps `inner`; the first `budget` page writes succeed, the next one
+    /// kills the store (budget 0 kills the very first write).
+    #[must_use]
+    pub fn new(inner: S, budget: u64, mode: KillMode) -> Self {
+        Self {
+            inner,
+            remaining: Some(budget),
+            mode,
+            killed: false,
+            write_ops: 0,
+        }
+    }
+
+    /// Wraps `inner` with no kill point — used to count how many write
+    /// operations a scenario performs before replaying it with budgets.
+    #[must_use]
+    pub fn unlimited(inner: S) -> Self {
+        Self {
+            inner,
+            remaining: None,
+            mode: KillMode::Drop,
+            killed: false,
+            write_ops: 0,
+        }
+    }
+
+    /// Whether the kill point has fired.
+    #[must_use]
+    pub fn killed(&self) -> bool {
+        self.killed
+    }
+
+    /// Page-granular write operations attempted so far (including the
+    /// killing one).
+    #[must_use]
+    pub fn write_ops(&self) -> u64 {
+        self.write_ops
+    }
+
+    /// Unwraps the inner store — "the disk as the crash left it".
+    #[must_use]
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn injected() -> StoreError {
+        StoreError::Io(std::io::Error::other(
+            "injected crash: write budget exhausted",
+        ))
+    }
+}
+
+impl<S: PageStore> PageStore for FaultStore<S> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn allocate(&mut self) -> Result<PageId, StoreError> {
+        if self.killed {
+            return Err(Self::injected());
+        }
+        self.inner.allocate()
+    }
+
+    fn allocate_many(&mut self, n: u64) -> Result<PageId, StoreError> {
+        if self.killed {
+            return Err(Self::injected());
+        }
+        self.inner.allocate_many(n)
+    }
+
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<(), StoreError> {
+        // Reads survive the kill: recovery inspects the post-crash disk.
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<(), StoreError> {
+        if self.killed {
+            return Err(Self::injected());
+        }
+        self.write_ops += 1;
+        if let Some(rem) = &mut self.remaining {
+            if *rem == 0 {
+                self.killed = true;
+                if self.mode == KillMode::Tear {
+                    // First half of the new image, old bytes beyond it.
+                    let ps = self.inner.page_size();
+                    let mut cur = vec![0u8; ps];
+                    self.inner.read_page(id, &mut cur)?;
+                    cur[..ps / 2].copy_from_slice(&buf[..ps / 2]);
+                    self.inner.write_page(id, &cur)?;
+                }
+                return Err(Self::injected());
+            }
+            *rem -= 1;
+        }
+        self.inner.write_page(id, buf)
+    }
+
+    fn write_pages(&mut self, first: PageId, pages: &[&[u8]]) -> Result<(), StoreError> {
+        // Per-page so a kill point can land mid-run; the prefix before the
+        // kill is on disk, like a streaming transfer cut short.
+        for (i, buf) in pages.iter().enumerate() {
+            self.write_page(PageId(first.index() + i as u64), buf)?;
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self, durability: Durability) -> Result<(), StoreError> {
+        if self.killed {
+            return Err(Self::injected());
+        }
+        self.inner.sync(durability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn page(fill: u8, ps: usize) -> Vec<u8> {
+        vec![fill; ps]
+    }
+
+    #[test]
+    fn unlimited_counts_without_killing() {
+        let mut s = FaultStore::unlimited(MemStore::new(64));
+        let a = s.allocate().unwrap();
+        s.write_page(a, &page(1, 64)).unwrap();
+        s.write_page(a, &page(2, 64)).unwrap();
+        s.sync(Durability::Fsync).unwrap();
+        assert_eq!(s.write_ops(), 2);
+        assert!(!s.killed());
+    }
+
+    #[test]
+    fn drop_kill_leaves_previous_image() {
+        let mut s = FaultStore::new(MemStore::new(64), 1, KillMode::Drop);
+        let a = s.allocate().unwrap();
+        s.write_page(a, &page(1, 64)).unwrap();
+        assert!(s.write_page(a, &page(2, 64)).is_err());
+        assert!(s.killed());
+        // Everything after the kill fails except reads.
+        assert!(s.write_page(a, &page(3, 64)).is_err());
+        assert!(s.allocate().is_err());
+        assert!(s.sync(Durability::Fsync).is_err());
+        let mut buf = page(0, 64);
+        s.read_page(a, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 1), "killing write must be dropped");
+    }
+
+    #[test]
+    fn tear_kill_writes_half_the_new_image() {
+        let mut s = FaultStore::new(MemStore::new(64), 1, KillMode::Tear);
+        let a = s.allocate().unwrap();
+        s.write_page(a, &page(1, 64)).unwrap();
+        assert!(s.write_page(a, &page(2, 64)).is_err());
+        let mut buf = page(0, 64);
+        s.read_page(a, &mut buf).unwrap();
+        assert!(buf[..32].iter().all(|&b| b == 2), "new prefix");
+        assert!(buf[32..].iter().all(|&b| b == 1), "old suffix");
+    }
+
+    #[test]
+    fn budget_zero_kills_the_first_write() {
+        let mut s = FaultStore::new(MemStore::new(64), 0, KillMode::Drop);
+        let a = s.allocate().unwrap();
+        assert!(s.write_page(a, &page(9, 64)).is_err());
+        assert_eq!(s.write_ops(), 1);
+    }
+
+    #[test]
+    fn batched_runs_can_tear_mid_run() {
+        let mut s = FaultStore::new(MemStore::new(64), 2, KillMode::Tear);
+        let first = s.allocate_many(4).unwrap();
+        let imgs: Vec<Vec<u8>> = (0..4).map(|i| page(10 + i as u8, 64)).collect();
+        let refs: Vec<&[u8]> = imgs.iter().map(|v| &v[..]).collect();
+        assert!(s.write_pages(first, &refs).is_err());
+        let mut buf = page(0, 64);
+        // Pages 0 and 1 of the run landed, page 2 is torn, page 3 untouched.
+        s.read_page(PageId(0), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 10));
+        s.read_page(PageId(1), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 11));
+        s.read_page(PageId(2), &mut buf).unwrap();
+        assert!(buf[..32].iter().all(|&b| b == 12));
+        assert!(buf[32..].iter().all(|&b| b == 0));
+        s.read_page(PageId(3), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        // The crash image is recoverable through into_inner.
+        let mut inner = s.into_inner();
+        inner.read_page(PageId(0), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 10));
+    }
+}

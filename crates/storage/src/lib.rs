@@ -17,12 +17,22 @@
 //! * [`side_cache`] — a sharded `PageId → Arc<T>` LRU companion cache for
 //!   values derived from page bytes (decoded nodes, columnar leaves);
 //! * [`stats`] — shared access counters;
-//! * [`disk`] — a disk cost model (seek + transfer) used to translate page
-//!   accesses into the paper's "overall time" on hardware we do not have.
+//! * [`disk`] — a disk cost model (seek + transfer + fsync) used to
+//!   translate page accesses into the paper's "overall time" on hardware
+//!   we do not have;
+//! * [`fault`] — a kill-after-N-writes / torn-page [`PageStore`] wrapper
+//!   for crash-recovery testing.
+//!
+//! Crash safety: stores expose a [`store::Durability`] policy and a
+//! [`PageStore::sync`] barrier, plumbed through both buffer pools and
+//! [`WriteBatch`], so an index can order its data writes before its
+//! metadata commit and survive the kill points [`fault::FaultStore`]
+//! injects.
 
 pub mod buffer;
 pub mod codec;
 pub mod disk;
+pub mod fault;
 mod lru;
 pub mod page;
 pub mod shared;
@@ -31,10 +41,11 @@ pub mod stats;
 pub mod store;
 
 pub use buffer::BufferPool;
-pub use codec::{Reader, Writer};
+pub use codec::{fnv1a64, Reader, Writer};
 pub use disk::DiskModel;
+pub use fault::{FaultStore, KillMode};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use shared::{SharedBufferPool, WriteBatch};
 pub use side_cache::SideCache;
 pub use stats::{AccessStats, StatsSnapshot};
-pub use store::{FileStore, MemStore, PageStore, StoreError};
+pub use store::{Durability, FileStore, MemStore, PageStore, StoreError};

@@ -35,7 +35,7 @@ use crate::buffer::BufferPool;
 use crate::lru::LruCache;
 use crate::page::PageId;
 use crate::stats::AccessStats;
-use crate::store::{PageStore, StoreError};
+use crate::store::{Durability, PageStore, StoreError};
 use std::sync::{Arc, Mutex};
 
 /// A group-commit buffer of page writes, flushed through
@@ -51,9 +51,15 @@ use std::sync::{Arc, Mutex};
 ///
 /// Staging the same page twice keeps the later image (last-writer-wins,
 /// like issuing the two writes in order).
+///
+/// A batch carries a [`Durability`] policy (default [`Durability::None`]):
+/// [`SharedBufferPool::write_batch`] issues one store barrier after the
+/// coalesced runs land, so a group commit can be made durable as a unit
+/// without a separate sync call.
 #[derive(Debug, Default)]
 pub struct WriteBatch {
     pages: Vec<(PageId, Box<[u8]>)>,
+    durability: Durability,
 }
 
 impl WriteBatch {
@@ -61,6 +67,19 @@ impl WriteBatch {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Sets the durability barrier issued after each flush of this batch.
+    #[must_use]
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// The barrier policy applied when the batch is flushed.
+    #[must_use]
+    pub fn durability(&self) -> Durability {
+        self.durability
     }
 
     /// Stages `buf` as the new content of page `id`.
@@ -222,6 +241,26 @@ impl<S: PageStore> SharedBufferPool<S> {
             .allocate_many(n)
     }
 
+    /// Issues a durability barrier to the store ([`PageStore::sync`]).
+    /// Counted in [`AccessStats`] unless the level is
+    /// [`Durability::None`], which is free.
+    ///
+    /// # Errors
+    /// Propagates store errors.
+    ///
+    /// # Panics
+    /// Panics if the store mutex is poisoned.
+    pub fn sync(&self, durability: Durability) -> Result<(), StoreError> {
+        if durability == Durability::None {
+            return Ok(());
+        }
+        self.stats.record_sync();
+        self.store
+            .lock()
+            .expect("store mutex poisoned")
+            .sync(durability)
+    }
+
     /// Drops every cached frame — the paper's cold start.
     ///
     /// # Panics
@@ -374,6 +413,10 @@ impl<S: PageStore> SharedBufferPool<S> {
                     self.stats.record_physical_writes(run.len() as u64);
                     run_start = i;
                 }
+            }
+            if batch.durability != Durability::None {
+                self.stats.record_sync();
+                store.sync(batch.durability)?;
             }
         }
         for (id, buf) in deduped {
@@ -619,6 +662,35 @@ mod tests {
         let p = pool(8);
         p.write_batch(&mut WriteBatch::new()).unwrap();
         assert_eq!(p.stats().snapshot().write_calls, 0);
+    }
+
+    #[test]
+    fn sync_counts_only_real_barriers() {
+        let p = pool(8);
+        p.sync(Durability::None).unwrap();
+        assert_eq!(p.stats().snapshot().syncs, 0, "None barriers are free");
+        p.sync(Durability::Flush).unwrap();
+        p.sync(Durability::Fsync).unwrap();
+        assert_eq!(p.stats().snapshot().syncs, 2);
+    }
+
+    #[test]
+    fn durable_write_batch_syncs_once_per_flush() {
+        let p = pool(8);
+        let _ = p.allocate_many(4).unwrap();
+        p.stats().reset();
+        let mut batch = WriteBatch::new().with_durability(Durability::Fsync);
+        assert_eq!(batch.durability(), Durability::Fsync);
+        for i in 0..4u64 {
+            batch.put(PageId(i), &[0u8; 64]);
+        }
+        p.write_batch(&mut batch).unwrap();
+        assert_eq!(p.stats().snapshot().syncs, 1, "one barrier per flush");
+        // Draining left the policy in place for the next fill.
+        assert_eq!(batch.durability(), Durability::Fsync);
+        // An empty flush issues no barrier.
+        p.write_batch(&mut batch).unwrap();
+        assert_eq!(p.stats().snapshot().syncs, 1);
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub struct AccessStats {
     physical_reads: AtomicU64,
     physical_writes: AtomicU64,
     write_calls: AtomicU64,
+    syncs: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -58,6 +59,16 @@ impl AccessStats {
         self.write_calls.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one durability barrier actually issued to the store (a
+    /// `flush`/`fsync` — [`crate::store::Durability::None`] barriers are
+    /// free and not counted). The commit protocol pays two per flush, so
+    /// this counter times the disk model's fsync cost is the price of
+    /// durability.
+    #[inline]
+    pub fn record_sync(&self) {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a cache eviction.
     #[inline]
     pub fn record_eviction(&self) {
@@ -72,6 +83,7 @@ impl AccessStats {
             physical_reads: self.physical_reads.load(Ordering::Relaxed),
             physical_writes: self.physical_writes.load(Ordering::Relaxed),
             write_calls: self.write_calls.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
@@ -82,6 +94,7 @@ impl AccessStats {
         self.physical_reads.store(0, Ordering::Relaxed);
         self.physical_writes.store(0, Ordering::Relaxed);
         self.write_calls.store(0, Ordering::Relaxed);
+        self.syncs.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
     }
 }
@@ -98,6 +111,8 @@ pub struct StatsSnapshot {
     /// Positioning operations on the write path (one per single-page
     /// write, one per coalesced run of consecutive pages in a batch).
     pub write_calls: u64,
+    /// Durability barriers (flush/fsync) issued to the store.
+    pub syncs: u64,
     /// Frames evicted to make room.
     pub evictions: u64,
 }
@@ -111,6 +126,7 @@ impl StatsSnapshot {
             physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
             physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
             write_calls: self.write_calls.saturating_sub(earlier.write_calls),
+            syncs: self.syncs.saturating_sub(earlier.syncs),
             evictions: self.evictions.saturating_sub(earlier.evictions),
         }
     }
@@ -139,12 +155,15 @@ mod tests {
         s.record_physical_write();
         s.record_physical_writes(3);
         s.record_write_call();
+        s.record_sync();
+        s.record_sync();
         s.record_eviction();
         let snap = s.snapshot();
         assert_eq!(snap.logical_reads, 2);
         assert_eq!(snap.physical_reads, 1);
         assert_eq!(snap.physical_writes, 4);
         assert_eq!(snap.write_calls, 1);
+        assert_eq!(snap.syncs, 2);
         assert_eq!(snap.evictions, 1);
         assert!((snap.hit_ratio() - 0.5).abs() < 1e-12);
     }

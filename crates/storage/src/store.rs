@@ -38,6 +38,33 @@ impl From<std::io::Error> for StoreError {
     }
 }
 
+/// How hard a store must try to make written pages survive a crash.
+///
+/// The levels are ordered: each one implies everything the previous level
+/// does. What each guarantees (for a [`FileStore`]; heap-backed stores
+/// treat every level as a no-op):
+///
+/// * [`Durability::None`] — writes go wherever the OS puts them; a process
+///   or machine crash can lose or tear anything written since the last
+///   sync. Fastest; the right choice for rebuildable indexes and benches.
+/// * [`Durability::Flush`] — `sync` drains userspace buffering into the
+///   OS. `std::fs::File` performs no userspace buffering, so this level is
+///   about *write ordering within the process*: data handed to the kernel
+///   survives a process crash (`kill -9`), but not power loss.
+/// * [`Durability::Fsync`] — `sync` calls `File::sync_all` (fsync), so
+///   acknowledged data survives power loss, at the cost of one device
+///   round-trip per barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Durability {
+    /// No sync at all; crashes may lose or tear recent writes.
+    #[default]
+    None,
+    /// Drain userspace buffers to the OS (process-crash safety).
+    Flush,
+    /// fsync to stable storage (power-loss safety).
+    Fsync,
+}
+
 /// A store of fixed-size pages addressed by dense [`PageId`]s.
 pub trait PageStore {
     /// Page size in bytes; constant for the lifetime of the store.
@@ -78,6 +105,17 @@ pub trait PageStore {
             }
         }
         Ok(first)
+    }
+
+    /// Makes previously written pages durable to the given [`Durability`]
+    /// level. The default is a no-op — correct for heap-backed stores,
+    /// where there is nothing below the store to lose.
+    ///
+    /// # Errors
+    /// I/O errors from the underlying sync primitive.
+    fn sync(&mut self, durability: Durability) -> Result<(), StoreError> {
+        let _ = durability;
+        Ok(())
     }
 
     /// Writes `pages` to the consecutive range starting at `first` — the
@@ -299,6 +337,17 @@ impl PageStore for FileStore {
         Ok(())
     }
 
+    fn sync(&mut self, durability: Durability) -> Result<(), StoreError> {
+        match durability {
+            Durability::None => Ok(()),
+            // `std::fs::File` keeps no userspace buffer, so Flush is a
+            // semantic barrier only: everything written is already with
+            // the OS and survives a process crash.
+            Durability::Flush => Ok(self.file.flush()?),
+            Durability::Fsync => Ok(self.file.sync_all()?),
+        }
+    }
+
     fn write_pages(&mut self, first: PageId, pages: &[&[u8]]) -> Result<(), StoreError> {
         let Some(n) = pages.len().checked_sub(1) else {
             return Ok(());
@@ -369,6 +418,11 @@ mod tests {
         assert!(store
             .write_pages(PageId(4), &[p1.as_slice(), p2.as_slice()])
             .is_err());
+
+        // Every durability level syncs without error on a healthy store.
+        for d in [Durability::None, Durability::Flush, Durability::Fsync] {
+            store.sync(d).unwrap();
+        }
     }
 
     #[test]

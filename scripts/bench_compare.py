@@ -153,6 +153,30 @@ def cmd_compare(args):
     else:
         print(f"build invariant ok: batched writes cut write calls {reduction:.1f}x")
 
+    # The durability datapoint must be present: the fsync'd commit path
+    # has to keep being measured (its absolute cost is hardware-bound and
+    # not gated, but losing the measurement would hide regressions), and
+    # the fsync path must actually issue barriers. The committed-baseline
+    # objs_per_s gate above covers the Durability::None fast path, since
+    # the default build options are durability-free.
+    dur_none = pr.get("build_bench.durability_none_objs_per_s")
+    dur_fsync = pr.get("build_bench.durability_fsync_objs_per_s")
+    fsync_calls = pr.get("build_bench.fsync_calls")
+    if dur_none is None or dur_fsync is None or fsync_calls is None:
+        failures.append("build_bench durability datapoint missing from the PR results")
+    elif dur_none <= 0 or dur_fsync <= 0:
+        failures.append(
+            f"durability datapoint degenerate: none {dur_none}, fsync {dur_fsync} objs/s"
+        )
+    elif fsync_calls < 1:
+        failures.append("Durability::Fsync build issued no fsyncs")
+    else:
+        print(
+            f"durability datapoint ok: fsync path {dur_fsync:.0f} objs/s vs "
+            f"none {dur_none:.0f} ({fsync_calls:.0f} fsyncs, "
+            f"{dur_none / dur_fsync:.2f}x overhead)"
+        )
+
     # Parallel bulk load must not lose to serial — but only where the
     # hardware can express parallelism at all; a 1-core runner skips.
     cores = pr.get("build_bench.cores", 0)
