@@ -11,6 +11,8 @@
 //! * [`knn`] — conventional Euclidean k-NN on the mean vectors, used by the
 //!   effectiveness experiment (Figure 6).
 
+#![forbid(unsafe_code)]
+
 pub mod knn;
 pub mod rect;
 pub mod seqscan;

@@ -361,6 +361,7 @@ impl<S: PageStore> XTree<S> {
             };
             w.put_u8(kind);
             w.put_u16(run.pages);
+            // lint: allow(no-panic) -- entry counts are capped by the supernode run capacity, below u16::MAX
             w.put_u16(u16::try_from(count).expect("entry count fits u16"));
             for _ in 0..(RUN_HEADER - 5) {
                 w.put_u8(0);
@@ -547,6 +548,7 @@ impl<S: PageStore> XTree<S> {
             XNode::Leaf(_) => self.leaf_per_page,
             XNode::Dir(_) => self.dir_per_page,
         };
+        // lint: allow(no-panic) -- page runs are capped by the supernode limit, far below u16::MAX
         u16::try_from(node.len().div_ceil(per).max(1)).expect("page run fits u16")
     }
 

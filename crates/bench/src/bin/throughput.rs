@@ -17,6 +17,7 @@
 //! `--json PATH` (write qps/page-read results for the CI perf gate).
 
 use gauss_bench::{arg_value, build_gauss_tree, has_flag, JsonObj};
+use gauss_storage::LOCK_TRACKING;
 use gauss_tree::TreeConfig;
 use gauss_workloads::{generate_query_batch, uniform_dataset, SigmaSpec};
 
@@ -48,6 +49,12 @@ fn main() {
 
     let sigma = SigmaSpec::log_uniform(0.005, 0.3).with_object_scale(0.5, 3.0);
     println!("throughput — {n} objects, {dims} dims, {n_queries}-query batch, k={k}");
+    if LOCK_TRACKING {
+        eprintln!(
+            "warning: lock-order tracking is compiled in; \
+             numbers are not comparable to a release baseline"
+        );
+    }
 
     eprintln!("building Gauss-tree (bulk load)…");
     let dataset = uniform_dataset(n, dims, sigma, 20060404);
@@ -127,7 +134,10 @@ fn main() {
                 .obj("qps", qps_fields)
                 .int("logical_reads", last_reads.0)
                 .int("physical_reads", last_reads.1)
-                .int("total_hits", total_hits as u64),
+                .int("total_hits", total_hits as u64)
+                // 0/1 so bench_compare.py can refuse a baseline produced
+                // with the detector compiled in (it costs a per-lock probe).
+                .int("lock_tracking", u64::from(LOCK_TRACKING)),
         );
         j.write_to(&path).expect("write bench json");
         eprintln!("wrote {path}");

@@ -7,6 +7,8 @@
 //! report the paper's three metrics (page accesses, CPU time, overall time
 //! including modelled I/O).
 
+#![forbid(unsafe_code)]
+
 use gauss_baselines::{PfvFile, XTree, XTreeConfig};
 use gauss_storage::{AccessStats, BufferPool, DiskModel, MemStore, DEFAULT_PAGE_SIZE};
 use gauss_tree::{GaussTree, TreeConfig};
@@ -100,6 +102,7 @@ pub fn build_pfv_file(dataset: &Dataset) -> PfvFile<MemStore> {
         CACHE_BYTES,
         AccessStats::new_shared(),
     );
+    // lint: allow(no-panic) -- bench fixture setup; a broken build must abort the benchmark loudly
     PfvFile::build(pool, dataset.dims(), dataset.items()).expect("pfv file build")
 }
 
@@ -114,6 +117,7 @@ pub fn build_gauss_tree(dataset: &Dataset, config: TreeConfig) -> GaussTree<MemS
         CACHE_BYTES,
         AccessStats::new_shared(),
     );
+    // lint: allow(no-panic) -- bench fixture setup; a broken build must abort the benchmark loudly
     GaussTree::bulk_load(pool, config, dataset.items()).expect("gauss tree build")
 }
 
@@ -128,6 +132,7 @@ pub fn build_xtree(dataset: &Dataset, file: &mut PfvFile<MemStore>) -> XTree<Mem
         CACHE_BYTES,
         AccessStats::new_shared(),
     );
+    // lint: allow(no-panic) -- bench fixture setup; a broken build must abort the benchmark loudly
     XTree::build_from_file(pool, XTreeConfig::new(dataset.dims()), file).expect("xtree build")
 }
 

@@ -12,6 +12,8 @@
 //!
 //! Queries are written `means;sigmas` with comma-separated components.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 mod csvio;

@@ -319,6 +319,7 @@ pub(crate) fn run<S: PageStore>(
     } else {
         tree.root_page()
     };
+    // lint: allow(no-panic) -- u64 entry count to usize; the documented assumption is a 64-bit build
     let n = usize::try_from(total).expect("entry count fits usize");
     let n_groups = n.div_ceil(leaf_target);
     let extra_base = if n_groups > 1 {
@@ -361,6 +362,7 @@ pub(crate) fn run<S: PageStore>(
     }
     let level: Vec<InnerEntry> = slots
         .into_iter()
+        // lint: allow(no-panic) -- the scope above joined every builder thread and each filled its own slot
         .map(|s| s.expect("every leaf slot filled"))
         .collect();
 
@@ -415,6 +417,7 @@ fn build_leaves_external<S: PageStore>(
     slots: &mut [Option<InnerEntry>],
     report: &mut BulkLoadReport,
 ) -> Result<(), TreeError> {
+    // lint: allow(no-panic) -- u64 range length to usize; the documented assumption is a 64-bit build
     let len = usize::try_from(range.end - range.start).expect("range fits usize");
     if n_groups <= 1 || len <= ctx.budget {
         let entries = sp.decode_range(range)?;
@@ -468,6 +471,7 @@ fn external_split(
     split_at: usize,
     report: &mut BulkLoadReport,
 ) -> Result<(Range<u64>, Range<u64>), TreeError> {
+    // lint: allow(no-panic) -- u64 range length to usize; the documented assumption is a 64-bit build
     let n = usize::try_from(range.end - range.start).expect("range fits usize");
     assert!(
         u32::try_from(n).is_ok(),
@@ -519,6 +523,7 @@ fn external_split(
             best = Some((cost, a));
         }
     }
+    // lint: allow(no-panic) -- dims >= 1 is a TreeConfig invariant, so the candidate loop ran at least once
     let (_, winner) = best.expect("at least one candidate axis");
 
     // Redistribute along the winning axis in stable sorted order.
@@ -571,6 +576,7 @@ fn build_upper_levels<S: PageStore>(
 
 /// Stable argsort: the permutation that stable-sorts `keys` ascending.
 fn stable_argsort(keys: &[f64]) -> Vec<u32> {
+    // lint: allow(no-panic) -- node fan-out is capped far below u32::MAX
     let mut perm: Vec<u32> = (0..u32::try_from(keys.len()).expect("fits u32")).collect();
     perm.sort_by(|&a, &b| keys[a as usize].total_cmp(&keys[b as usize]));
     perm
@@ -637,10 +643,12 @@ impl SideRects {
     }
 
     fn left_rect(&self) -> ParamRect {
+        // lint: allow(no-panic) -- the splitter only builds states with a non-empty left side
         ParamRect::from_dims(self.left.clone().expect("left side non-empty"))
     }
 
     fn right_rect(&self) -> ParamRect {
+        // lint: allow(no-panic) -- the splitter only builds states with a non-empty right side
         ParamRect::from_dims(self.right.clone().expect("right side non-empty"))
     }
 }
@@ -752,6 +760,7 @@ impl SpillFile {
     fn entry_bytes(&mut self, idx: u64) -> Result<&[u8], TreeError> {
         debug_assert!(idx < self.len);
         let pid = idx / self.per_page as u64;
+        // lint: allow(no-panic) -- idx % per_page < per_page which is a small usize
         let off = usize::try_from(idx % self.per_page as u64).expect("offset fits") * self.stride;
         if pid == self.full_pages {
             return Ok(&self.tail[off..off + self.stride]);
@@ -776,8 +785,10 @@ impl SpillFile {
         let bytes = self.entry_bytes(idx)?;
         for d in 0..dims {
             means[d] =
+                // lint: allow(no-panic) -- the 8-byte subslice makes the array conversion infallible
                 f64::from_le_bytes(bytes[8 + d * 8..16 + d * 8].try_into().expect("8 bytes"));
             let sb = 8 + dims * 8 + d * 8;
+            // lint: allow(no-panic) -- the 8-byte subslice makes the array conversion infallible
             sigmas[d] = f64::from_le_bytes(bytes[sb..sb + 8].try_into().expect("8 bytes"));
         }
         Ok(())
@@ -786,15 +797,18 @@ impl SpillFile {
     fn decode_entry(&mut self, idx: u64) -> Result<LeafEntry, TreeError> {
         let dims = self.dims;
         let bytes = self.entry_bytes(idx)?;
+        // lint: allow(no-panic) -- the 8-byte subslice makes the array conversion infallible
         let id = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
         let mut means = Vec::with_capacity(dims);
         let mut sigmas = Vec::with_capacity(dims);
         for d in 0..dims {
             means.push(f64::from_le_bytes(
+                // lint: allow(no-panic) -- the 8-byte subslice makes the array conversion infallible
                 bytes[8 + d * 8..16 + d * 8].try_into().expect("8 bytes"),
             ));
             let sb = 8 + dims * 8 + d * 8;
             sigmas.push(f64::from_le_bytes(
+                // lint: allow(no-panic) -- the 8-byte subslice makes the array conversion infallible
                 bytes[sb..sb + 8].try_into().expect("8 bytes"),
             ));
         }
@@ -804,6 +818,7 @@ impl SpillFile {
 
     fn decode_range(&mut self, range: Range<u64>) -> Result<Vec<LeafEntry>, TreeError> {
         let mut out =
+            // lint: allow(no-panic) -- u64 range length to usize; the documented assumption is a 64-bit build
             Vec::with_capacity(usize::try_from(range.end - range.start).expect("fits usize"));
         for idx in range {
             out.push(self.decode_entry(idx)?);
@@ -818,10 +833,12 @@ impl SpillFile {
             Axis::Sigma(i) => 8 + (self.dims + i) * 8,
         };
         let mut keys =
+            // lint: allow(no-panic) -- u64 range length to usize; the documented assumption is a 64-bit build
             Vec::with_capacity(usize::try_from(range.end - range.start).expect("fits usize"));
         for idx in range {
             let bytes = self.entry_bytes(idx)?;
             keys.push(f64::from_le_bytes(
+                // lint: allow(no-panic) -- the 8-byte subslice makes the array conversion infallible
                 bytes[off..off + 8].try_into().expect("8 bytes"),
             ));
         }
@@ -854,6 +871,7 @@ impl SpillFile {
                 }
             }
         }
+        // lint: allow(no-panic) -- the caller checked the range is non-empty, so ds was set in the loop
         Ok(ParamRect::from_dims(ds.expect("non-empty range")))
     }
 
@@ -885,6 +903,7 @@ impl SpillFile {
             }
             report.observe_resident(chunk.len());
             for e in buf.drain(..) {
+                // lint: allow(no-panic) -- the gather loop above stored a value for every rank in the chunk
                 self.append(&e.expect("every rank gathered"))?;
             }
         }

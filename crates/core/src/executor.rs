@@ -41,9 +41,9 @@
 use crate::query::{MliqResult, RefinedResult, TiqResult};
 use crate::tree::{GaussTree, TreeError};
 use gauss_storage::store::PageStore;
+use gauss_storage::sync::{LockRank, TrackedMutex};
 use pfv::Pfv;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Fans batches of queries across worker threads over one shared tree.
 ///
@@ -141,10 +141,14 @@ impl<'t, S: PageStore + Send> BatchExecutor<'t, S> {
 
         let next = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
-        let first_error: Mutex<Option<TreeError>> = Mutex::new(None);
+        // Both executor locks sit at the innermost rank: a worker only
+        // touches them after its query (and thus every storage lock it
+        // took) is finished, and never holds one while taking the other.
+        let first_error: TrackedMutex<Option<TreeError>> =
+            TrackedMutex::new(None, LockRank::ResultSlot, 0, "executor-error");
         let mut slots: Vec<Option<R>> = Vec::new();
         slots.resize_with(queries.len(), || None);
-        let slots_mutex = Mutex::new(slots);
+        let slots_mutex = TrackedMutex::new(slots, LockRank::ResultSlot, 1, "executor-slots");
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -164,13 +168,13 @@ impl<'t, S: PageStore + Send> BatchExecutor<'t, S> {
                             Ok(r) => local.push((i, r)),
                             Err(e) => {
                                 failed.store(true, Ordering::Relaxed);
-                                let mut slot = first_error.lock().expect("error mutex poisoned");
+                                let mut slot = first_error.lock();
                                 slot.get_or_insert(e);
                                 break;
                             }
                         }
                     }
-                    let mut slots = slots_mutex.lock().expect("slots mutex poisoned");
+                    let mut slots = slots_mutex.lock();
                     for (i, r) in local {
                         slots[i] = Some(r);
                     }
@@ -178,13 +182,13 @@ impl<'t, S: PageStore + Send> BatchExecutor<'t, S> {
             }
         });
 
-        if let Some(e) = first_error.into_inner().expect("error mutex poisoned") {
+        if let Some(e) = first_error.into_inner() {
             return Err(e);
         }
         Ok(slots_mutex
             .into_inner()
-            .expect("slots mutex poisoned")
             .into_iter()
+            // lint: allow(no-panic) -- every index below `next` was claimed by exactly one joined worker, which either filled the slot or set first_error (returned above)
             .map(|r| r.expect("every claimed index produced a result"))
             .collect())
     }

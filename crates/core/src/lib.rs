@@ -61,16 +61,29 @@
 //! assert_eq!(hits[0].id, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
+/// Parallel out-of-core bulk loading.
 pub mod bulk;
+/// Structural invariant checking for debugging and tests.
 pub mod check;
+/// Tree construction and split-strategy configuration.
 pub mod config;
+/// Streaming cursors over leaf entries.
 pub mod cursor;
+/// Deletion and node-underflow handling.
 pub mod delete;
+/// Parallel batch-query execution.
 pub mod executor;
+/// Conservative probability-interval bounds for subtree pruning.
 pub mod interval;
+/// On-page node layout: inner/leaf entries and their codecs.
 pub mod node;
+/// Probabilistic identification queries (MLIQ / k-MLIQ / TIQ).
 pub mod query;
+/// Node splitting, including the parallel partition pipeline.
 pub mod split;
+/// The Gauss-tree itself: build, insert, query entry points.
 pub mod tree;
 
 pub use bulk::{BulkLoadOptions, BulkLoadReport, SpillKind};

@@ -189,6 +189,7 @@ impl Node {
         match self {
             Node::Leaf(es) => {
                 w.put_u8(KIND_LEAF);
+                // lint: allow(no-panic) -- entry counts are capped by the node capacity, far below u16::MAX
                 w.put_u16(u16::try_from(es.len()).expect("node entry count fits u16"));
                 for _ in 0..(NODE_HEADER_BYTES - 3) {
                     w.put_u8(0);
@@ -202,6 +203,7 @@ impl Node {
             }
             Node::Inner(es) => {
                 w.put_u8(KIND_INNER);
+                // lint: allow(no-panic) -- entry counts are capped by the node capacity, far below u16::MAX
                 w.put_u16(u16::try_from(es.len()).expect("node entry count fits u16"));
                 for _ in 0..(NODE_HEADER_BYTES - 3) {
                     w.put_u8(0);

@@ -245,6 +245,7 @@ impl<S: PageStore> GaussTree<S> {
 
         while let Some(top) = active.pop() {
             if best.len() == target {
+                // lint: allow(no-panic) -- best.len() == target > 0, so the heap is non-empty
                 let worst = best.peek().expect("non-empty").0.log_density;
                 if worst >= top.log_upper {
                     break;
@@ -261,6 +262,7 @@ impl<S: PageStore> GaussTree<S> {
                         };
                         if best.len() < target {
                             best.push(std::cmp::Reverse(cand));
+                        // lint: allow(no-panic) -- the else branch runs only when best.len() >= target > 0
                         } else if cand > best.peek().expect("non-empty").0 {
                             best.pop();
                             best.push(std::cmp::Reverse(cand));
@@ -273,6 +275,7 @@ impl<S: PageStore> GaussTree<S> {
                     for e in es {
                         let up = e.rect.log_upper_for_query(q, mode);
                         if best.len() == target
+                            // lint: allow(no-panic) -- best.len() == target > 0, so the heap is non-empty
                             && up <= best.peek().expect("non-empty").0.log_density
                         {
                             continue;
@@ -370,6 +373,7 @@ impl<S: PageStore> GaussTree<S> {
             let settled = best.len() == target
                 && active
                     .peek()
+                    // lint: allow(no-panic) -- guarded by best.len() == target > 0 earlier in the condition chain
                     .is_none_or(|t| best.peek().expect("non-empty").0.log_density >= t.log_upper);
             if settled && denom.prob_width(best_ld) <= accuracy {
                 break;
@@ -618,6 +622,7 @@ fn push_candidate(
     let cand = Candidate { log_density, id };
     if best.len() < target {
         best.push(std::cmp::Reverse(cand));
+    // lint: allow(no-panic) -- the else branch runs only when best.len() >= target > 0
     } else if cand > best.peek().expect("non-empty").0 {
         best.pop();
         best.push(std::cmp::Reverse(cand));

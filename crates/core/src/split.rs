@@ -9,8 +9,8 @@
 
 use crate::config::SplitStrategy;
 use crate::node::{InnerEntry, LeafEntry};
+use gauss_storage::sync::{LockRank, TrackedCondvar, TrackedMutex};
 use pfv::{DimBounds, ParamRect};
-use std::sync::Mutex;
 
 /// A split axis: the μ or the σ component of one dimension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +152,7 @@ pub fn split_items<T: Splittable + Clone>(
             let rect = group_rect(&items);
             let best = (0..dims)
                 .max_by(|&a, &b| rect.dim(a).mu_extent().total_cmp(&rect.dim(b).mu_extent()))
+                // lint: allow(no-panic) -- dims >= 1 is a TreeConfig invariant, so max_by sees at least one axis
                 .expect("dims >= 1");
             vec![Axis::Mu(best)]
         }
@@ -179,6 +180,7 @@ pub fn split_items<T: Splittable + Clone>(
             best = Some((cost, axis, left, right));
         }
     }
+    // lint: allow(no-panic) -- the axis loop above ran at least once (dims >= 1)
     let (_, axis, left, right) = best.expect("at least one candidate axis");
     SplitOutcome { axis, left, right }
 }
@@ -197,6 +199,7 @@ pub(crate) fn candidate_axes(
             let rect = whole_rect();
             let best = (0..dims)
                 .max_by(|&a, &b| rect.dim(a).mu_extent().total_cmp(&rect.dim(b).mu_extent()))
+                // lint: allow(no-panic) -- dims >= 1 is a TreeConfig invariant, so max_by sees at least one axis
                 .expect("dims >= 1");
             vec![Axis::Mu(best)]
         }
@@ -244,6 +247,7 @@ fn choose_partition_split<T: Splittable + Clone>(
     let mut best: Option<(f64, Vec<u32>)> = None;
     for axis in axes {
         let keys: Vec<f64> = items.iter().map(|it| it.axis_key(axis)).collect();
+        // lint: allow(no-panic) -- split groups are capped by node capacity, far below u32::MAX
         let mut perm: Vec<u32> = (0..u32::try_from(n).expect("group fits u32")).collect();
         // Stable argsort == stable sort of the items themselves.
         perm.sort_by(|&a, &b| keys[a as usize].total_cmp(&keys[b as usize]));
@@ -255,6 +259,7 @@ fn choose_partition_split<T: Splittable + Clone>(
             best = Some((cost, perm));
         }
     }
+    // lint: allow(no-panic) -- the axis loop above ran at least once (dims >= 1)
     let (_, perm) = best.expect("at least one candidate axis");
 
     // Move the items into the winning order (no clones).
@@ -262,6 +267,7 @@ fn choose_partition_split<T: Splittable + Clone>(
     let mut left = Vec::with_capacity(split_at);
     let mut right = Vec::with_capacity(n - split_at);
     for (i, &p) in perm.iter().enumerate() {
+        // lint: allow(no-panic) -- perm is a permutation, so each slot index occurs exactly once
         let it = slots[p as usize].take().expect("each index moved once");
         if i < split_at {
             left.push(it);
@@ -358,21 +364,30 @@ pub(crate) fn partition_into_n_parallel<T: Splittable + Clone + Send>(
     }
 
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Condvar;
     // (items, n_groups, slot offset of the sub-range's first group).
-    let queue: Mutex<Vec<(Vec<T>, usize, usize)>> = Mutex::new(vec![(items, total, 0)]);
+    // Rank WorkQueue: below the result slots, above every storage lock —
+    // though partitioning runs on plain in-memory items and never holds a
+    // pool lock.
+    let queue: TrackedMutex<Vec<(Vec<T>, usize, usize)>> = TrackedMutex::new(
+        vec![(items, total, 0)],
+        LockRank::WorkQueue,
+        0,
+        "partition-queue",
+    );
     // Idle workers park on this condvar instead of spinning — during the
     // serial head (first split) and tail (last sub-floor tasks) the
     // waiting threads must not tax the one that has work.
-    let work_ready = Condvar::new();
+    let work_ready = TrackedCondvar::new();
     let done = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Vec<T>>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<TrackedMutex<Option<Vec<T>>>> = (0..total)
+        .map(|i| TrackedMutex::new(None, LockRank::ResultSlot, i, "partition-slot"))
+        .collect();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let task = {
-                    let mut q = queue.lock().expect("queue poisoned");
+                    let mut q = queue.lock();
                     loop {
                         if done.load(Ordering::Acquire) >= total {
                             return;
@@ -380,7 +395,7 @@ pub(crate) fn partition_into_n_parallel<T: Splittable + Clone + Send>(
                         if let Some(task) = q.pop() {
                             break task;
                         }
-                        q = work_ready.wait(q).expect("queue poisoned");
+                        q = work_ready.wait(q);
                     }
                 };
                 let (mut items, mut n, off) = task;
@@ -390,10 +405,7 @@ pub(crate) fn partition_into_n_parallel<T: Splittable + Clone + Send>(
                     let g_left = n / 2;
                     let split_at = items.len() * g_left / n;
                     let (left, right) = choose_partition_split(strategy, items, split_at);
-                    queue
-                        .lock()
-                        .expect("queue poisoned")
-                        .push((right, n - g_left, off + g_left));
+                    queue.lock().push((right, n - g_left, off + g_left));
                     work_ready.notify_one();
                     items = left;
                     n = g_left;
@@ -402,14 +414,14 @@ pub(crate) fn partition_into_n_parallel<T: Splittable + Clone + Send>(
                 partition_rec(strategy, items, n, &mut local);
                 debug_assert_eq!(local.len(), n);
                 for (i, g) in local.into_iter().enumerate() {
-                    *slots[off + i].lock().expect("slot poisoned") = Some(g);
+                    *slots[off + i].lock() = Some(g);
                 }
                 if done.fetch_add(n, Ordering::Release) + n >= total {
                     // All groups are placed: wake every parked worker so
                     // the scope can close. Take the queue lock so the
                     // notification cannot slip between a waiter's check of
                     // `done` and its wait.
-                    let _q = queue.lock().expect("queue poisoned");
+                    let _q = queue.lock();
                     work_ready.notify_all();
                 }
             });
@@ -418,11 +430,8 @@ pub(crate) fn partition_into_n_parallel<T: Splittable + Clone + Send>(
 
     slots
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("slot poisoned")
-                .expect("every slot filled")
-        })
+        // lint: allow(no-panic) -- the scope above joins every worker, and workers fill exactly the slots [off, off+n) they claimed
+        .map(|m| m.into_inner().expect("every slot filled"))
         .collect()
 }
 

@@ -872,6 +872,7 @@ impl<S: PageStore> GaussTree<S> {
             let mut buf = vec![0u8; page_size];
             let mut cw = Writer::new(&mut buf);
             cw.put_u64(next.index());
+            // lint: allow(no-panic) -- free-list chunks are capped by per_carrier, far below u32::MAX
             cw.put_u32(u32::try_from(chunk.len()).expect("chunk fits u32"));
             for id in *chunk {
                 cw.put_u64(id.index());
@@ -899,17 +900,21 @@ impl<S: PageStore> GaussTree<S> {
         w.put_u64(0); // checksum, patched below
         w.put_u64(new_epoch);
         w.put_u64(self.pool.num_pages());
+        // lint: allow(no-panic) -- dims are validated at TreeConfig construction, far below u32::MAX
         w.put_u32(u32::try_from(self.config.dims).expect("dims fit u32"));
         w.put_u8(match self.config.combine {
             CombineMode::Convolution => 0,
             CombineMode::AdditiveSigma => 1,
         });
         w.put_u8(self.config.split.to_tag());
+        // lint: allow(no-panic) -- leaf capacity derives from the page size, far below u32::MAX
         w.put_u32(u32::try_from(self.leaf_cap).expect("leaf cap fits u32"));
+        // lint: allow(no-panic) -- node capacities derive from the page size, far below u32::MAX
         w.put_u32(u32::try_from(self.inner_cap).expect("inner cap fits u32"));
         w.put_u64(self.root.index());
         w.put_u32(self.height);
         w.put_u64(self.len);
+        // lint: allow(no-panic) -- in_meta is capped by the meta page capacity, far below u32::MAX
         w.put_u32(u32::try_from(in_meta).expect("free count fits u32"));
         w.put_u64(
             new_carriers
@@ -946,13 +951,16 @@ impl<S: PageStore> GaussTree<S> {
         let mut w = Writer::new(&mut page);
         w.put_u32(META_MAGIC);
         w.put_u32(META_VERSION_V1);
+        // lint: allow(no-panic) -- dims are validated at TreeConfig construction, far below u32::MAX
         w.put_u32(u32::try_from(self.config.dims).expect("dims fit u32"));
         w.put_u8(match self.config.combine {
             CombineMode::Convolution => 0,
             CombineMode::AdditiveSigma => 1,
         });
         w.put_u8(self.config.split.to_tag());
+        // lint: allow(no-panic) -- leaf capacity derives from the page size, far below u32::MAX
         w.put_u32(u32::try_from(self.leaf_cap).expect("leaf cap fits u32"));
+        // lint: allow(no-panic) -- node capacities derive from the page size, far below u32::MAX
         w.put_u32(u32::try_from(self.inner_cap).expect("inner cap fits u32"));
         w.put_u64(self.root.index());
         w.put_u32(self.height);
@@ -964,6 +972,7 @@ impl<S: PageStore> GaussTree<S> {
         let per_carrier = ((page_size - FREE_CHAIN_HEADER_BYTES) / 8).max(1);
         let chunks: Vec<&[PageId]> = rest.chunks(per_carrier).collect();
         let first_carrier = chunks.first().map_or(PageId::INVALID, |c| c[0]);
+        // lint: allow(no-panic) -- in_meta is capped by the meta page capacity, far below u32::MAX
         w.put_u32(u32::try_from(in_meta).expect("free count fits u32"));
         w.put_u64(first_carrier.index());
         for id in &self.free_committed[..in_meta] {
@@ -977,6 +986,7 @@ impl<S: PageStore> GaussTree<S> {
             let mut buf = vec![0u8; page_size];
             let mut cw = Writer::new(&mut buf);
             cw.put_u64(next.index());
+            // lint: allow(no-panic) -- free-list chunks are capped by per_carrier, far below u32::MAX
             cw.put_u32(u32::try_from(chunk.len()).expect("chunk fits u32"));
             for id in *chunk {
                 cw.put_u64(id.index());
@@ -1340,6 +1350,7 @@ impl<S: PageStore> GaussTree<S> {
             let child = entries[idx].child;
             let descs = self.extend_rec(child, level - 1, group)?;
             let mut it = descs.into_iter();
+            // lint: allow(no-panic) -- extend_rec returns one desc per created node and creates at least one
             let first = it.next().expect("extend_rec returns at least one desc");
             entries[idx] = InnerEntry {
                 child: first.page,

@@ -1,0 +1,19 @@
+//! Annotated sites must stay silent; one malformed annotation must not.
+
+/// Invariant-checked unwrap behind a proper annotation.
+pub fn justified(x: Option<u32>) -> u32 {
+    // lint: allow(no-panic) -- fixture: invariant documented here
+    x.expect("covered by the allow above")
+}
+
+/// Trailing-form annotation.
+pub fn trailing(x: Option<u32>) -> u32 {
+    x.expect("inline") // lint: allow(no-panic) -- fixture: trailing form
+}
+
+/// Missing reason → bad-allow, and the unwrap still reports in bad.rs, not
+/// here — this file's only finding must be the bad-allow itself.
+pub fn malformed() {
+    // lint: allow(no-panic)
+    let _ = ();
+}

@@ -1,0 +1,20 @@
+// Seeded violations: no-panic, raw-mutex, missing-docs.
+
+use std::sync::Mutex;
+
+pub fn undocumented_and_panicky(x: Option<u32>) -> u32 {
+    let guard = GLOBAL.lock().unwrap();
+    drop(guard);
+    x.expect("boom")
+}
+
+static GLOBAL: Mutex<u32> = Mutex::new(0);
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_here_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

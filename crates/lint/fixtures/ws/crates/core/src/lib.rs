@@ -1,0 +1,4 @@
+// Deliberately missing #![forbid(unsafe_code)]  → forbid-unsafe.
+
+mod bad;
+mod allowed;

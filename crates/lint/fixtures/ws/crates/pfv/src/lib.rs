@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+//! Fixture pfv crate: float-eq violation.
+
+/// Compares a probability against a literal the wrong way.
+pub fn bad_compare(p: f64) -> bool {
+    p == 0.25
+}

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+//! Fixture storage crate: cast-truncation violation.
+
+/// Truncates a page byte count.
+pub fn bad_cast(len: usize) -> u32 {
+    len as u32
+}

@@ -1,0 +1,714 @@
+//! A comment/string/raw-string-aware scanner for Rust source.
+//!
+//! `gauss_lint` has no registry access, so it cannot use `syn`; instead it
+//! runs this hand-rolled lexer that understands exactly enough Rust lexical
+//! structure to be trustworthy for the project rules:
+//!
+//! * line comments (`//`, and the `///` / `//!` doc forms),
+//! * nested block comments (`/* /* */ */`, and `/**` / `/*!` doc forms),
+//! * string literals with escapes, byte strings, raw (byte) strings with
+//!   any number of `#` hashes,
+//! * char literals vs lifetimes (`'a'` vs `'a`),
+//! * `// lint: allow(<rule>) -- <reason>` escape-hatch comments.
+//!
+//! The output is a [`Blanked`] view: a byte-for-byte copy of the source in
+//! which every comment and literal body has been replaced by spaces
+//! (newlines preserved), so offsets and line numbers in the blanked text
+//! match the original exactly and downstream rules can match identifiers
+//! and operators without false positives from prose or string contents.
+
+/// One `lint: allow(...)` escape-hatch annotation parsed from a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Rule names this annotation silences.
+    pub rules: Vec<String>,
+    /// The justification after `--` (empty when missing — itself a lint
+    /// finding).
+    pub reason: String,
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Whether the comment shares its line with code (then it applies to
+    /// that line) or stands alone (then it applies to the next line too).
+    pub standalone: bool,
+}
+
+/// Lexed view of one source file. See the [module docs](self).
+#[derive(Debug)]
+pub struct Blanked {
+    /// The source with comment and literal bodies blanked to spaces.
+    pub code: String,
+    /// Byte offset of the start of each 1-based line (index 0 unused).
+    line_starts: Vec<usize>,
+    /// Lines (1-based) that carry an outer or inner doc comment.
+    pub doc_lines: Vec<bool>,
+    /// Lines (1-based) on which non-comment, non-literal code appears.
+    pub code_lines: Vec<bool>,
+    /// Parsed `lint: allow` annotations.
+    pub allows: Vec<Allow>,
+    /// Comments that contain `lint:` but do not parse as a valid allow —
+    /// reported instead of silently ignored. `(line, text)`.
+    pub malformed_allows: Vec<(usize, String)>,
+}
+
+impl Blanked {
+    /// 1-based line number of byte offset `pos`.
+    #[must_use]
+    pub fn line_of(&self, pos: usize) -> usize {
+        match self.line_starts.binary_search(&pos) {
+            Ok(idx) => idx.max(1),
+            Err(idx) => idx - 1,
+        }
+    }
+
+    /// Whether `rule` is allowed (escape-hatched) on 1-based line `line`.
+    #[must_use]
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows.iter().any(|a| {
+            a.rules.iter().any(|r| r == rule)
+                && (a.line == line || (a.standalone && a.line + 1 == line))
+        })
+    }
+
+    /// Number of lines in the file.
+    #[must_use]
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len().saturating_sub(1)
+    }
+}
+
+/// Parses the inside of a comment for a `lint: allow(...)` annotation.
+///
+/// Returns `Ok(Some((rules, reason)))` on a well-formed annotation,
+/// `Ok(None)` when the comment mentions no `lint:` marker, and `Err` with a
+/// description when the marker is present but malformed (missing rule list,
+/// missing `-- <reason>` justification).
+fn parse_allow(comment: &str) -> Result<Option<(Vec<String>, String)>, String> {
+    let Some(marker) = comment.find("lint:") else {
+        return Ok(None);
+    };
+    let rest = comment[marker + "lint:".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Err(format!("`lint:` marker without `allow(...)`: {comment:?}"));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("`lint: allow` missing `(rule, ...)` list".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("`lint: allow(` missing closing `)`".to_string());
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("`lint: allow()` lists no rules".to_string());
+    }
+    let tail = rest[close + 1..].trim_start();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return Err("`lint: allow(...)` missing `-- <reason>` justification".to_string());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("`lint: allow(...) --` with an empty reason".to_string());
+    }
+    Ok(Some((rules, reason.to_string())))
+}
+
+/// Scanner state for [`blank`].
+enum State {
+    Code,
+    LineComment {
+        start: usize,
+        doc: bool,
+    },
+    BlockComment {
+        start: usize,
+        depth: usize,
+        doc: bool,
+    },
+    Str {
+        raw_hashes: Option<usize>,
+    },
+    Char,
+}
+
+/// Lexes `src` into a [`Blanked`] view. Never fails: unterminated literals
+/// or comments simply blank to the end of the file (the real compiler will
+/// reject such a file anyway).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn blank(src: &str) -> Blanked {
+    let bytes = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut line_starts = vec![0usize, 0usize]; // index 0 unused; line 1 at 0
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    let n = bytes.len();
+    let mut i = 0;
+    let mut state = State::Code;
+
+    // Emit a blanked byte: newlines survive, everything else in a
+    // comment/literal becomes a space.
+    fn push_blank(out: &mut Vec<u8>, b: u8) {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+
+    // A line comment's text ends at the newline; block comment text is the
+    // span between the delimiters. Both land here for allow parsing. Doc
+    // comments are prose — they may legitimately describe the annotation
+    // grammar — so only plain comments can carry annotations.
+    let mut finish_comment =
+        |src: &str, start: usize, end: usize, doc: bool, out: &[u8], line_starts: &[usize]| {
+            if doc {
+                return;
+            }
+            let text = &src[start..end];
+            let line = line_starts.len() - 1;
+            // Standalone = no code bytes before the comment on the line it
+            // *starts* on (a block comment may finish lines later, so the
+            // current line's start can lie beyond `start`).
+            let line_begin = line_starts
+                .iter()
+                .skip(1)
+                .rev()
+                .find(|&&ls| ls <= start)
+                .copied()
+                .unwrap_or(0);
+            let standalone = out[line_begin..start.min(out.len())]
+                .iter()
+                .all(|&b| b.is_ascii_whitespace());
+            match parse_allow(text) {
+                Ok(Some((rules, reason))) => allows.push(Allow {
+                    rules,
+                    reason,
+                    line,
+                    standalone,
+                }),
+                Ok(None) => {}
+                Err(msg) => malformed.push((line, msg)),
+            }
+        };
+
+    while i < n {
+        let b = bytes[i];
+        match state {
+            State::Code => {
+                if b == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+                    let doc = matches!(bytes.get(i + 2), Some(b'!'))
+                        || (matches!(bytes.get(i + 2), Some(b'/'))
+                            && !matches!(bytes.get(i + 3), Some(b'/')));
+                    state = State::LineComment { start: i, doc };
+                    push_blank(&mut out, b);
+                    i += 1;
+                } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                    let doc = matches!(bytes.get(i + 2), Some(b'!'))
+                        || (matches!(bytes.get(i + 2), Some(b'*'))
+                            && !matches!(bytes.get(i + 3), Some(b'*' | b'/')));
+                    state = State::BlockComment {
+                        start: i,
+                        depth: 1,
+                        doc,
+                    };
+                    push_blank(&mut out, b);
+                    push_blank(&mut out, bytes[i + 1]);
+                    i += 2;
+                } else if b == b'"' {
+                    // Keep the quote so blanked code still shows a literal
+                    // boundary token.
+                    out.push(b);
+                    state = State::Str { raw_hashes: None };
+                    i += 1;
+                } else if (b == b'r' || b == b'b') && is_raw_string_start(bytes, i) {
+                    let (hashes, consumed) = raw_string_open(bytes, i);
+                    // Placeholder boundary quotes keep offsets aligned.
+                    out.resize(out.len() + consumed, b'"');
+                    i += consumed;
+                    state = State::Str {
+                        raw_hashes: Some(hashes),
+                    };
+                } else if b == b'b' && matches!(bytes.get(i + 1), Some(b'"')) {
+                    out.push(b'"');
+                    out.push(b'"');
+                    i += 2;
+                    state = State::Str { raw_hashes: None };
+                } else if b == b'\'' {
+                    // Char literal or lifetime? `'\...` and `'x'` are
+                    // literals; `'ident` (no close quote right after one
+                    // char) is a lifetime/label.
+                    if matches!(bytes.get(i + 1), Some(b'\\')) || char_closes_quote(src, i) {
+                        out.push(b'\'');
+                        state = State::Char;
+                    } else {
+                        out.push(b); // lifetime: keep the tick as code
+                    }
+                    i += 1;
+                } else if is_ident_byte(b) {
+                    // Copy a whole identifier (so a `r`/`b` inside one is
+                    // never mistaken for a raw-string prefix).
+                    while i < n && is_ident_byte(bytes[i]) {
+                        out.push(bytes[i]);
+                        i += 1;
+                    }
+                } else {
+                    out.push(b);
+                    if b == b'\n' {
+                        line_starts.push(i + 1);
+                    }
+                    i += 1;
+                }
+            }
+            State::LineComment { start, doc } => {
+                if b == b'\n' {
+                    finish_comment(src, start, i, doc, &out, &line_starts);
+                    out.push(b'\n');
+                    line_starts.push(i + 1);
+                    state = State::Code;
+                } else {
+                    push_blank(&mut out, b);
+                }
+                i += 1;
+            }
+            State::BlockComment { start, depth, doc } => {
+                if b == b'/' && matches!(bytes.get(i + 1), Some(b'*')) {
+                    state = State::BlockComment {
+                        start,
+                        depth: depth + 1,
+                        doc,
+                    };
+                    push_blank(&mut out, b);
+                    push_blank(&mut out, bytes[i + 1]);
+                    i += 2;
+                } else if b == b'*' && matches!(bytes.get(i + 1), Some(b'/')) {
+                    push_blank(&mut out, b);
+                    push_blank(&mut out, bytes[i + 1]);
+                    if depth == 1 {
+                        finish_comment(src, start, i, doc, &out, &line_starts);
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment {
+                            start,
+                            depth: depth - 1,
+                            doc,
+                        };
+                    }
+                    i += 2;
+                } else {
+                    push_blank(&mut out, b);
+                    if b == b'\n' {
+                        line_starts.push(i + 1);
+                    }
+                    i += 1;
+                }
+            }
+            State::Str { raw_hashes: None } => {
+                if b == b'\\' && i + 1 < n {
+                    push_blank(&mut out, b);
+                    push_blank(&mut out, bytes[i + 1]);
+                    if bytes[i + 1] == b'\n' {
+                        line_starts.push(i + 2);
+                    }
+                    i += 2;
+                } else if b == b'"' {
+                    out.push(b);
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    push_blank(&mut out, b);
+                    if b == b'\n' {
+                        line_starts.push(i + 1);
+                    }
+                    i += 1;
+                }
+            }
+            State::Str {
+                raw_hashes: Some(hashes),
+            } => {
+                if b == b'"' && closes_raw_string(bytes, i, hashes) {
+                    out.push(b'"');
+                    out.resize(out.len() + hashes, b' ');
+                    i += 1 + hashes;
+                    state = State::Code;
+                } else {
+                    push_blank(&mut out, b);
+                    if b == b'\n' {
+                        line_starts.push(i + 1);
+                    }
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if b == b'\\' && i + 1 < n {
+                    push_blank(&mut out, b);
+                    push_blank(&mut out, bytes[i + 1]);
+                    if bytes[i + 1] == b'\n' {
+                        line_starts.push(i + 2);
+                    }
+                    i += 2;
+                } else if b == b'\'' {
+                    out.push(b);
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    push_blank(&mut out, b);
+                    if b == b'\n' {
+                        line_starts.push(i + 1);
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    // An unterminated line comment at EOF still carries its annotation.
+    if let State::LineComment { start, doc } | State::BlockComment { start, doc, .. } = state {
+        finish_comment(src, start, n, doc, &out, &line_starts);
+    }
+
+    let code = match String::from_utf8(out) {
+        Ok(code) => code,
+        // Multi-byte characters only ever appear inside comments/strings in
+        // this codebase; if one slips into blanked output, degrade lossily
+        // rather than abort the lint run.
+        Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
+    };
+
+    let line_count = line_starts.len() - 1;
+    let mut doc_lines = vec![false; line_count + 2];
+    let mut code_lines = vec![false; line_count + 2];
+    compute_line_kinds(src, &code, &line_starts, &mut doc_lines, &mut code_lines);
+
+    Blanked {
+        code,
+        line_starts,
+        doc_lines,
+        code_lines,
+        allows,
+        malformed_allows: malformed,
+    }
+}
+
+/// Marks, for every line, whether it starts a doc comment and whether it
+/// holds any real code (non-blank bytes in the blanked view).
+fn compute_line_kinds(
+    src: &str,
+    code: &str,
+    line_starts: &[usize],
+    doc_lines: &mut [bool],
+    code_lines: &mut [bool],
+) {
+    let n = src.len();
+    for line in 1..line_starts.len() {
+        let begin = line_starts[line];
+        let end = if line + 1 < line_starts.len() {
+            line_starts[line + 1]
+        } else {
+            n
+        };
+        let raw = &src[begin..end.min(n)];
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("///") && !trimmed.starts_with("////") {
+            doc_lines[line] = true;
+        }
+        if trimmed.starts_with("//!")
+            || trimmed.starts_with("/*!")
+            || (trimmed.starts_with("/**") && !trimmed.starts_with("/**/"))
+        {
+            doc_lines[line] = true;
+        }
+        let blanked_line = &code[begin.min(code.len())..end.min(code.len())];
+        if blanked_line.bytes().any(|b| !b.is_ascii_whitespace()) {
+            code_lines[line] = true;
+        }
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Does `bytes[i..]` start a raw-string literal (`r"`, `r#`, `br"`, `br#`)?
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) != Some(&b'r') {
+            return false;
+        }
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Length of the raw-string opener at `i` and its hash count.
+fn raw_string_open(bytes: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // the opening quote
+    (hashes, j - i)
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` trailing hashes?
+fn closes_raw_string(bytes: &[u8], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| bytes.get(i + k) == Some(&b'#'))
+}
+
+/// For a `'` at byte `i` (not followed by a backslash): does a closing `'`
+/// appear right after exactly one character? Handles multi-byte chars.
+fn char_closes_quote(src: &str, i: usize) -> bool {
+    let rest = &src[i + 1..];
+    let mut chars = rest.chars();
+    match chars.next() {
+        // `''` is not a char literal, and `'a` with no close is a lifetime.
+        Some(c) if c != '\'' => chars.next() == Some('\''),
+        _ => false,
+    }
+}
+
+/// Byte ranges of `#[cfg(test)]`-gated items (test modules and functions):
+/// code in these regions is exempt from the library-code rules.
+///
+/// Recognises any `#[cfg(...)]` attribute whose argument list mentions the
+/// word `test` (covers `cfg(test)` and `cfg(all(test, ...))`), then spans
+/// the attribute through the end of the item it gates — the matching `}`
+/// of the first brace after the attribute, or the first `;` for semicolon
+/// items.
+#[must_use]
+pub fn test_regions(blanked: &str) -> Vec<(usize, usize)> {
+    let bytes = blanked.as_bytes();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while let Some(found) = blanked[i..].find("#[cfg") {
+        let attr_start = i + found;
+        // `#[cfg_attr(test, ...)]` gates an *attribute*, not compilation —
+        // the item itself still builds outside tests, so it must not be
+        // exempted. Only a bare `#[cfg(...)]` counts.
+        if bytes
+            .get(attr_start + "#[cfg".len())
+            .is_some_and(|&b| is_ident_byte(b))
+        {
+            i = attr_start + "#[cfg".len();
+            continue;
+        }
+        let Some(open_rel) = blanked[attr_start..].find('(') else {
+            break;
+        };
+        let args_start = attr_start + open_rel + 1;
+        let Some(args_end) = matching_delim(bytes, args_start - 1, b'(', b')') else {
+            break;
+        };
+        let args = &blanked[args_start..args_end];
+        let gates_test = args
+            .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .any(|w| w == "test");
+        // Jump past `#[cfg(...)]`'s closing bracket.
+        let Some(attr_end) = blanked[args_end..].find(']') else {
+            break;
+        };
+        let mut cursor = args_end + attr_end + 1;
+        if !gates_test {
+            i = cursor;
+            continue;
+        }
+        // Skip further attributes and whitespace, then span the item.
+        loop {
+            let rest = &blanked[cursor..];
+            let trimmed = rest.trim_start();
+            let advance = rest.len() - trimmed.len();
+            cursor += advance;
+            if trimmed.starts_with("#[") {
+                let Some(close) = blanked[cursor..].find(']') else {
+                    break;
+                };
+                cursor += close + 1;
+                continue;
+            }
+            break;
+        }
+        let brace = blanked[cursor..].find('{');
+        let semi = blanked[cursor..].find(';');
+        let item_end = match (brace, semi) {
+            (Some(b), s) if s.is_none_or(|s| b < s) => {
+                matching_delim(bytes, cursor + b, b'{', b'}').unwrap_or(bytes.len())
+            }
+            (_, Some(s)) => cursor + s,
+            (_, None) => bytes.len(),
+        };
+        regions.push((attr_start, item_end.min(bytes.len())));
+        i = item_end.min(bytes.len()).max(attr_start + 1);
+    }
+    regions
+}
+
+/// Byte offset of the delimiter closing the `open` at `start`, scanning
+/// blanked code (so delimiters in strings/comments are already gone).
+fn matching_delim(bytes: &[u8], start: usize, open: u8, close: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    for (off, &b) in bytes.iter().enumerate().skip(start) {
+        if b == open {
+            depth += 1;
+        } else if b == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(off);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let b = blank("let x = 1; // unwrap() in prose\nlet y = 2;\n");
+        assert!(!b.code.contains("unwrap"));
+        assert!(b.code.contains("let x = 1;"));
+        assert_eq!(b.line_of(b.code.find("let y").unwrap()), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let b = blank("a /* outer /* inner */ still comment */ b\n");
+        assert!(b.code.contains('a'));
+        assert!(b.code.contains('b'));
+        assert!(!b.code.contains("comment"));
+        assert!(!b.code.contains("inner"));
+    }
+
+    #[test]
+    fn strings_and_escapes_are_blanked() {
+        let b = blank(r#"let s = "panic! \" unwrap()"; call();"#);
+        assert!(!b.code.contains("panic"));
+        assert!(!b.code.contains("unwrap"));
+        assert!(b.code.contains("call();"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let b = blank(r###"let s = r#"has "quotes" and unwrap()"#; after();"###);
+        assert!(!b.code.contains("unwrap"));
+        assert!(b.code.contains("after();"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let b = blank(r###"let a = b"panic!"; let c = br#"todo!"#; tail();"###);
+        assert!(!b.code.contains("panic"));
+        assert!(!b.code.contains("todo"));
+        assert!(b.code.contains("tail();"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let b = blank("fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; g(x, q, n); }\n");
+        // The quote char literal must not open a string that swallows code.
+        assert!(b.code.contains("g(x, q, n);"));
+        assert!(b.code.contains("<'a>"), "lifetime must survive as code");
+    }
+
+    #[test]
+    fn unterminated_string_blanks_to_eof_without_panic() {
+        let b = blank("let s = \"never closed... unwrap()");
+        assert!(!b.code.contains("unwrap"));
+    }
+
+    #[test]
+    fn allow_annotations_parse() {
+        let src = "\
+// lint: allow(no-panic) -- invariant: scope joined every worker\n\
+x.expect(\"filled\");\n\
+y.expect(\"other\"); // lint: allow(no-panic, raw-mutex) -- trailing form\n";
+        let b = blank(src);
+        assert_eq!(b.allows.len(), 2);
+        assert!(b.allows[0].standalone);
+        assert_eq!(b.allows[0].rules, vec!["no-panic"]);
+        assert!(b.is_allowed("no-panic", 2), "standalone covers next line");
+        assert!(!b.allows[1].standalone);
+        assert_eq!(b.allows[1].rules, vec!["no-panic", "raw-mutex"]);
+        assert!(b.is_allowed("raw-mutex", 3));
+        assert!(!b.is_allowed("raw-mutex", 2));
+    }
+
+    #[test]
+    fn malformed_allows_are_reported() {
+        for bad in [
+            "// lint: allow(no-panic)\nx();\n",       // no reason
+            "// lint: allow() -- empty list\nx();\n", // no rules
+            "// lint: deny(no-panic) -- wrong verb\nx();\n",
+            "// lint: allow(no-panic) -- \nx();\n", // blank reason
+        ] {
+            let b = blank(bad);
+            assert!(b.allows.is_empty(), "{bad:?} must not parse as allow");
+            assert_eq!(b.malformed_allows.len(), 1, "{bad:?} must be reported");
+        }
+    }
+
+    #[test]
+    fn doc_and_code_lines_are_classified() {
+        let src = "/// docs\npub fn f() {}\n\n//! inner\n// plain\n";
+        let b = blank(src);
+        assert!(b.doc_lines[1]);
+        assert!(!b.doc_lines[2]);
+        assert!(b.code_lines[2]);
+        assert!(!b.code_lines[3]);
+        assert!(b.doc_lines[4]);
+        assert!(!b.code_lines[5]);
+    }
+
+    #[test]
+    fn cfg_test_mod_region_detected() {
+        let src = "\
+fn lib_code() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    #[test]\n\
+    fn t() { x.unwrap(); }\n\
+}\n\
+fn more_lib() {}\n";
+        let b = blank(src);
+        let regions = test_regions(&b.code);
+        assert_eq!(regions.len(), 1);
+        let unwrap_pos = b.code.find("unwrap").unwrap();
+        assert!(regions[0].0 < unwrap_pos && unwrap_pos < regions[0].1);
+        let more = b.code.find("more_lib").unwrap();
+        assert!(more > regions[0].1);
+    }
+
+    #[test]
+    fn cfg_all_test_and_gated_fn_detected() {
+        let src = "\
+#[cfg(all(test, feature = \"x\"))]\n\
+fn helper() { y.unwrap() }\n\
+fn real() {}\n";
+        let b = blank(src);
+        let regions = test_regions(&b.code);
+        assert_eq!(regions.len(), 1);
+        let unwrap_pos = b.code.find("unwrap").unwrap();
+        assert!(regions[0].0 < unwrap_pos && unwrap_pos < regions[0].1);
+        assert!(b.code.find("real").unwrap() > regions[0].1);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(feature = \"extra\")]\nfn f() { x.unwrap(); }\n";
+        let b = blank(src);
+        assert!(test_regions(&b.code).is_empty());
+    }
+}

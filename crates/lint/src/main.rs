@@ -1,0 +1,88 @@
+//! CLI entry point: `cargo run -p gauss_lint [-- --root <dir>]`.
+//!
+//! Exits 0 when the workspace is clean, 1 when findings exist, 2 on usage
+//! or I/O errors. Findings print as `path:line: [rule] message`, one per
+//! line, so editors and CI logs can jump straight to the site.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: gauss_lint [--root <dir>] [--list-rules]\n\
+     \n\
+     Lints every .rs file in the workspace rooted at <dir> (default: the\n\
+     nearest ancestor of the current directory whose Cargo.toml declares\n\
+     [workspace]). Silence a finding with\n\
+     `// lint: allow(<rule>) -- <reason>` on or directly above its line."
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for (name, desc) in gauss_lint::rules::all_rules() {
+                    println!("{name:16} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("gauss_lint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match gauss_lint::walk::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "gauss_lint: no [workspace] Cargo.toml above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match gauss_lint::run(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("gauss_lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("gauss_lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("gauss_lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

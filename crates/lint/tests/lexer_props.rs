@@ -1,0 +1,143 @@
+//! Property tests for the lint lexer.
+//!
+//! The lexer underpins every rule, so its blanked view has to be
+//! structurally faithful on arbitrary token soup: byte length and newline
+//! positions must survive blanking exactly (rules map offsets to lines
+//! through them), and no payload hidden inside any comment/literal
+//! container may ever leak into the blanked code.
+
+use gauss_lint::lexer::{blank, test_regions};
+use proptest::prelude::*;
+
+/// ASCII token soup the generator draws from: balanced and unbalanced
+/// delimiters, raw-string openers, escapes, lifetimes, attributes.
+const TOKENS: &[&str] = &[
+    "fn f() {",
+    "}",
+    "\n",
+    "// line comment with unwrap()\n",
+    "/* block */",
+    "/*",
+    "*/",
+    "\"str\"",
+    "\"",
+    "\\",
+    "r#\"raw\"#",
+    "r\"raw2\"",
+    "b\"bytes\"",
+    "br##\"rb\"##",
+    "'a'",
+    "'x",
+    "<'a>",
+    "ident",
+    "0.5",
+    "==",
+    ";",
+    "#[cfg(test)]",
+    "mod t {",
+    "#",
+];
+
+/// Wraps `payload` in container number `kind`.
+fn contain(kind: usize, hashes: usize, payload: &str) -> String {
+    let h = "#".repeat(hashes);
+    match kind {
+        0 => format!("// {payload}\n"),
+        1 => format!("/* {payload} */"),
+        2 => format!("/* outer /* {payload} */ still */"),
+        3 => format!("\"{payload}\""),
+        4 => format!("\"esc \\\" {payload}\""),
+        5 => format!("r{h}\"{payload}\"{h}"),
+        6 => format!("b\"{payload}\""),
+        7 => format!("br{h}\"{payload}\"{h}"),
+        _ => format!("/// {payload}\n"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blanking_preserves_length_and_newlines(
+        idxs in prop::collection::vec(0usize..TOKENS.len(), 0..40)
+    ) {
+        let src: String = idxs.iter().map(|&i| TOKENS[i]).collect();
+        let b = blank(&src);
+        prop_assert_eq!(b.code.len(), src.len(), "blanking must not shift offsets");
+        for (i, (sb, cb)) in src.bytes().zip(b.code.bytes()).enumerate() {
+            prop_assert_eq!(
+                sb == b'\n',
+                cb == b'\n',
+                "newline structure diverged at byte {} of {:?}",
+                i,
+                &src
+            );
+        }
+        prop_assert_eq!(b.line_count(), src.split('\n').count());
+    }
+
+    #[test]
+    fn payloads_never_leak_from_containers(
+        (kind, hashes) in (0usize..9, 0usize..4)
+    ) {
+        let src = format!(
+            "fn lib() {{ head(); }}\nlet x = {};\nfn tail_marker() {{}}\n",
+            contain(kind, hashes, "SECRET_panic_unwrap")
+        );
+        let b = blank(&src);
+        prop_assert!(
+            !b.code.contains("SECRET"),
+            "container {} leaked payload into {:?}",
+            kind,
+            b.code
+        );
+        prop_assert!(b.code.contains("head();"), "code before survives");
+        prop_assert!(b.code.contains("tail_marker"), "code after survives");
+    }
+
+    #[test]
+    fn char_literal_quotes_never_swallow_code(
+        (c, tail) in (0usize..4, 0usize..3)
+    ) {
+        let lit = ["'q'", "'\\n'", "'\\''", "'\"'"][c];
+        let after = ["after();", "x == 0.5;", "let s = \"lit\";"][tail];
+        let src = format!("fn f<'a>(v: &'a str) {{ let c = {lit}; {after} }}\n");
+        let b = blank(&src);
+        prop_assert!(b.code.contains("<'a>"), "lifetime survives in {:?}", b.code);
+        // The first identifier of the trailing code must survive blanking
+        // (a mis-closed char literal would swallow it).
+        let word: String = after
+            .chars()
+            .take_while(|ch| ch.is_ascii_alphanumeric() || *ch == '_')
+            .collect();
+        prop_assert!(b.code.contains(&word), "{:?} lost in {:?}", word, b.code);
+    }
+
+    #[test]
+    fn cfg_test_gated_item_is_always_a_test_region(
+        (before, gate) in (0usize..4, 0usize..2)
+    ) {
+        let mut src = String::new();
+        for i in 0..before {
+            src.push_str(&format!("fn lib{i}() {{ work(); }}\n"));
+        }
+        if gate == 0 {
+            src.push_str("#[cfg(test)]\nfn helper() { probe.unwrap(); }\n");
+        } else {
+            src.push_str("#[cfg(test)]\nmod tests {\n    fn t() { probe.unwrap(); }\n}\n");
+        }
+        src.push_str("fn after() { more(); }\n");
+        let b = blank(&src);
+        let regions = test_regions(&b.code);
+        prop_assert_eq!(regions.len(), 1);
+        let probe = b.code.find("probe").expect("probe survives blanking");
+        prop_assert!(
+            regions[0].0 < probe && probe < regions[0].1,
+            "probe at {} outside region {:?}",
+            probe,
+            regions[0]
+        );
+        let after = b.code.find("after").expect("after survives");
+        prop_assert!(after > regions[0].1, "code after the item is not gated");
+    }
+}

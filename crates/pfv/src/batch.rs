@@ -10,7 +10,7 @@
 //!
 //! [`ColumnarLeaf`] stores the same data struct-of-arrays: one contiguous
 //! per-dimension column for the means, one for the sigmas, and one for the
-//! **precomputed variances** `σv²`. [`log_densities`] then evaluates a whole
+//! **precomputed variances** `σv²`. [`log_densities`](crate::batch::log_densities) then evaluates a whole
 //! leaf against one query with a dimension-outer / entry-inner loop whose
 //! inner body reads three contiguous streams — the layout the
 //! auto-vectorizer and the prefetcher both want.
@@ -141,6 +141,7 @@ impl ColumnarLeaf {
         let sigmas: Vec<f64> = (0..self.dims)
             .map(|d| self.sigma[d * self.len + e])
             .collect();
+        // lint: allow(no-panic) -- the columnar leaf was built from Pfvs validated at insertion
         Pfv::new(means, sigmas).expect("columnar leaf holds valid pfv")
     }
 }

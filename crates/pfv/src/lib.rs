@@ -28,15 +28,27 @@
 //! linear-space entry points are thin wrappers provided for convenience and
 //! for small dimensionalities.
 
+#![forbid(unsafe_code)]
+
+/// Columnar leaf layout with batched density kernels.
 pub mod batch;
+/// Bayes-rule posteriors over candidate result sets.
 pub mod bayes;
+/// Combining per-dimension bounds into pfv scores.
 pub mod combine;
+/// Distributional distance measures between Gaussians.
 pub mod divergence;
+/// Univariate Gaussian parameters and densities.
 pub mod gaussian;
+/// Piecewise hull bounds on the Gaussian density term.
 pub mod hull;
+/// Anchored log-sum-exp accumulation.
 pub mod logsum;
+/// The standard normal CDF and related special functions.
 pub mod phi;
+/// Numeric integration fallbacks for validation.
 pub mod quadrature;
+/// Probabilistic feature vectors (vectors of Gaussians).
 pub mod vector;
 
 pub use batch::ColumnarLeaf;

@@ -150,6 +150,7 @@ impl ScaledSum {
 
     /// Adds `count · exp(l)` (log value `l`, multiplicity `count`).
     pub fn add(&mut self, l: f64, count: f64) {
+        // lint: allow(float-eq) -- exact sentinel (-inf = empty term) and exact zero count
         if l == f64::NEG_INFINITY || count == 0.0 {
             return;
         }
@@ -158,6 +159,7 @@ impl ScaledSum {
 
     /// Subtracts `count · exp(l)`.
     pub fn sub(&mut self, l: f64, count: f64) {
+        // lint: allow(float-eq) -- exact sentinel (-inf = empty term) and exact zero count
         if l == f64::NEG_INFINITY || count == 0.0 {
             return;
         }
@@ -175,6 +177,7 @@ impl ScaledSum {
     #[must_use]
     pub fn log_value(&self) -> f64 {
         let s = self.scaled_value();
+        // lint: allow(float-eq) -- scaled_value clamps at exactly 0.0; this tests the clamp
         if s == 0.0 {
             f64::NEG_INFINITY
         } else {

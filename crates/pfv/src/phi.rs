@@ -5,7 +5,7 @@
 //! * [`phi`] — based on a high-accuracy rational approximation of `erf`
 //!   (Abramowitz & Stegun 7.1.26 refined by a continued-fraction tail),
 //!   absolute error below `1.5e-7` everywhere and far better near 0;
-//! * [`phi_poly5`] — the *degree-5 polynomial sigmoid approximation* the
+//! * [`phi_poly5`](crate::phi::phi_poly5) — the *degree-5 polynomial sigmoid approximation* the
 //!   paper applies when integrating the hull function (§5.3: "We apply
 //!   sigmoid approximation by a degree-5 polynomial"). The paper does not
 //!   spell the polynomial out; we use the classic Abramowitz & Stegun

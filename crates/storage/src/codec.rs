@@ -157,6 +157,7 @@ impl<'a> Reader<'a> {
     /// # Errors
     /// [`ShortBuffer`] if the buffer is exhausted.
     pub fn get_u16(&mut self) -> Result<u16, ShortBuffer> {
+        // lint: allow(no-panic) -- take(2) returned exactly 2 bytes; the array conversion is infallible
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
@@ -165,6 +166,7 @@ impl<'a> Reader<'a> {
     /// # Errors
     /// [`ShortBuffer`] if the buffer is exhausted.
     pub fn get_u32(&mut self) -> Result<u32, ShortBuffer> {
+        // lint: allow(no-panic) -- take(4) returned exactly 4 bytes; the array conversion is infallible
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
@@ -173,6 +175,7 @@ impl<'a> Reader<'a> {
     /// # Errors
     /// [`ShortBuffer`] if the buffer is exhausted.
     pub fn get_u64(&mut self) -> Result<u64, ShortBuffer> {
+        // lint: allow(no-panic) -- take(8) returned exactly 8 bytes; the array conversion is infallible
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
@@ -181,6 +184,7 @@ impl<'a> Reader<'a> {
     /// # Errors
     /// [`ShortBuffer`] if the buffer is exhausted.
     pub fn get_f64(&mut self) -> Result<f64, ShortBuffer> {
+        // lint: allow(no-panic) -- take(8) returned exactly 8 bytes; the array conversion is infallible
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 

@@ -28,17 +28,36 @@
 //! [`WriteBatch`], so an index can order its data writes before its
 //! metadata commit and survive the kill points [`fault::FaultStore`]
 //! injects.
+//!
+//! Concurrency discipline: every mutex in the workspace's concurrent core
+//! is a [`sync::TrackedMutex`] carrying a static [`sync::LockRank`]; under
+//! `debug_assertions` or the `lock-tracking` feature a rank inversion or
+//! lock-order cycle panics immediately with both acquisition sites named,
+//! and in plain release builds the checks compile away (see [`sync`]).
 
+#![forbid(unsafe_code)]
+
+/// Single-threaded LRU page buffer.
 pub mod buffer;
+/// Little-endian page (de)serialization primitives.
 pub mod codec;
+/// The on-disk page file with its dual-slot crash-safe meta.
 pub mod disk;
+/// Fault-injection hooks for crash-safety tests.
 pub mod fault;
 mod lru;
+/// Page identifiers and raw page buffers.
 pub mod page;
+/// The sharded, thread-safe buffer pool.
 pub mod shared;
+/// A bounded side cache for derived per-page artifacts.
 pub mod side_cache;
+/// Atomic I/O statistics counters.
 pub mod stats;
+/// The `PageStore` trait over memory- and disk-backed stores.
 pub mod store;
+/// Rank-checked mutexes and the lock-order detector.
+pub mod sync;
 
 pub use buffer::BufferPool;
 pub use codec::{fnv1a64, Reader, Writer};
@@ -49,3 +68,4 @@ pub use shared::{SharedBufferPool, WriteBatch};
 pub use side_cache::SideCache;
 pub use stats::{AccessStats, StatsSnapshot};
 pub use store::{Durability, FileStore, MemStore, PageStore, StoreError};
+pub use sync::{LockRank, TrackedCondvar, TrackedGuard, TrackedMutex, LOCK_TRACKING};

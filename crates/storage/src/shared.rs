@@ -5,17 +5,19 @@
 //! whole read path of any index built on top of it. [`SharedBufferPool`]
 //! removes that bottleneck:
 //!
-//! * the frame map is split into [`SHARD_COUNT`] shards, each guarded by its
-//!   own [`std::sync::Mutex`] and keyed by a multiplicative hash of the
+//! * the frame map is split into [`SHARD_COUNT`](crate::shared::SHARD_COUNT) shards, each guarded by its
+//!   own [`TrackedMutex`] and keyed by a multiplicative hash of the
 //!   [`PageId`], so concurrent readers of *different* pages rarely contend;
 //! * all operations take `&self`; the shared [`AccessStats`] counters were
 //!   already atomic;
 //! * the backing [`PageStore`] sits behind a single store mutex that is only
-//!   taken on a cache miss (or a write/allocate), with the owning shard lock
-//!   held across the store read. Holding the shard lock over the miss makes
-//!   page-access accounting *deterministic*: two threads can never both miss
-//!   on the same page, so logical/physical totals are independent of the
-//!   thread count whenever the cache is large enough to avoid evictions.
+//!   taken on a cache miss (or a write/allocate). Lock order follows the
+//!   workspace rank table ([`crate::sync::LockRank`]): **store before
+//!   shard**, shards in ascending index order. A miss re-checks its shard
+//!   *under the store lock*, which keeps page-access accounting
+//!   *deterministic*: two threads can never both read the same page from
+//!   the store, so logical/physical totals are independent of the thread
+//!   count whenever the cache is large enough to avoid evictions.
 //!
 //! Writes stay effectively single-writer by design: the Gauss-tree build
 //! path (`insert`/`delete`/`bulk_load`) takes `&mut` at the tree layer, so
@@ -36,7 +38,8 @@ use crate::lru::LruCache;
 use crate::page::PageId;
 use crate::stats::AccessStats;
 use crate::store::{Durability, PageStore, StoreError};
-use std::sync::{Arc, Mutex};
+use crate::sync::{LockRank, TrackedMutex};
+use std::sync::Arc;
 
 /// A group-commit buffer of page writes, flushed through
 /// [`SharedBufferPool::write_batch`].
@@ -114,8 +117,8 @@ type Shard = LruCache<Arc<[u8]>>;
 /// [`BufferPool`] via `From`, preserving store, capacity and stats handle.
 #[derive(Debug)]
 pub struct SharedBufferPool<S: PageStore> {
-    store: Mutex<S>,
-    shards: Vec<Mutex<Shard>>,
+    store: TrackedMutex<S>,
+    shards: Vec<TrackedMutex<Shard>>,
     shard_cap: usize,
     capacity: usize,
     page_size: usize,
@@ -140,9 +143,9 @@ impl<S: PageStore> SharedBufferPool<S> {
             shard_count /= 2;
         }
         Self {
-            store: Mutex::new(store),
+            store: TrackedMutex::new(store, LockRank::Store, 0, "pool-store"),
             shards: (0..shard_count)
-                .map(|_| Mutex::new(LruCache::new()))
+                .map(|i| TrackedMutex::new(LruCache::new(), LockRank::Shard, i, "pool-shard"))
                 .collect(),
             shard_cap: capacity / shard_count,
             capacity,
@@ -172,24 +175,15 @@ impl<S: PageStore> SharedBufferPool<S> {
     }
 
     /// Number of pages allocated in the underlying store.
-    ///
-    /// # Panics
-    /// Panics if the store mutex is poisoned.
     #[must_use]
     pub fn num_pages(&self) -> u64 {
-        self.store.lock().expect("store mutex poisoned").num_pages()
+        self.store.lock().num_pages()
     }
 
     /// Number of pages currently cached (sums all shards).
-    ///
-    /// # Panics
-    /// Panics if a shard mutex is poisoned.
     #[must_use]
     pub fn cached_pages(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("shard mutex poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Maximum number of cached pages across all shards (never exceeds the
@@ -207,23 +201,17 @@ impl<S: PageStore> SharedBufferPool<S> {
     }
 
     /// Gives back the underlying store, dropping the cache.
-    ///
-    /// # Panics
-    /// Panics if the store mutex is poisoned.
     #[must_use]
     pub fn into_store(self) -> S {
-        self.store.into_inner().expect("store mutex poisoned")
+        self.store.into_inner()
     }
 
     /// Allocates a fresh zeroed page.
     ///
     /// # Errors
     /// Propagates store errors.
-    ///
-    /// # Panics
-    /// Panics if the store mutex is poisoned.
     pub fn allocate(&self) -> Result<PageId, StoreError> {
-        self.store.lock().expect("store mutex poisoned").allocate()
+        self.store.lock().allocate()
     }
 
     /// Allocates `n` fresh zeroed pages with consecutive ids in one store
@@ -231,14 +219,8 @@ impl<S: PageStore> SharedBufferPool<S> {
     ///
     /// # Errors
     /// Propagates store errors.
-    ///
-    /// # Panics
-    /// Panics if the store mutex is poisoned.
     pub fn allocate_many(&self, n: u64) -> Result<PageId, StoreError> {
-        self.store
-            .lock()
-            .expect("store mutex poisoned")
-            .allocate_many(n)
+        self.store.lock().allocate_many(n)
     }
 
     /// Issues a durability barrier to the store ([`PageStore::sync`]).
@@ -247,27 +229,18 @@ impl<S: PageStore> SharedBufferPool<S> {
     ///
     /// # Errors
     /// Propagates store errors.
-    ///
-    /// # Panics
-    /// Panics if the store mutex is poisoned.
     pub fn sync(&self, durability: Durability) -> Result<(), StoreError> {
         if durability == Durability::None {
             return Ok(());
         }
         self.stats.record_sync();
-        self.store
-            .lock()
-            .expect("store mutex poisoned")
-            .sync(durability)
+        self.store.lock().sync(durability)
     }
 
     /// Drops every cached frame — the paper's cold start.
-    ///
-    /// # Panics
-    /// Panics if a shard mutex is poisoned.
     pub fn clear_cache(&self) {
         for shard in &self.shards {
-            shard.lock().expect("shard mutex poisoned").clear();
+            shard.lock().clear();
         }
     }
 
@@ -287,7 +260,7 @@ impl<S: PageStore> SharedBufferPool<S> {
         (h >> 60) as usize & (self.shards.len() - 1)
     }
 
-    fn shard_of(&self, id: PageId) -> &Mutex<Shard> {
+    fn shard_of(&self, id: PageId) -> &TrackedMutex<Shard> {
         &self.shards[self.shard_index(id)]
     }
 
@@ -299,23 +272,28 @@ impl<S: PageStore> SharedBufferPool<S> {
     ///
     /// # Errors
     /// Propagates store errors on a miss.
-    ///
-    /// # Panics
-    /// Panics if a mutex is poisoned.
     pub fn page(&self, id: PageId) -> Result<Arc<[u8]>, StoreError> {
         self.stats.record_logical_read();
-        let mut shard = self.shard_of(id).lock().expect("shard mutex poisoned");
+        // Optimistic hit path: the owning shard lock only.
+        {
+            let mut shard = self.shard_of(id).lock();
+            if let Some(data) = shard.get(id) {
+                return Ok(Arc::clone(data));
+            }
+        }
+        // Miss path, in rank order: store first, then the shard, then a
+        // re-check. Holding the store lock across the miss means two
+        // threads can never both read the same page — the loser of the
+        // store-lock race re-checks and finds the winner's frame, keeping
+        // physical-read counts deterministic (eviction pressure aside).
+        let mut store = self.store.lock();
+        let mut shard = self.shard_of(id).lock();
         if let Some(data) = shard.get(id) {
             return Ok(Arc::clone(data));
         }
-        // Miss: read under the shard lock so the same page can never be
-        // fetched twice concurrently (deterministic physical-read counts).
         self.stats.record_physical_read();
         let mut buf = vec![0u8; self.page_size];
-        self.store
-            .lock()
-            .expect("store mutex poisoned")
-            .read_page(id, &mut buf)?;
+        store.read_page(id, &mut buf)?;
         let data: Arc<[u8]> = Arc::from(buf);
         if shard.insert(id, Arc::clone(&data), self.shard_cap) {
             self.stats.record_eviction();
@@ -330,17 +308,18 @@ impl<S: PageStore> SharedBufferPool<S> {
     /// Propagates store errors.
     ///
     /// # Panics
-    /// Panics if `buf.len()` differs from the page size, or a mutex is
-    /// poisoned.
+    /// Panics if `buf.len()` differs from the page size.
     pub fn write(&self, id: PageId, buf: &[u8]) -> Result<(), StoreError> {
         assert_eq!(buf.len(), self.page_size, "buffer/page size mismatch");
         self.stats.record_physical_write();
         self.stats.record_write_call();
-        let mut shard = self.shard_of(id).lock().expect("shard mutex poisoned");
-        self.store
-            .lock()
-            .expect("store mutex poisoned")
-            .write_page(id, buf)?;
+        // Store before shard (rank order); the store lock is held across
+        // the cache install, so a concurrent reader that misses on `id`
+        // serializes behind this write and can never install stale bytes
+        // over the new frame.
+        let mut store = self.store.lock();
+        store.write_page(id, buf)?;
+        let mut shard = self.shard_of(id).lock();
         if shard.insert(id, Arc::from(buf), self.shard_cap) {
             self.stats.record_eviction();
         }
@@ -360,8 +339,7 @@ impl<S: PageStore> SharedBufferPool<S> {
     /// Propagates store errors.
     ///
     /// # Panics
-    /// Panics if a staged buffer's length differs from the page size, or a
-    /// mutex is poisoned.
+    /// Panics if a staged buffer's length differs from the page size.
     pub fn write_batch(&self, batch: &mut WriteBatch) -> Result<(), StoreError> {
         let mut pages = std::mem::take(&mut batch.pages);
         if pages.is_empty() {
@@ -380,53 +358,56 @@ impl<S: PageStore> SharedBufferPool<S> {
                 _ => deduped.push((id, buf)),
             }
         }
-        // Hold every involved shard lock (in ascending shard order) across
-        // both the store write and the cache install, mirroring the
-        // shard-then-store order of [`SharedBufferPool::write`]: a
-        // concurrent single-page write to one of these pages can therefore
-        // never interleave between our store write and our install and
-        // leave a stale frame in the cache. Ascending acquisition keeps
-        // concurrent batches deadlock-free, and `write` holds no other
-        // lock while it waits for its shard.
-        let mut involved: Vec<usize> = deduped
-            .iter()
-            .map(|(id, _)| self.shard_index(*id))
+        // Rank order: the store lock first, held across both the coalesced
+        // store writes and every cache install, exactly like
+        // [`SharedBufferPool::write`]. Any concurrent write or miss on one
+        // of these pages serializes behind the whole batch, so a stale
+        // frame can never be installed over a staged image. Shards are then
+        // taken one at a time in ascending index order (the rank rule for
+        // siblings), never more than one at once.
+        let mut store = self.store.lock();
+        let mut run_start = 0usize;
+        for i in 1..=deduped.len() {
+            let run_ends =
+                i == deduped.len() || deduped[i].0.index() != deduped[i - 1].0.index() + 1;
+            if run_ends {
+                let run = &deduped[run_start..i];
+                let bufs: Vec<&[u8]> = run.iter().map(|(_, b)| &b[..]).collect();
+                store.write_pages(run[0].0, &bufs)?;
+                self.stats.record_write_call();
+                self.stats.record_physical_writes(run.len() as u64);
+                run_start = i;
+            }
+        }
+        if batch.durability != Durability::None {
+            self.stats.record_sync();
+            store.sync(batch.durability)?;
+        }
+        // Install write-allocate frames grouped by shard, ascending.
+        let mut by_shard: Vec<(usize, PageId, Box<[u8]>)> = deduped
+            .into_iter()
+            .map(|(id, buf)| (self.shard_index(id), id, buf))
             .collect();
-        involved.sort_unstable();
-        involved.dedup();
-        let mut guards: Vec<Option<std::sync::MutexGuard<'_, Shard>>> =
-            (0..self.shards.len()).map(|_| None).collect();
-        for &si in &involved {
-            guards[si] = Some(self.shards[si].lock().expect("shard mutex poisoned"));
-        }
-        {
-            let mut store = self.store.lock().expect("store mutex poisoned");
-            let mut run_start = 0usize;
-            for i in 1..=deduped.len() {
-                let run_ends =
-                    i == deduped.len() || deduped[i].0.index() != deduped[i - 1].0.index() + 1;
-                if run_ends {
-                    let run = &deduped[run_start..i];
-                    let bufs: Vec<&[u8]> = run.iter().map(|(_, b)| &b[..]).collect();
-                    store.write_pages(run[0].0, &bufs)?;
-                    self.stats.record_write_call();
-                    self.stats.record_physical_writes(run.len() as u64);
-                    run_start = i;
-                }
-            }
-            if batch.durability != Durability::None {
-                self.stats.record_sync();
-                store.sync(batch.durability)?;
-            }
-        }
-        for (id, buf) in deduped {
-            let shard = guards[self.shard_index(id)]
-                .as_mut()
-                .expect("involved shard locked");
+        by_shard.sort_by_key(|(si, id, _)| (*si, id.index()));
+        let mut iter = by_shard.into_iter().peekable();
+        while let Some((si, id, buf)) = iter.next() {
+            let mut shard = self.shards[si].lock();
             if shard.insert(id, Arc::from(buf), self.shard_cap) {
                 self.stats.record_eviction();
             }
+            while let Some((next_si, _, _)) = iter.peek() {
+                if *next_si != si {
+                    break;
+                }
+                let Some((_, id, buf)) = iter.next() else {
+                    break;
+                };
+                if shard.insert(id, Arc::from(buf), self.shard_cap) {
+                    self.stats.record_eviction();
+                }
+            }
         }
+        drop(store);
         Ok(())
     }
 }

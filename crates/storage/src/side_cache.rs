@@ -7,7 +7,9 @@
 //! `&self` LRU map from [`PageId`] to `Arc<T>`, running the same
 //! crate-internal LRU core (and the same Fibonacci-hash shard selection)
 //! as [`crate::SharedBufferPool`], so the two caches never diverge in
-//! replacement behaviour.
+//! replacement behaviour. Shards are [`TrackedMutex`]es at rank
+//! [`LockRank::SideCache`] — above the pool's store and shard locks in the
+//! workspace lock hierarchy, though no current path nests them.
 //!
 //! The cache is deliberately *passive*: it does not watch the pool for
 //! writes. The owner of the derived values is responsible for calling
@@ -18,7 +20,8 @@
 
 use crate::lru::LruCache;
 use crate::page::PageId;
-use std::sync::{Arc, Mutex};
+use crate::sync::{LockRank, TrackedMutex};
+use std::sync::Arc;
 
 /// Number of independently locked shards (matches the shared pool).
 const SHARD_COUNT: usize = 16;
@@ -31,7 +34,7 @@ const SHARD_COUNT: usize = 16;
 pub struct SideCache<T> {
     // `Option` payloads so eager removal can `mem::take` the `Arc` out of
     // its slot (the LRU core hands freed slots back by index, not by value).
-    shards: Vec<Mutex<LruCache<Option<Arc<T>>>>>,
+    shards: Vec<TrackedMutex<LruCache<Option<Arc<T>>>>>,
     shard_cap: usize,
 }
 
@@ -50,7 +53,9 @@ impl<T> SideCache<T> {
         }
         Self {
             shards: (0..shard_count)
-                .map(|_| Mutex::new(LruCache::new()))
+                .map(|i| {
+                    TrackedMutex::new(LruCache::new(), LockRank::SideCache, i, "side-cache-shard")
+                })
                 .collect(),
             shard_cap: capacity / shard_count,
         }
@@ -63,15 +68,9 @@ impl<T> SideCache<T> {
     }
 
     /// Number of values currently cached (sums all shards).
-    ///
-    /// # Panics
-    /// Panics if a shard mutex is poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("side cache mutex poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Whether the cache holds no values.
@@ -80,47 +79,35 @@ impl<T> SideCache<T> {
         self.len() == 0
     }
 
-    fn shard_of(&self, id: PageId) -> &Mutex<LruCache<Option<Arc<T>>>> {
+    fn shard_of(&self, id: PageId) -> &TrackedMutex<LruCache<Option<Arc<T>>>> {
         let h = id.index().wrapping_mul(0x9E37_79B9_7F4A_7C15);
         &self.shards[(h >> 60) as usize & (self.shards.len() - 1)]
     }
 
     /// Cache lookup; refreshes the entry's LRU position on a hit.
-    ///
-    /// # Panics
-    /// Panics if the shard mutex is poisoned.
     #[must_use]
     pub fn get(&self, id: PageId) -> Option<Arc<T>> {
-        let mut shard = self.shard_of(id).lock().expect("side cache mutex poisoned");
+        let mut shard = self.shard_of(id).lock();
         shard.get(id).and_then(|v| v.as_ref().map(Arc::clone))
     }
 
     /// Installs (or replaces) the value for `id`, evicting the least
     /// recently used entry of the owning shard when full.
-    ///
-    /// # Panics
-    /// Panics if the shard mutex is poisoned.
     pub fn insert(&self, id: PageId, value: Arc<T>) {
-        let mut shard = self.shard_of(id).lock().expect("side cache mutex poisoned");
+        let mut shard = self.shard_of(id).lock();
         let _ = shard.insert(id, Some(value), self.shard_cap);
     }
 
     /// Drops the value for `id`, if cached — the write-invalidation hook.
-    ///
-    /// # Panics
-    /// Panics if the shard mutex is poisoned.
     pub fn remove(&self, id: PageId) {
-        let mut shard = self.shard_of(id).lock().expect("side cache mutex poisoned");
+        let mut shard = self.shard_of(id).lock();
         shard.remove(id);
     }
 
     /// Drops every cached value (cold start).
-    ///
-    /// # Panics
-    /// Panics if a shard mutex is poisoned.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("side cache mutex poisoned").clear();
+            shard.lock().clear();
         }
     }
 }

@@ -309,10 +309,12 @@ impl PageStore for FileStore {
         // loader's memory budget).
         const ZERO_CHUNK_BYTES: usize = 1 << 20;
         let pages_per_chunk = (ZERO_CHUNK_BYTES / self.page_size).max(1) as u64;
+        // lint: allow(no-panic) -- chunk_pages <= pages_per_chunk <= 2^20, well inside usize
         let chunk_pages = usize::try_from(pages_per_chunk.min(n)).expect("chunk fits usize");
         let zeros = vec![0u8; self.page_size * chunk_pages];
         let mut remaining = n;
         while remaining > 0 {
+            // lint: allow(no-panic) -- bounded by pages_per_chunk <= 2^20, well inside usize
             let k = usize::try_from(remaining.min(pages_per_chunk)).expect("chunk fits usize");
             self.file.write_all(&zeros[..self.page_size * k])?;
             remaining -= k as u64;

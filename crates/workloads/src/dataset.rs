@@ -253,6 +253,7 @@ pub fn histogram_dataset(n: usize, dims: usize, sigma: SigmaSpec, seed: u64) -> 
             let total: f64 = means.iter().sum();
             means.iter_mut().for_each(|m| *m /= total);
             let sigmas = sigma.draw_object_for(&mut rng, &means);
+            // lint: allow(no-panic) -- the generator draws strictly positive sigmas, so Pfv::new accepts
             Pfv::new(means, sigmas).expect("generated pfv is valid")
         })
         .collect();
@@ -271,6 +272,7 @@ pub fn uniform_dataset(n: usize, dims: usize, sigma: SigmaSpec, seed: u64) -> Da
         .map(|_| {
             let means: Vec<f64> = (0..dims).map(|_| rng.random::<f64>()).collect();
             let sigmas = sigma.draw_object_for(&mut rng, &means);
+            // lint: allow(no-panic) -- the generator draws strictly positive sigmas, so Pfv::new accepts
             Pfv::new(means, sigmas).expect("generated pfv is valid")
         })
         .collect();

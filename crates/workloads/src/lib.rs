@@ -18,6 +18,8 @@
 //!   images and a query for which Euclidean NN picks the wrong person while
 //!   the Gaussian uncertainty model identifies O3 with ≈77 %.
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod figure1;
 pub mod metrics;

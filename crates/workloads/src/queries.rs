@@ -66,6 +66,7 @@ fn observe(dataset: &Dataset, truth: usize, query_sigma: SigmaSpec, rng: &mut St
         .map(|(&m, &s)| m + s * sample_standard_normal(rng))
         .collect();
     let sigmas = query_sigma.draw_object_for(rng, &means);
+    // lint: allow(no-panic) -- the generator draws strictly positive sigmas, so Pfv::new accepts
     Pfv::new(means, sigmas).expect("generated query is valid")
 }
 

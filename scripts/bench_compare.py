@@ -177,6 +177,23 @@ def cmd_compare(args):
             f"{dur_none / dur_fsync:.2f}x overhead)"
         )
 
+    # Bench numbers are only meaningful with the lock-order detector
+    # compiled out: a release bench build must report lock_tracking == 0.
+    # (The field is emitted by the throughput binary from the
+    # gauss_storage::LOCK_TRACKING const; a debug build or one built with
+    # `--features lock-tracking` reports 1 and pays a per-lock probe.)
+    lock_tracking = pr.get("throughput.lock_tracking")
+    if lock_tracking is None:
+        failures.append("throughput.lock_tracking missing from the PR results")
+    elif lock_tracking != 0:
+        failures.append(
+            "bench binary was built with lock-order tracking enabled "
+            "(throughput.lock_tracking != 0); rebuild with --release and "
+            "without the lock-tracking feature"
+        )
+    else:
+        print("lock-tracking invariant ok: detector compiled out of the bench build")
+
     # Parallel bulk load must not lose to serial — but only where the
     # hardware can express parallelism at all; a 1-core runner skips.
     cores = pr.get("build_bench.cores", 0)

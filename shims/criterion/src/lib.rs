@@ -13,6 +13,8 @@
 //! iteration to stdout. There are no statistics, plots, or baselines — swap
 //! the path dependency for crates.io `criterion = "0.5"` to get those.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};

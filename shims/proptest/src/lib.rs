@@ -16,6 +16,8 @@
 //! * `PROPTEST_CASES` is honoured as an override of the configured case
 //!   count, which CI can use to deepen or speed up runs.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::{Range, RangeInclusive};

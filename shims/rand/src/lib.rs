@@ -16,6 +16,8 @@
 //! against this shim. Swap this path dependency for crates.io `rand = "0.9"`
 //! once the build can reach a registry; call sites need no changes.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level source of randomness: everything derives from `next_u64`.

@@ -13,6 +13,8 @@
 //! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! reproduction methodology.
 
+#![forbid(unsafe_code)]
+
 pub use gauss_baselines as baselines;
 pub use gauss_storage as storage;
 pub use gauss_tree as tree;
