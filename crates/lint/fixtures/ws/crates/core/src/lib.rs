@@ -2,3 +2,5 @@
 
 mod bad;
 mod allowed;
+mod tree;
+mod query;

@@ -1,0 +1,17 @@
+//! Fixture: durability-protocol violations in the commit path.
+
+struct ShadowTree {
+    free_pending: Vec<u32>,
+    epoch: u64,
+}
+
+impl ShadowTree {
+    fn broken_flush(&mut self, pool: &Pool, slot: u32, meta: Page) {
+        pool.write(slot, &meta);
+        pool.sync(0);
+    }
+
+    fn broken_alloc(&mut self) -> Option<u32> {
+        self.free_pending.pop()
+    }
+}

@@ -5,3 +5,11 @@
 pub fn bad_cast(len: usize) -> u32 {
     len as u32
 }
+
+/// Lock-ordering fixtures.
+pub mod locks;
+
+/// Discards a sync result.
+pub fn sloppy_sync(pool: &Disk) {
+    let _ = pool.sync(0);
+}

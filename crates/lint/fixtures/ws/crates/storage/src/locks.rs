@@ -1,0 +1,48 @@
+//! Fixture: seeded lock-rank inversion on a path no test executes.
+
+use gauss_storage::sync::{LockRank, TrackedMutex};
+
+/// A miniature pool with a store lock (rank 0) and a shard lock (rank 1).
+pub struct Pool {
+    store: TrackedMutex<u32>,
+    shards: TrackedMutex<u32>,
+}
+
+impl Pool {
+    /// Builds the pool with correctly-ranked locks.
+    pub fn fresh() -> Self {
+        Self {
+            store: TrackedMutex::new(0, LockRank::Store, 0, "fx-store"),
+            shards: TrackedMutex::new(0, LockRank::Shard, 1, "fx-shard"),
+        }
+    }
+
+    /// Entry point: holds the shard lock across a refill that eventually
+    /// needs the store lock — a rank inversion three calls deep.
+    pub fn shard_then_store(&self) -> u32 {
+        let shard = self.shards.lock();
+        let refilled = self.refill_from_disk();
+        *shard + refilled
+    }
+
+    fn refill_from_disk(&self) -> u32 {
+        self.grab_store()
+    }
+
+    fn grab_store(&self) -> u32 {
+        let store = self.store.lock();
+        *store
+    }
+
+    /// Holds the store guard across a helper that re-locks the store.
+    pub fn double_store(&self) -> u32 {
+        let store = self.store.lock();
+        let total = self.store_total();
+        *store + total
+    }
+
+    fn store_total(&self) -> u32 {
+        let store = self.store.lock();
+        *store
+    }
+}

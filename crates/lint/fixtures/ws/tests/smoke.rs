@@ -1,0 +1,7 @@
+//! Fixture integration test: relaxed rules (unwrap ok, dropped I/O not).
+
+#[test]
+fn smoke() {
+    let v = open().unwrap();
+    let _ = v.write_page(1, &[0u8; 8]);
+}

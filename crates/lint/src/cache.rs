@@ -1,0 +1,452 @@
+//! Incremental fact cache.
+//!
+//! [`file_facts`](crate::analysis::file_facts) is deterministic in the
+//! file contents, so its result can be reused between runs. Entries are
+//! keyed by workspace-relative path and validated in two steps: an
+//! mtime+size fast path (no read), then an FNV-1a content hash (read but
+//! no re-parse). The global call-graph pass is recomputed every run from
+//! the cached facts — it is cheap compared to parsing.
+//!
+//! The on-disk format is a line-based text file (this crate is
+//! stdlib-only, so no serde): a header carrying [`LINT_VERSION`], then
+//! one record block per file. Any parse hiccup, version bump, or rule
+//! rename invalidates the whole cache — it is only ever an optimisation.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::time::UNIX_EPOCH;
+
+use crate::analysis::{Acq, AllowFact, CallSite, FileFacts, FnFacts};
+use crate::rules::{all_rules, Finding};
+
+/// Bumped whenever rules or the fact schema change, invalidating old
+/// caches wholesale.
+pub const LINT_VERSION: u32 = 2;
+
+/// Modification stamp: nanoseconds since the epoch, plus file size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stamp {
+    /// mtime in nanoseconds since `UNIX_EPOCH` (0 when unavailable).
+    pub mtime_ns: u128,
+    /// File size in bytes.
+    pub size: u64,
+}
+
+impl Stamp {
+    /// Reads the stamp for `path`; `None` when the file cannot be stat'd.
+    #[must_use]
+    pub fn of(path: &Path) -> Option<Self> {
+        let meta = fs::metadata(path).ok()?;
+        let mtime_ns = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+            .map_or(0, |d| d.as_nanos());
+        Some(Self {
+            mtime_ns,
+            size: meta.len(),
+        })
+    }
+}
+
+/// 64-bit FNV-1a — tiny, stdlib-only, good enough for change detection
+/// (an adversarial collision just means a stale lint result until the
+/// next `--no-cache` run).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One cached file entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Stat fast path.
+    pub stamp: Stamp,
+    /// Content hash slow path.
+    pub hash: u64,
+    /// The cached analysis result.
+    pub facts: FileFacts,
+}
+
+/// The whole cache, in memory.
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: HashMap<String, Entry>,
+}
+
+impl Cache {
+    /// Loads a cache from `path`; any error or version mismatch yields an
+    /// empty cache.
+    #[must_use]
+    pub fn load(path: &Path) -> Self {
+        fs::read_to_string(path)
+            .ok()
+            .and_then(|text| parse_cache(&text))
+            .unwrap_or_default()
+    }
+
+    /// Fast-path lookup: same stamp means the facts are current.
+    #[must_use]
+    pub fn by_stamp(&self, rel: &str, stamp: Stamp) -> Option<&FileFacts> {
+        let e = self.entries.get(rel)?;
+        (e.stamp == stamp && stamp.mtime_ns != 0).then_some(&e.facts)
+    }
+
+    /// Slow-path lookup by content hash (e.g. after a `touch`).
+    #[must_use]
+    pub fn by_hash(&self, rel: &str, hash: u64) -> Option<&FileFacts> {
+        let e = self.entries.get(rel)?;
+        (e.hash == hash).then_some(&e.facts)
+    }
+
+    /// Inserts or refreshes an entry.
+    pub fn put(&mut self, rel: String, stamp: Stamp, hash: u64, facts: FileFacts) {
+        self.entries.insert(rel, Entry { stamp, hash, facts });
+    }
+
+    /// Drops entries for files that no longer exist in the walk.
+    pub fn retain_files(&mut self, live: &[String]) {
+        self.entries.retain(|k, _| live.iter().any(|l| l == k));
+    }
+
+    /// Serialises and writes the cache to `path` (parent directories are
+    /// created as needed).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut keys: Vec<&String> = self.entries.keys().collect();
+        keys.sort();
+        let mut out = format!("gauss-lint-cache {LINT_VERSION}\n");
+        for k in keys {
+            if let Some(e) = self.entries.get(k) {
+                write_entry(&mut out, k, e);
+            }
+        }
+        fs::write(path, out)
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Separator for list-valued fields (never appears in identifiers or
+/// escaped messages).
+const LIST_SEP: char = '\u{1f}';
+
+fn write_entry(out: &mut String, rel: &str, e: &Entry) {
+    let _ = writeln!(
+        out,
+        "file\t{}\t{}\t{}\t{}\t{}",
+        esc(rel),
+        e.stamp.mtime_ns,
+        e.stamp.size,
+        e.hash,
+        esc(&e.facts.crate_name),
+    );
+    for a in &e.facts.allows {
+        let _ = writeln!(
+            out,
+            "allow\t{}\t{}\t{}",
+            a.line,
+            u8::from(a.standalone),
+            a.rules.join(","),
+        );
+    }
+    for f in &e.facts.local {
+        let chain = f
+            .chain
+            .iter()
+            .map(|c| esc(c))
+            .collect::<Vec<_>>()
+            .join(&LIST_SEP.to_string());
+        let _ = writeln!(
+            out,
+            "local\t{}\t{}\t{}\t{}",
+            f.line,
+            f.rule,
+            esc(&f.message),
+            chain,
+        );
+    }
+    for f in &e.facts.fns {
+        let _ = writeln!(
+            out,
+            "fn\t{}\t{}\t{}",
+            esc(&f.name),
+            esc(&f.impl_type),
+            f.line
+        );
+        for a in &f.acquires {
+            let _ = writeln!(out, "acq\t{}\t{}\t{}", a.rank, a.line, esc(&a.lock));
+        }
+        for c in &f.calls {
+            let held = c
+                .held
+                .iter()
+                .map(|h| format!("{}:{}:{}", h.rank, h.line, esc(&h.lock)))
+                .collect::<Vec<_>>()
+                .join(&LIST_SEP.to_string());
+            let _ = writeln!(
+                out,
+                "call\t{}\t{}\t{}\t{}\t{}",
+                esc(&c.name),
+                esc(&c.qual),
+                c.line,
+                u8::from(c.on_guard),
+                held,
+            );
+        }
+    }
+}
+
+/// Resolves a rule name back to its `&'static str` constant; unknown
+/// names (renamed rules) poison the cache.
+fn static_rule(name: &str) -> Option<&'static str> {
+    all_rules().iter().map(|&(n, _)| n).find(|&n| n == name)
+}
+
+fn parse_cache(text: &str) -> Option<Cache> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let version = header.strip_prefix("gauss-lint-cache ")?;
+    if version.parse::<u32>().ok()? != LINT_VERSION {
+        return None;
+    }
+    let mut cache = Cache::default();
+    let mut cur: Option<(String, Entry)> = None;
+    for line in lines {
+        let mut parts = line.split('\t');
+        let tag = parts.next()?;
+        match tag {
+            "file" => {
+                if let Some((rel, e)) = cur.take() {
+                    cache.entries.insert(rel, e);
+                }
+                let rel = unesc(parts.next()?);
+                let mtime_ns = parts.next()?.parse().ok()?;
+                let size = parts.next()?.parse().ok()?;
+                let hash = parts.next()?.parse().ok()?;
+                let crate_name = unesc(parts.next()?);
+                let facts = FileFacts {
+                    rel_path: rel.clone(),
+                    crate_name,
+                    ..FileFacts::default()
+                };
+                cur = Some((
+                    rel,
+                    Entry {
+                        stamp: Stamp { mtime_ns, size },
+                        hash,
+                        facts,
+                    },
+                ));
+            }
+            "allow" => {
+                let (_, e) = cur.as_mut()?;
+                e.facts.allows.push(AllowFact {
+                    line: parts.next()?.parse().ok()?,
+                    standalone: parts.next()? == "1",
+                    rules: parts
+                        .next()?
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                });
+            }
+            "local" => {
+                let (rel, e) = cur.as_mut()?;
+                let line_no = parts.next()?.parse().ok()?;
+                let rule = static_rule(parts.next()?)?;
+                let message = unesc(parts.next()?);
+                let chain = parts
+                    .next()?
+                    .split(LIST_SEP)
+                    .filter(|s| !s.is_empty())
+                    .map(unesc)
+                    .collect();
+                e.facts.local.push(Finding {
+                    rel_path: rel.clone(),
+                    line: line_no,
+                    rule,
+                    message,
+                    chain,
+                });
+            }
+            "fn" => {
+                let (_, e) = cur.as_mut()?;
+                e.facts.fns.push(FnFacts {
+                    name: unesc(parts.next()?),
+                    impl_type: unesc(parts.next()?),
+                    line: parts.next()?.parse().ok()?,
+                    acquires: Vec::new(),
+                    calls: Vec::new(),
+                });
+            }
+            "acq" => {
+                let (_, e) = cur.as_mut()?;
+                let f = e.facts.fns.last_mut()?;
+                f.acquires.push(Acq {
+                    rank: parts.next()?.parse().ok()?,
+                    line: parts.next()?.parse().ok()?,
+                    lock: unesc(parts.next()?),
+                });
+            }
+            "call" => {
+                let (_, e) = cur.as_mut()?;
+                let f = e.facts.fns.last_mut()?;
+                let name = unesc(parts.next()?);
+                let qual = unesc(parts.next()?);
+                let line_no = parts.next()?.parse().ok()?;
+                let on_guard = parts.next()? == "1";
+                let mut held = Vec::new();
+                for h in parts.next()?.split(LIST_SEP).filter(|s| !s.is_empty()) {
+                    let mut hp = h.splitn(3, ':');
+                    held.push(Acq {
+                        rank: hp.next()?.parse().ok()?,
+                        line: hp.next()?.parse().ok()?,
+                        lock: unesc(hp.next()?),
+                    });
+                }
+                f.calls.push(CallSite {
+                    name,
+                    qual,
+                    line: line_no,
+                    on_guard,
+                    held,
+                });
+            }
+            "" => {}
+            _ => return None,
+        }
+    }
+    if let Some((rel, e)) = cur.take() {
+        cache.entries.insert(rel, e);
+    }
+    Some(cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::STATIC_LOCK_ORDER;
+
+    fn sample_facts() -> FileFacts {
+        FileFacts {
+            rel_path: "crates/x/src/a.rs".to_string(),
+            crate_name: "x".to_string(),
+            fns: vec![FnFacts {
+                name: "f".to_string(),
+                impl_type: "T".to_string(),
+                line: 3,
+                acquires: vec![Acq {
+                    rank: 1,
+                    line: 4,
+                    lock: "shards".to_string(),
+                }],
+                calls: vec![CallSite {
+                    name: "g".to_string(),
+                    qual: "Self".to_string(),
+                    line: 5,
+                    on_guard: false,
+                    held: vec![Acq {
+                        rank: 1,
+                        line: 4,
+                        lock: "shards".to_string(),
+                    }],
+                }],
+            }],
+            allows: vec![AllowFact {
+                rules: vec!["no-panic".to_string()],
+                line: 9,
+                standalone: true,
+            }],
+            local: vec![Finding {
+                rel_path: "crates/x/src/a.rs".to_string(),
+                line: 7,
+                rule: STATIC_LOCK_ORDER,
+                message: "msg with\ttab and\nnewline".to_string(),
+                chain: vec!["T::f".to_string(), "T::g".to_string()],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_facts() {
+        let dir = std::env::temp_dir().join("gauss-lint-cache-test");
+        let path = dir.join("cache.txt");
+        let mut cache = Cache::default();
+        let stamp = Stamp {
+            mtime_ns: 123_456,
+            size: 42,
+        };
+        cache.put("crates/x/src/a.rs".to_string(), stamp, 99, sample_facts());
+        cache.save(&path).expect("save");
+        let loaded = Cache::load(&path);
+        let facts = loaded
+            .by_stamp("crates/x/src/a.rs", stamp)
+            .expect("stamp hit");
+        assert_eq!(*facts, sample_facts());
+        assert!(loaded.by_hash("crates/x/src/a.rs", 99).is_some());
+        assert!(loaded.by_hash("crates/x/src/a.rs", 98).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_and_garbage_yield_empty() {
+        let dir = std::env::temp_dir().join("gauss-lint-cache-test2");
+        let path = dir.join("cache.txt");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(&path, "gauss-lint-cache 1\nfile\tx\t0\t0\t0\tc\n").expect("write");
+        assert!(Cache::load(&path).by_hash("x", 0).is_none());
+        std::fs::write(&path, "not a cache at all").expect("write");
+        assert!(Cache::load(&path).by_hash("x", 0).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv_distinguishes_contents() {
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(fnv1a(b"same"), fnv1a(b"same"));
+    }
+}

@@ -1,26 +1,43 @@
 //! CLI entry point: `cargo run -p gauss_lint [-- --root <dir>]`.
 //!
 //! Exits 0 when the workspace is clean, 1 when findings exist, 2 on usage
-//! or I/O errors. Findings print as `path:line: [rule] message`, one per
-//! line, so editors and CI logs can jump straight to the site.
+//! or I/O errors. The default `text` format prints findings as
+//! `path:line: [rule] message` (plus an indented `chain:` line for
+//! call-graph findings); `--format json` and `--format sarif` emit the
+//! machine-readable feeds CI turns into inline annotations. Runs are
+//! incremental by default via a per-file fact cache under `target/`
+//! (`--no-cache` bypasses it, `--cache-path` relocates it).
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn usage() -> &'static str {
-    "usage: gauss_lint [--root <dir>] [--list-rules]\n\
+    "usage: gauss_lint [--root <dir>] [--format text|json|sarif] [--no-cache]\n\
+     \x20                 [--cache-path <file>] [--list-rules]\n\
      \n\
      Lints every .rs file in the workspace rooted at <dir> (default: the\n\
      nearest ancestor of the current directory whose Cargo.toml declares\n\
-     [workspace]). Silence a finding with\n\
-     `// lint: allow(<rule>) -- <reason>` on or directly above its line."
+     [workspace]). Results are cached per file in\n\
+     <root>/target/gauss-lint-cache.txt. Silence a finding with\n\
+     `// lint: allow(<rule>) -- <reason>` on or directly above its line\n\
+     (for call-graph rules: on the flagged call site)."
 }
 
+#[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut use_cache = true;
+    let mut cache_path: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
@@ -30,9 +47,26 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                _ => {
+                    eprintln!("--format needs text|json|sarif\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-cache" => use_cache = false,
+            "--cache-path" => match args.next() {
+                Some(p) => cache_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--cache-path needs a file\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
             "--list-rules" => {
                 for (name, desc) in gauss_lint::rules::all_rules() {
-                    println!("{name:16} {desc}");
+                    println!("{name:20} {desc}");
                 }
                 return ExitCode::SUCCESS;
             }
@@ -68,17 +102,39 @@ fn main() -> ExitCode {
             }
         }
     };
-    match gauss_lint::run(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("gauss_lint: clean ({})", root.display());
-            ExitCode::SUCCESS
-        }
+    let result = if use_cache {
+        let cache = cache_path.unwrap_or_else(|| root.join("target/gauss-lint-cache.txt"));
+        gauss_lint::run_with(&root, &cache).map(|(findings, stats)| {
+            eprintln!(
+                "gauss_lint: {} files ({} parsed, {} cached)",
+                stats.files, stats.parsed, stats.cached
+            );
+            findings
+        })
+    } else {
+        gauss_lint::run(&root)
+    };
+    match result {
         Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+            match format {
+                Format::Text => {
+                    for f in &findings {
+                        println!("{f}");
+                    }
+                    if findings.is_empty() {
+                        println!("gauss_lint: clean ({})", root.display());
+                    } else {
+                        eprintln!("gauss_lint: {} finding(s)", findings.len());
+                    }
+                }
+                Format::Json => print!("{}", gauss_lint::output::to_json(&findings)),
+                Format::Sarif => print!("{}", gauss_lint::output::to_sarif(&findings)),
             }
-            eprintln!("gauss_lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("gauss_lint: {e}");

@@ -1,0 +1,503 @@
+//! A recursive-descent item-tree parser over the blanked lexer view.
+//!
+//! [`crate::lexer::blank`] strips comments and literal bodies while
+//! preserving every byte offset, which makes the remaining token stream
+//! regular enough for a small recursive-descent pass: brace/paren/bracket
+//! nesting is reliable (no `{` can hide in a string), so this module can
+//! recover the *item tree* of a file — `mod` nesting, `impl` blocks,
+//! `trait` bodies, `fn` items with their exact body spans, and flattened
+//! `use` paths — without a full Rust grammar. The call-graph analysis in
+//! [`crate::analysis`] is built on top of these items.
+//!
+//! The parser is tolerant by construction: anything it does not
+//! recognise is skipped token-by-token, so macro-heavy or exotic code
+//! degrades to "no items found here" rather than a wrong span.
+
+/// One lexical token of blanked code: an identifier/number word or a
+/// single punctuation byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tok<'a> {
+    /// Identifier, keyword, or number literal.
+    Ident(&'a str),
+    /// Any other non-whitespace byte.
+    Punct(u8),
+}
+
+/// Tokenizes blanked code into `(byte_offset, token)` pairs.
+#[must_use]
+pub fn tokenize(code: &str) -> Vec<(usize, Tok<'_>)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push((start, Tok::Ident(&code[start..i])));
+        } else {
+            if !b.is_ascii_whitespace() {
+                out.push((i, Tok::Punct(b)));
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// A function item recovered from the token stream.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, or empty for free functions.
+    pub impl_type: String,
+    /// Inline `mod` path inside the file (outermost first).
+    pub mod_path: Vec<String>,
+    /// Byte offset of the `fn` keyword.
+    pub pos: usize,
+    /// Byte span of the `{ … }` body (inclusive braces), when present.
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnItem {
+    /// Display path for diagnostics: `Type::name` or plain `name`.
+    #[must_use]
+    pub fn display(&self) -> String {
+        if self.impl_type.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}::{}", self.impl_type, self.name)
+        }
+    }
+}
+
+/// One imported leaf from a `use` declaration.
+#[derive(Debug, Clone)]
+pub struct UseItem {
+    /// Full path segments, outermost first (`gauss_storage`, `sync`, …).
+    pub segments: Vec<String>,
+    /// The name the import binds locally (alias if `as` was used).
+    pub leaf: String,
+}
+
+/// The item tree of one file.
+#[derive(Debug, Default)]
+pub struct ItemTree {
+    /// Every function in the file, in source order (bodies of nested
+    /// functions are treated as part of their outermost item).
+    pub fns: Vec<FnItem>,
+    /// Flattened `use` imports.
+    pub uses: Vec<UseItem>,
+}
+
+/// Keywords that can never be the name of a called function.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "in", "match", "loop", "return", "break", "continue", "fn",
+    "let", "mut", "ref", "move", "as", "use", "pub", "mod", "impl", "trait", "struct", "enum",
+    "union", "type", "const", "static", "where", "unsafe", "async", "await", "dyn", "self", "Self",
+    "super", "crate", "extern",
+];
+
+/// Whether `name` is a Rust keyword (so not a callable identifier).
+#[must_use]
+pub fn is_keyword(name: &str) -> bool {
+    KEYWORDS.contains(&name)
+}
+
+/// Parses the item tree of a blanked file.
+#[must_use]
+pub fn parse_items(code: &str) -> ItemTree {
+    let toks = tokenize(code);
+    let mut tree = ItemTree::default();
+    let mut walker = Walker {
+        code,
+        bytes: code.as_bytes(),
+        toks: &toks,
+    };
+    walker.region(0, code.len(), &mut Vec::new(), "", &mut tree);
+    tree
+}
+
+struct Walker<'a> {
+    code: &'a str,
+    bytes: &'a [u8],
+    toks: &'a [(usize, Tok<'a>)],
+}
+
+impl<'a> Walker<'a> {
+    /// Index of the first token at or after byte `pos`.
+    fn tok_at(&self, pos: usize) -> usize {
+        self.toks.partition_point(|&(p, _)| p < pos)
+    }
+
+    /// Byte offset of the delimiter closing the `open` at byte `start`.
+    fn matching(&self, start: usize, open: u8, close: u8) -> Option<usize> {
+        let mut depth = 0usize;
+        for (off, &b) in self.bytes.iter().enumerate().skip(start) {
+            if b == open {
+                depth += 1;
+            } else if b == close {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(off);
+                }
+            }
+        }
+        None
+    }
+
+    /// Scans forward from token `i` for the first `{` or `;` at zero
+    /// paren/bracket depth, returning `(token_index, byte_pos, is_brace)`.
+    fn item_end(&self, mut i: usize, limit: usize) -> Option<(usize, usize, bool)> {
+        let mut depth = 0i32;
+        while i < self.toks.len() && self.toks[i].0 < limit {
+            match self.toks[i].1 {
+                Tok::Punct(b'(' | b'[') => depth += 1,
+                Tok::Punct(b')' | b']') => depth -= 1,
+                Tok::Punct(b'{') if depth == 0 => return Some((i, self.toks[i].0, true)),
+                Tok::Punct(b';') if depth == 0 => return Some((i, self.toks[i].0, false)),
+                _ => {}
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Skips an item that ends at `;` but whose initializer may contain
+    /// balanced braces (`const X: Foo = Foo { .. };`). Returns the token
+    /// index just past the terminator.
+    fn skip_to_semi(&self, mut i: usize, limit: usize) -> usize {
+        let mut depth = 0i32;
+        while i < self.toks.len() && self.toks[i].0 < limit {
+            match self.toks[i].1 {
+                Tok::Punct(b'{' | b'(' | b'[') => depth += 1,
+                Tok::Punct(b'}' | b')' | b']') => depth -= 1,
+                Tok::Punct(b';') if depth <= 0 => return i + 1,
+                _ => {}
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Walks the items between byte offsets `start` and `end`.
+    fn region(
+        &mut self,
+        start: usize,
+        end: usize,
+        mod_path: &mut Vec<String>,
+        impl_type: &str,
+        tree: &mut ItemTree,
+    ) {
+        let mut i = self.tok_at(start);
+        while i < self.toks.len() && self.toks[i].0 < end {
+            let (pos, tok) = self.toks[i];
+            match tok {
+                Tok::Ident("mod") => {
+                    let name = match self.toks.get(i + 1) {
+                        Some(&(_, Tok::Ident(n))) => n,
+                        _ => {
+                            i += 1;
+                            continue;
+                        }
+                    };
+                    match self.item_end(i + 2, end) {
+                        Some((_, bpos, true)) => {
+                            let close = self.matching(bpos, b'{', b'}').unwrap_or(end);
+                            mod_path.push(name.to_string());
+                            self.region(bpos + 1, close, mod_path, "", tree);
+                            mod_path.pop();
+                            i = self.tok_at(close + 1);
+                        }
+                        Some((j, _, false)) => i = j + 1,
+                        None => i += 2,
+                    }
+                }
+                Tok::Ident("impl" | "trait") => {
+                    let header_start = i + 1;
+                    let Some((hdr_end, bpos, is_brace)) = self.item_end(header_start, end) else {
+                        i += 1;
+                        continue;
+                    };
+                    if !is_brace {
+                        i = hdr_end + 1;
+                        continue;
+                    }
+                    let ty = self.header_type(header_start, hdr_end, tok == Tok::Ident("trait"));
+                    let close = self.matching(bpos, b'{', b'}').unwrap_or(end);
+                    self.region(bpos + 1, close, mod_path, &ty, tree);
+                    i = self.tok_at(close + 1);
+                }
+                Tok::Ident("fn") => {
+                    let name = match self.toks.get(i + 1) {
+                        Some(&(_, Tok::Ident(n))) => n.to_string(),
+                        _ => {
+                            i += 1;
+                            continue;
+                        }
+                    };
+                    match self.item_end(i + 2, end) {
+                        Some((_, bpos, true)) => {
+                            let close = self.matching(bpos, b'{', b'}').unwrap_or(end);
+                            tree.fns.push(FnItem {
+                                name,
+                                impl_type: impl_type.to_string(),
+                                mod_path: mod_path.clone(),
+                                pos,
+                                body: Some((bpos, close + 1)),
+                            });
+                            i = self.tok_at(close + 1);
+                        }
+                        Some((j, _, false)) => {
+                            tree.fns.push(FnItem {
+                                name,
+                                impl_type: impl_type.to_string(),
+                                mod_path: mod_path.clone(),
+                                pos,
+                                body: None,
+                            });
+                            i = j + 1;
+                        }
+                        None => i += 2,
+                    }
+                }
+                Tok::Ident("use") => {
+                    let semi = self.skip_to_semi(i + 1, end);
+                    self.parse_use(i + 1, semi.saturating_sub(1), tree);
+                    i = semi;
+                }
+                Tok::Ident("struct" | "enum" | "union") => match self.item_end(i + 1, end) {
+                    Some((_, bpos, true)) => {
+                        let close = self.matching(bpos, b'{', b'}').unwrap_or(end);
+                        i = self.tok_at(close + 1);
+                    }
+                    Some((j, _, false)) => i = j + 1,
+                    None => i += 1,
+                },
+                Tok::Ident("const" | "static" | "type") => {
+                    i = self.skip_to_semi(i + 1, end);
+                }
+                Tok::Ident("macro_rules") => match self.item_end(i + 1, end) {
+                    Some((_, bpos, true)) => {
+                        let close = self.matching(bpos, b'{', b'}').unwrap_or(end);
+                        i = self.tok_at(close + 1);
+                    }
+                    _ => i += 1,
+                },
+                Tok::Punct(b'#') => {
+                    // Attribute: `#[...]` or `#![...]` — skip the bracket
+                    // group so its tokens cannot look like items.
+                    let mut j = i + 1;
+                    if let Some(&(_, Tok::Punct(b'!'))) = self.toks.get(j) {
+                        j += 1;
+                    }
+                    if let Some(&(bpos, Tok::Punct(b'['))) = self.toks.get(j) {
+                        let close = self.matching(bpos, b'[', b']').unwrap_or(bpos);
+                        i = self.tok_at(close + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// The self type of an `impl`/`trait` header: the first identifier
+    /// after `for` when present (`impl Trait for Type`), otherwise the
+    /// first non-generic identifier after the keyword.
+    fn header_type(&self, start: usize, end: usize, is_trait: bool) -> String {
+        let mut angle = 0i32;
+        let mut after_for = false;
+        let mut first: Option<&str> = None;
+        let mut j = start;
+        while j < end {
+            match self.toks[j].1 {
+                Tok::Punct(b'<') => angle += 1,
+                Tok::Punct(b'>') => angle -= 1,
+                Tok::Ident("for") if angle == 0 => after_for = true,
+                Tok::Ident("where") if angle == 0 => break,
+                Tok::Ident(name) if angle == 0 && !is_keyword(name) => {
+                    if after_for {
+                        return name.to_string();
+                    }
+                    if first.is_none() {
+                        first = Some(name);
+                        if is_trait {
+                            // A trait's own name is its "type".
+                            return name.to_string();
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        first.unwrap_or("").to_string()
+    }
+
+    /// Parses one `use` declaration (tokens `[start, end)`) into leaves,
+    /// expanding a single level of `{ … }` groups and `as` aliases.
+    fn parse_use(&self, start: usize, end: usize, tree: &mut ItemTree) {
+        let mut prefix: Vec<String> = Vec::new();
+        let mut j = start;
+        while j < end {
+            match self.toks[j].1 {
+                Tok::Ident(seg) => {
+                    prefix.push(seg.to_string());
+                    j += 1;
+                }
+                Tok::Punct(b':') => j += 1,
+                Tok::Punct(b'{') => {
+                    // Group: split the inside on top-level commas.
+                    let bpos = self.toks[j].0;
+                    let close = self.matching(bpos, b'{', b'}').unwrap_or(self.code.len());
+                    let mut k = j + 1;
+                    let mut part: Vec<String> = Vec::new();
+                    let mut depth = 0i32;
+                    while k < self.toks.len() && self.toks[k].0 < close {
+                        match self.toks[k].1 {
+                            Tok::Punct(b'{') => depth += 1,
+                            Tok::Punct(b'}') => depth -= 1,
+                            Tok::Punct(b',') if depth == 0 => {
+                                Self::push_use(&prefix, &part, tree);
+                                part.clear();
+                            }
+                            Tok::Ident(seg) => part.push(seg.to_string()),
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    Self::push_use(&prefix, &part, tree);
+                    return;
+                }
+                Tok::Punct(b'*') => return, // glob: nothing to bind
+                _ => j += 1,
+            }
+        }
+        Self::push_use(&prefix, &[], tree);
+    }
+
+    /// Records one use leaf: `prefix` + `part` segments, honouring a
+    /// trailing `as <alias>` pair inside `part`.
+    fn push_use(prefix: &[String], part: &[String], tree: &mut ItemTree) {
+        let mut segs: Vec<String> = prefix.to_vec();
+        let mut alias: Option<String> = None;
+        let mut k = 0;
+        while k < part.len() {
+            if part[k] == "as" && k + 1 < part.len() {
+                alias = Some(part[k + 1].clone());
+                break;
+            }
+            segs.push(part[k].clone());
+            k += 1;
+        }
+        // `use x::y as z;` without groups: the alias sits in `prefix`.
+        if alias.is_none() {
+            if let Some(p) = segs.iter().position(|s| s == "as") {
+                alias = segs.get(p + 1).cloned();
+                segs.truncate(p);
+            }
+        }
+        let Some(last) = segs.last().cloned() else {
+            return;
+        };
+        let leaf = alias.unwrap_or(last);
+        if leaf == "self" {
+            return;
+        }
+        tree.uses.push(UseItem {
+            segments: segs,
+            leaf,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fn_names(tree: &ItemTree) -> Vec<String> {
+        tree.fns.iter().map(FnItem::display).collect()
+    }
+
+    #[test]
+    fn free_and_impl_fns_with_bodies() {
+        let src = "\
+fn free() { body(); }\n\
+struct S { f: u32 }\n\
+impl S {\n    pub fn method(&self) -> u32 { self.f }\n}\n\
+impl Clone for S {\n    fn clone(&self) -> S { S { f: 0 } }\n}\n";
+        let tree = parse_items(src);
+        assert_eq!(fn_names(&tree), vec!["free", "S::method", "S::clone"]);
+        for f in &tree.fns {
+            let (b, e) = f.body.expect("all fns have bodies");
+            assert_eq!(&src[b..b + 1], "{");
+            assert_eq!(&src[e - 1..e], "}");
+        }
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_self_type() {
+        let src = "impl<S: PageStore> SharedBufferPool<S> { fn go(&self) {} }\n";
+        let tree = parse_items(src);
+        assert_eq!(fn_names(&tree), vec!["SharedBufferPool::go"]);
+    }
+
+    #[test]
+    fn mods_nest_and_trait_decls_have_no_body() {
+        let src = "\
+mod outer {\n    mod inner { fn deep() {} }\n    fn shallow() {}\n}\n\
+trait T { fn decl(&self); fn with_default(&self) {} }\n";
+        let tree = parse_items(src);
+        assert_eq!(
+            fn_names(&tree),
+            vec!["deep", "shallow", "T::decl", "T::with_default"]
+        );
+        assert_eq!(tree.fns[0].mod_path, vec!["outer", "inner"]);
+        assert!(tree.fns[2].body.is_none());
+        assert!(tree.fns[3].body.is_some());
+    }
+
+    #[test]
+    fn const_initializer_braces_do_not_derail() {
+        let src = "const A: Foo = Foo { x: 1 };\nfn after() {}\n";
+        let tree = parse_items(src);
+        assert_eq!(fn_names(&tree), vec!["after"]);
+    }
+
+    #[test]
+    fn fn_with_array_type_param_finds_its_body() {
+        let src = "fn f(x: [u8; 4]) -> Result<(), E> { inner() }\n";
+        let tree = parse_items(src);
+        assert_eq!(tree.fns.len(), 1);
+        assert!(tree.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn use_paths_flatten_groups_and_aliases() {
+        let src = "\
+use gauss_storage::sync::{LockRank, TrackedMutex};\n\
+use crate::tree::GaussTree as Tree;\n\
+use std::collections::BTreeMap;\n";
+        let tree = parse_items(src);
+        let leaves: Vec<&str> = tree.uses.iter().map(|u| u.leaf.as_str()).collect();
+        assert_eq!(leaves, vec!["LockRank", "TrackedMutex", "Tree", "BTreeMap"]);
+        assert_eq!(
+            tree.uses[0].segments,
+            vec!["gauss_storage", "sync", "LockRank"]
+        );
+        assert_eq!(
+            tree.uses[1].segments,
+            vec!["gauss_storage", "sync", "TrackedMutex"]
+        );
+        assert_eq!(tree.uses[2].segments, vec!["crate", "tree", "GaussTree"]);
+        assert_eq!(
+            tree.uses[3].segments,
+            vec!["std", "collections", "BTreeMap"]
+        );
+    }
+}

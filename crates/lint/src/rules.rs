@@ -16,6 +16,11 @@
 //! | `missing-docs`  | `pfv`/`storage`/`core` lib code    | undocumented `pub` items at module/impl scope |
 //! | `forbid-unsafe` | every crate root                   | missing `#![forbid(unsafe_code)]` / `#![deny(unsafe_code)]` |
 //! | `bad-allow`     | everywhere                         | malformed `lint:` comments, unknown rule names in `allow(...)` |
+//!
+//! The flow-aware rules — `static-lock-order`, `guard-across-call`,
+//! `durability-protocol`, `ignored-io-result` — live in
+//! [`crate::analysis`]; their constants are declared here so
+//! `allow(...)` validation and `--list-rules` see one namespace.
 
 use crate::lexer::{blank, test_regions, Blanked};
 use crate::walk::{FileKind, SourceFile};
@@ -34,6 +39,14 @@ pub const MISSING_DOCS: &str = "missing-docs";
 pub const FORBID_UNSAFE: &str = "forbid-unsafe";
 /// Machine name of the malformed-annotation rule.
 pub const BAD_ALLOW: &str = "bad-allow";
+/// Machine name of the call-graph lock-rank inversion rule.
+pub const STATIC_LOCK_ORDER: &str = "static-lock-order";
+/// Machine name of the guard-held-across-call rule.
+pub const GUARD_ACROSS_CALL: &str = "guard-across-call";
+/// Machine name of the commit-ordering rule for `tree.rs`/`bulk.rs`.
+pub const DURABILITY_PROTOCOL: &str = "durability-protocol";
+/// Machine name of the discarded-I/O-`Result` rule.
+pub const IGNORED_IO_RESULT: &str = "ignored-io-result";
 
 /// Every rule with a one-line description, for `--list-rules` and for
 /// validating `allow(...)` annotations.
@@ -71,6 +84,26 @@ pub fn all_rules() -> &'static [(&'static str, &'static str)] {
             BAD_ALLOW,
             "lint: comments must parse as allow(rule) -- reason",
         ),
+        (
+            STATIC_LOCK_ORDER,
+            "no call path may acquire a LockRank lower than one already held \
+             (reported with the full call chain)",
+        ),
+        (
+            GUARD_ACROSS_CALL,
+            "a lock guard must not stay live across a call that can re-acquire its \
+             rank, or across PageStore I/O on the query path",
+        ),
+        (
+            DURABILITY_PROTOCOL,
+            "in tree.rs/bulk.rs, meta-slot writes need a preceding data sync barrier \
+             and free_pending pages must not be reused before the epoch commit",
+        ),
+        (
+            IGNORED_IO_RESULT,
+            "Results from gauss_storage I/O calls must not be discarded with \
+             `let _ =` or drop(...)",
+        ),
     ]
 }
 
@@ -85,6 +118,9 @@ pub struct Finding {
     pub rule: &'static str,
     /// Human explanation.
     pub message: String,
+    /// Call chain for call-graph findings (`caller -> … -> sink`), empty
+    /// for purely local rules.
+    pub chain: Vec<String>,
 }
 
 impl std::fmt::Display for Finding {
@@ -93,7 +129,11 @@ impl std::fmt::Display for Finding {
             f,
             "{}:{}: [{}] {}",
             self.rel_path, self.line, self.rule, self.message
-        )
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, "\n    chain: {}", self.chain.join(" -> "))?;
+        }
+        Ok(())
     }
 }
 
@@ -121,6 +161,7 @@ impl FileCx<'_> {
             line,
             rule,
             message,
+            chain: Vec::new(),
         });
     }
 }
@@ -170,10 +211,22 @@ fn next_nonspace(bytes: &[u8], mut i: usize) -> Option<u8> {
 #[must_use]
 pub fn lint_file(file: &SourceFile, src: &str) -> Vec<Finding> {
     let blanked = blank(src);
+    let test_spans = test_regions(&blanked.code);
+    lint_blanked(file, &blanked, &test_spans)
+}
+
+/// Token-level rules over an already-blanked view, so callers that also
+/// run the flow analysis ([`crate::analysis`]) blank each file only once.
+#[must_use]
+pub fn lint_blanked(
+    file: &SourceFile,
+    blanked: &Blanked,
+    test_spans: &[(usize, usize)],
+) -> Vec<Finding> {
     let cx = FileCx {
         file,
-        test_spans: test_regions(&blanked.code),
-        blanked: &blanked,
+        test_spans: test_spans.to_vec(),
+        blanked,
     };
     let mut out = Vec::new();
 
@@ -182,7 +235,7 @@ pub fn lint_file(file: &SourceFile, src: &str) -> Vec<Finding> {
     if file.is_lib() && file.kind != FileKind::Shim {
         no_panic_rule(&cx, &toks, &mut out);
     }
-    if matches!(file.kind, FileKind::Lib | FileKind::Bin)
+    if matches!(file.kind, FileKind::Lib | FileKind::Bin | FileKind::Example)
         && file.rel_path != "crates/storage/src/sync.rs"
     {
         raw_mutex_rule(&cx, &toks, &mut out);
@@ -218,6 +271,7 @@ fn bad_allow_rule(cx: &FileCx<'_>, out: &mut Vec<Finding>) {
             line: *line,
             rule: BAD_ALLOW,
             message: msg.clone(),
+            chain: Vec::new(),
         });
     }
     let known: Vec<&str> = all_rules().iter().map(|(n, _)| *n).collect();
@@ -229,6 +283,7 @@ fn bad_allow_rule(cx: &FileCx<'_>, out: &mut Vec<Finding>) {
                     line: allow.line,
                     rule: BAD_ALLOW,
                     message: format!("allow names unknown rule {rule:?}"),
+                    chain: Vec::new(),
                 });
             }
         }

@@ -16,10 +16,14 @@ use std::path::{Path, PathBuf};
 pub enum FileKind {
     /// Library code of a first-party crate (`crates/*/src`, root `src/`).
     Lib,
-    /// Binary / bench / example code (`src/bin`, `main.rs`, `benches/`,
-    /// `examples/`): first-party, but allowed to panic on bad input.
+    /// Binary / bench code (`src/bin`, `main.rs`, `benches/`):
+    /// first-party, but allowed to panic on bad input.
     Bin,
-    /// Integration tests (`tests/` directories).
+    /// Example programs (`examples/`): like binaries, but they demonstrate
+    /// API usage, so the lock-protocol rules stay on.
+    Example,
+    /// Integration tests (root `tests/`, `crates/*/tests/`): relaxed rule
+    /// set — no-panic off, but `ignored-io-result` stays on.
     Test,
     /// Vendored dependency shims (`shims/`): not first-party style-wise.
     Shim,
@@ -61,8 +65,9 @@ pub fn classify(rel: &str) -> (FileKind, String) {
         FileKind::Shim
     } else if parts.contains(&"tests") {
         FileKind::Test
+    } else if parts.contains(&"examples") {
+        FileKind::Example
     } else if parts.contains(&"benches")
-        || parts.contains(&"examples")
         || parts.windows(2).any(|w| w == ["src", "bin"])
         || parts.last() == Some(&"main.rs")
         || parts.last() == Some(&"build.rs")
@@ -162,7 +167,7 @@ mod tests {
             classify("crates/bench/benches/microbench.rs").0,
             FileKind::Bin
         );
-        assert_eq!(classify("examples/quickstart.rs").0, FileKind::Bin);
+        assert_eq!(classify("examples/quickstart.rs").0, FileKind::Example);
         assert_eq!(classify("tests/concurrency.rs").0, FileKind::Test);
         assert_eq!(classify("crates/storage/tests/foo.rs").0, FileKind::Test);
         assert_eq!(

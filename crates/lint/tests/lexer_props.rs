@@ -29,6 +29,11 @@ const TOKENS: &[&str] = &[
     "'a'",
     "'x",
     "<'a>",
+    "b'q'",
+    "b'\\''",
+    "&'static str",
+    "brush",
+    "0b1010",
     "ident",
     "0.5",
     "==",
@@ -111,6 +116,50 @@ proptest! {
             .take_while(|ch| ch.is_ascii_alphanumeric() || *ch == '_')
             .collect();
         prop_assert!(b.code.contains(&word), "{:?} lost in {:?}", word, b.code);
+    }
+
+    #[test]
+    fn byte_literals_and_static_lifetimes_never_swallow_code(
+        (lit, ctx) in (0usize..6, 0usize..3)
+    ) {
+        // The ambiguity zone: `b` prefixes, `'static` lifetimes that look
+        // like unterminated char literals, and identifiers starting with
+        // the raw/byte prefix letters.
+        let lit = [
+            "b'q'",
+            "b'\\''",
+            "b\"bytes with ' quote\"",
+            "br#\"raw ' bytes\"#",
+            "brush_ident",
+            "0b1010",
+        ][lit];
+        let ctx = [
+            "fn f(s: &'static str) -> u8",
+            "fn f<'a>(s: &'a [u8]) -> u8",
+            "fn f() -> u8",
+        ][ctx];
+        let src = format!("{ctx} {{ let v = {lit}; survivor_marker(); v }}\n");
+        let b = blank(&src);
+        prop_assert_eq!(b.code.len(), src.len());
+        prop_assert!(
+            b.code.contains("survivor_marker"),
+            "literal {:?} swallowed trailing code in {:?}",
+            lit,
+            b.code
+        );
+        prop_assert!(
+            b.code.contains("static") || !ctx.contains("static"),
+            "'static lifetime must not be treated as a char literal: {:?}",
+            b.code
+        );
+        // String/char payload bytes must be blanked, but identifiers and
+        // numeric literals survive verbatim.
+        if lit.contains('"') {
+            prop_assert!(!b.code.contains("bytes"), "payload leaked: {:?}", b.code);
+        } else {
+            prop_assert!(b.code.contains(lit.trim_end()) || lit.starts_with("b'"),
+                "non-string form {:?} mangled in {:?}", lit, b.code);
+        }
     }
 
     #[test]

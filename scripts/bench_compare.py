@@ -58,8 +58,13 @@ def flat(obj):
 
 
 def load(path):
-    with open(path, "r", encoding="utf-8") as f:
-        return json.load(f)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"error: bench file {path!r} does not exist")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"error: {path} is not valid JSON: {exc}")
 
 
 def cmd_merge(args):
@@ -91,6 +96,18 @@ def cmd_compare(args):
     threshold = args.threshold
     failures = []
 
+    def require(doc, key, which):
+        """Fetches a required flattened key; records one clear per-key
+        failure (instead of a KeyError traceback) when it is absent."""
+        if key not in doc:
+            failures.append(
+                f"required key {key!r} is missing from {which} — "
+                f"was the emitting bench binary changed without updating "
+                f"this gate (or vice versa)?"
+            )
+            return None
+        return doc[key]
+
     print(f"comparing {args.pr} against {args.baseline} (threshold {threshold}%)")
     print(f"{'key':<44} {'baseline':>14} {'pr':>14} {'delta':>9}")
     for key in sorted(set(pr) & set(base)):
@@ -118,17 +135,17 @@ def cmd_compare(args):
     only_pr = sorted(set(pr) - set(base))
     if only_pr:
         print(f"new keys (not in baseline, not gated): {', '.join(only_pr)}")
-    only_base = sorted(set(base) - set(pr))
-    if only_base:
+    for key in sorted(set(base) - set(pr)):
         failures.append(
-            "keys missing from the PR results: " + ", ".join(only_base)
+            f"required key {key!r} is present in the baseline "
+            f"({args.baseline}) but missing from the PR results ({args.pr})"
         )
 
     # The columnar kernel must actually win, independent of any baseline.
-    scalar = pr.get("kernel_bench.scalar_ns_per_entry")
-    batched = pr.get("kernel_bench.batched_ns_per_entry")
+    scalar = require(pr, "kernel_bench.scalar_ns_per_entry", args.pr)
+    batched = require(pr, "kernel_bench.batched_ns_per_entry", args.pr)
     if scalar is None or batched is None:
-        failures.append("kernel_bench ns/entry fields missing from the PR results")
+        pass  # per-key failures already recorded by require()
     elif not batched < scalar:
         failures.append(
             f"batched kernel does not beat the scalar path: "
@@ -142,9 +159,9 @@ def cmd_compare(args):
 
     # Batched page writes must actually coalesce (deterministic: write-call
     # counts depend only on the fixed-seed tree shape, not the hardware).
-    reduction = pr.get("build_bench.write_call_reduction")
+    reduction = require(pr, "build_bench.write_call_reduction", args.pr)
     if reduction is None:
-        failures.append("build_bench.write_call_reduction missing from the PR results")
+        pass
     elif reduction < 4.0:
         failures.append(
             f"batched page writes coalesce only {reduction:.2f}x "
@@ -159,11 +176,11 @@ def cmd_compare(args):
     # the fsync path must actually issue barriers. The committed-baseline
     # objs_per_s gate above covers the Durability::None fast path, since
     # the default build options are durability-free.
-    dur_none = pr.get("build_bench.durability_none_objs_per_s")
-    dur_fsync = pr.get("build_bench.durability_fsync_objs_per_s")
-    fsync_calls = pr.get("build_bench.fsync_calls")
+    dur_none = require(pr, "build_bench.durability_none_objs_per_s", args.pr)
+    dur_fsync = require(pr, "build_bench.durability_fsync_objs_per_s", args.pr)
+    fsync_calls = require(pr, "build_bench.fsync_calls", args.pr)
     if dur_none is None or dur_fsync is None or fsync_calls is None:
-        failures.append("build_bench durability datapoint missing from the PR results")
+        pass
     elif dur_none <= 0 or dur_fsync <= 0:
         failures.append(
             f"durability datapoint degenerate: none {dur_none}, fsync {dur_fsync} objs/s"
@@ -182,9 +199,9 @@ def cmd_compare(args):
     # (The field is emitted by the throughput binary from the
     # gauss_storage::LOCK_TRACKING const; a debug build or one built with
     # `--features lock-tracking` reports 1 and pays a per-lock probe.)
-    lock_tracking = pr.get("throughput.lock_tracking")
+    lock_tracking = require(pr, "throughput.lock_tracking", args.pr)
     if lock_tracking is None:
-        failures.append("throughput.lock_tracking missing from the PR results")
+        pass
     elif lock_tracking != 0:
         failures.append(
             "bench binary was built with lock-order tracking enabled "
@@ -202,7 +219,11 @@ def cmd_compare(args):
     parallel = pr.get("build_bench.parallel_objs_per_s")
     if cores >= 2 and threads_max >= 2:
         if serial is None or parallel is None:
-            failures.append("build_bench objs_per_s fields missing from the PR results")
+            for key in (
+                "build_bench.serial_objs_per_s",
+                "build_bench.parallel_objs_per_s",
+            ):
+                require(pr, key, args.pr)
         elif parallel < serial:
             failures.append(
                 f"parallel bulk load is slower than serial on a {cores:.0f}-core "

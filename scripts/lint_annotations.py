@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Turn gauss-lint JSON output into GitHub inline annotations.
+
+Usage:
+    python3 scripts/lint_annotations.py lint.json [--sarif lint.sarif]
+
+Reads the ``--format json`` feed produced by gauss-lint and prints one
+``::error file=...,line=...::...`` workflow command per finding so they
+show up inline on the PR diff. With ``--sarif``, also validates that the
+SARIF file has the minimal 2.1.0 shape code-scanning uploads require
+(schema, version, a run with a tool driver, and located results), failing
+loudly if the linter's SARIF renderer regresses.
+
+Exits 0 in all cases where the inputs are well-formed (the lint job's
+gating exit code is the linter's own); exits 2 on malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> "NoReturn":  # noqa: F821 - py3.8-friendly annotation
+    print(f"lint_annotations: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def emit_annotations(path: str) -> int:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            feed = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot read JSON feed {path!r}: {exc}")
+    if feed.get("version") != 1:
+        fail(f"unexpected feed version {feed.get('version')!r} in {path!r}")
+    findings = feed.get("findings")
+    if not isinstance(findings, list):
+        fail(f"{path!r} has no findings list")
+    for f in findings:
+        rule = f.get("rule", "?")
+        rel = f.get("path", "?")
+        line = f.get("line", 1)
+        message = f.get("message", "")
+        chain = f.get("chain") or []
+        if chain:
+            message += f" [chain: {' -> '.join(chain)}]"
+        # Workflow-command syntax: newlines and percent signs must be
+        # URL-style escaped, properties must not contain commas/colons
+        # unescaped.
+        message = (
+            message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        )
+        print(f"::error file={rel},line={line},title=gauss-lint {rule}::{message}")
+    return len(findings)
+
+
+def check_sarif(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            sarif = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot read SARIF {path!r}: {exc}")
+    if "sarif-2.1.0" not in str(sarif.get("$schema", "")):
+        fail("SARIF $schema missing or not 2.1.0")
+    if sarif.get("version") != "2.1.0":
+        fail(f"SARIF version {sarif.get('version')!r} != '2.1.0'")
+    runs = sarif.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("SARIF has no runs")
+    driver = runs[0].get("tool", {}).get("driver", {})
+    if driver.get("name") != "gauss-lint":
+        fail(f"SARIF tool driver name {driver.get('name')!r} != 'gauss-lint'")
+    if not isinstance(driver.get("rules"), list) or not driver["rules"]:
+        fail("SARIF driver declares no rules")
+    results = runs[0].get("results")
+    if not isinstance(results, list):
+        fail("SARIF run has no results array")
+    for r in results:
+        if not r.get("ruleId"):
+            fail(f"SARIF result missing ruleId: {r!r}")
+        locs = r.get("locations") or []
+        phys = locs[0].get("physicalLocation", {}) if locs else {}
+        if not phys.get("artifactLocation", {}).get("uri"):
+            fail(f"SARIF result missing artifact uri: {r!r}")
+        if not isinstance(phys.get("region", {}).get("startLine"), int):
+            fail(f"SARIF result missing region.startLine: {r!r}")
+    print(
+        f"lint_annotations: SARIF ok ({len(results)} result(s), "
+        f"{len(driver['rules'])} rule(s))",
+        file=sys.stderr,
+    )
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("feed", help="gauss-lint --format json output file")
+    ap.add_argument("--sarif", help="also validate this SARIF 2.1.0 file")
+    args = ap.parse_args()
+    count = emit_annotations(args.feed)
+    if args.sarif:
+        check_sarif(args.sarif)
+    print(f"lint_annotations: {count} annotation(s) emitted", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()
