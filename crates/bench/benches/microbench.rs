@@ -6,6 +6,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use gauss_baselines::PfvFile;
 use gauss_storage::{AccessStats, BufferPool, MemStore, DEFAULT_PAGE_SIZE};
+use gauss_tree::ReadView;
 use gauss_tree::{GaussTree, SplitStrategy, TreeConfig};
 use gauss_workloads::{generate_queries, uniform_dataset, SigmaSpec};
 use pfv::hull::{DimBounds, ParamRect};

@@ -8,6 +8,7 @@
 
 use gauss_bench::{has_flag, ExperimentSpec, CACHE_BYTES};
 use gauss_storage::{AccessStats, BufferPool, MemStore};
+use gauss_tree::ReadView;
 use gauss_tree::{GaussTree, TreeConfig};
 
 fn main() {

@@ -5,6 +5,7 @@
 //! Run: `cargo run --release -p gauss-bench --bin ablation_split [-- --quick]`
 
 use gauss_bench::{build_gauss_tree, has_flag, ExperimentSpec};
+use gauss_tree::ReadView;
 use gauss_tree::{SplitStrategy, TreeConfig};
 
 fn main() {

@@ -6,6 +6,7 @@
 
 use gauss_bench::{build_gauss_tree, has_flag, ExperimentSpec, CACHE_BYTES};
 use gauss_storage::{AccessStats, BufferPool, MemStore, DEFAULT_PAGE_SIZE};
+use gauss_tree::ReadView;
 use gauss_tree::{GaussTree, TreeConfig};
 
 fn main() {

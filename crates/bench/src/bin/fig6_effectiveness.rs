@@ -9,6 +9,7 @@ use gauss_baselines::euclidean_knn;
 use gauss_bench::{
     arg_value, build_gauss_tree, build_pfv_file, build_xtree, has_flag, ExperimentSpec,
 };
+use gauss_tree::ReadView;
 use gauss_tree::TreeConfig;
 use gauss_workloads::metrics::{precision_recall_sweep, rank_of};
 use pfv::CombineMode;

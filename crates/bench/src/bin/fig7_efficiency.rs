@@ -11,6 +11,7 @@ use gauss_bench::{
     ExperimentSpec, Measurement,
 };
 use gauss_storage::{DiskModel, DEFAULT_PAGE_SIZE};
+use gauss_tree::ReadView;
 use gauss_tree::TreeConfig;
 use pfv::CombineMode;
 

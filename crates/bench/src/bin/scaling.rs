@@ -5,6 +5,7 @@
 //! Run: `cargo run --release -p gauss-bench --bin scaling [-- --quick]`
 
 use gauss_bench::{build_gauss_tree, build_pfv_file, has_flag};
+use gauss_tree::ReadView;
 use gauss_tree::TreeConfig;
 use gauss_workloads::{generate_queries, uniform_dataset, SigmaSpec};
 use pfv::CombineMode;

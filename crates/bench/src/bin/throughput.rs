@@ -8,6 +8,12 @@
 //! counts and the warmed cache must serve every read without a physical
 //! fault — the executor parallelises, it does not approximate.
 //!
+//! A final datapoint measures the MVCC read path: `qps_during_ingest` is
+//! the k-MLIQ rate over a pinned [`Snapshot`](gauss_tree::Snapshot) while a
+//! writer thread concurrently extends and commits new epochs — the
+//! snapshot results are asserted bit-identical to the quiesced pre-ingest
+//! batch.
+//!
 //! Run: `cargo run --release -p gauss_bench --bin throughput [-- --quick]`
 //! Flags: `--n N` (objects, default 100000), `--dims D` (default 10),
 //! `--queries Q` (batch size, default 1000), `--k K` (default 1),
@@ -18,6 +24,7 @@
 
 use gauss_bench::{arg_value, build_gauss_tree, has_flag, JsonObj};
 use gauss_storage::LOCK_TRACKING;
+use gauss_tree::ReadView;
 use gauss_tree::TreeConfig;
 use gauss_workloads::{generate_query_batch, uniform_dataset, SigmaSpec};
 
@@ -58,7 +65,7 @@ fn main() {
 
     eprintln!("building Gauss-tree (bulk load)…");
     let dataset = uniform_dataset(n, dims, sigma, 20060404);
-    let tree = build_gauss_tree(&dataset, TreeConfig::new(dims));
+    let mut tree = build_gauss_tree(&dataset, TreeConfig::new(dims));
     let queries = generate_query_batch(&dataset, n_queries, sigma, 0xBA7C4);
     eprintln!(
         "built: height {}, {} pages; warming cache…",
@@ -123,6 +130,52 @@ fn main() {
     println!();
     println!("({total_hits} total hits; results bit-identical across all thread counts)");
 
+    // MVCC datapoint: query throughput over a pinned snapshot while a
+    // writer thread concurrently ingests and commits new epochs. Every
+    // snapshot batch must stay bit-identical to the quiesced warm run —
+    // the reader sees one frozen epoch, not the writer's progress.
+    eprintln!("measuring snapshot qps during ingest…");
+    tree.flush().expect("pre-snapshot commit");
+    let snap = tree.snapshot().expect("pin committed epoch");
+    let ingest = uniform_dataset(if quick { 2_000 } else { 20_000 }, dims, sigma, 0x1D_6E57);
+    let ingest_items: Vec<_> = ingest
+        .items()
+        .into_iter()
+        .map(|(id, v)| (n as u64 + id, v))
+        .collect();
+    let epoch0 = snap.epoch();
+    let (answered, reader_wall) = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            for chunk in ingest_items.chunks(1024) {
+                tree.extend(chunk.to_vec()).expect("ingest extend");
+                tree.flush().expect("ingest commit");
+            }
+        });
+        let t0 = std::time::Instant::now();
+        let mut answered = 0usize;
+        loop {
+            let finished = writer.is_finished();
+            let results = snap.batch(2).k_mliq(&queries, k).expect("snapshot batch");
+            assert_eq!(results, warm, "snapshot read diverged during ingest");
+            answered += n_queries;
+            if finished {
+                break;
+            }
+        }
+        writer.join().expect("writer thread");
+        (answered, t0.elapsed().as_secs_f64())
+    });
+    let qps_during_ingest = answered as f64 / reader_wall;
+    assert!(
+        tree.epoch() > epoch0,
+        "ingest must have committed new epochs"
+    );
+    println!(
+        "snapshot qps during ingest: {qps_during_ingest:.0} \
+         ({answered} queries over {} committed epochs, bit-identical throughout)",
+        tree.epoch() - epoch0
+    );
+
     if let Some(path) = json_path {
         let j = JsonObj::new().obj(
             "throughput",
@@ -132,6 +185,7 @@ fn main() {
                 .int("queries", n_queries as u64)
                 .int("k", k as u64)
                 .obj("qps", qps_fields)
+                .num("qps_during_ingest", qps_during_ingest)
                 .int("logical_reads", last_reads.0)
                 .int("physical_reads", last_reads.1)
                 .int("total_hits", total_hits as u64)

@@ -3,7 +3,10 @@
 use crate::args::{parse_pfv, parse_vec, ArgError, Args};
 use crate::csvio;
 use gauss_storage::{AccessStats, BufferPool, Durability, FileStore, DEFAULT_PAGE_SIZE};
-use gauss_tree::{BulkLoadOptions, DeleteOutcome, GaussTree, SpillKind, SplitStrategy, TreeConfig};
+use gauss_tree::{
+    BulkLoadOptions, DeleteOutcome, GaussTree, ReadView, SpillKind, SplitStrategy, TreeConfig,
+    TreeOptions,
+};
 use gauss_workloads::{histogram_dataset, uniform_dataset, SigmaSpec};
 use std::path::Path;
 
@@ -17,9 +20,9 @@ pub const USAGE: &str = "usage:
                      [--durability none|flush|fsync]
   gauss-cli info     --index FILE.gtree [--check true] [--recover true]
   gauss-cli mliq     --index FILE.gtree --query 'm1,..;s1,..' [--query ...]
-                     [-k K] [--accuracy A] [--threads N]
+                     [-k K] [--accuracy A] [--threads N] [--pin-snapshot true]
   gauss-cli tiq      --index FILE.gtree --query 'm1,..;s1,..' [--query ...]
-                     --theta T [--accuracy A] [--threads N]
+                     --theta T [--accuracy A] [--threads N] [--pin-snapshot true]
   gauss-cli boxq     --index FILE.gtree --lo a,b,.. --hi c,d,.. --tau T
   gauss-cli delete   --index FILE.gtree --id N --query 'm1,..;s1,..'";
 
@@ -123,8 +126,9 @@ fn build(args: &Args) -> Result<(), ArgError> {
 
     if append {
         // Merge the run into an existing index instead of rebuilding it.
-        let mut tree = open_tree(args)?;
-        tree.set_durability(durability);
+        let pool = open_pool(args)?;
+        let mut tree = GaussTree::open_with(pool, &TreeOptions::new().durability(durability))
+            .map_err(|e| ArgError(format!("cannot open index: {e}")))?;
         let t0 = std::time::Instant::now();
         let added = tree.extend(items).map_err(|e| ArgError(e.to_string()))?;
         tree.flush().map_err(|e| ArgError(e.to_string()))?;
@@ -165,8 +169,9 @@ fn build(args: &Args) -> Result<(), ArgError> {
         );
         tree
     } else {
-        let mut tree = GaussTree::create_durable(pool, config, durability)
-            .map_err(|e| ArgError(e.to_string()))?;
+        let mut tree =
+            GaussTree::create_with(pool, config, &TreeOptions::new().durability(durability))
+                .map_err(|e| ArgError(e.to_string()))?;
         for (id, v) in items {
             tree.insert(id, &v).map_err(|e| ArgError(e.to_string()))?;
         }
@@ -215,6 +220,8 @@ fn info(args: &Args) -> Result<(), ArgError> {
     println!("inner capacity: {}", tree.inner_capacity());
     println!("combine mode:   {:?}", tree.config().combine);
     println!("split strategy: {:?}", tree.config().split);
+    println!("epoch:          {}", tree.epoch());
+    println!("pinned snaps:   {}", tree.pinned_snapshots());
     let check: bool = args.num("check", false)?;
     if check {
         let errors = tree
@@ -251,9 +258,17 @@ fn parse_batch(args: &Args) -> Result<(Vec<pfv::Pfv>, usize), ArgError> {
     Ok((queries, threads))
 }
 
+/// Parses `--pin-snapshot true|false` (default `false`): run the queries on
+/// a pinned committed-epoch [`gauss_tree::Snapshot`] instead of the writer's
+/// working state.
+fn parse_pin(args: &Args) -> Result<bool, ArgError> {
+    args.num("pin-snapshot", false)
+}
+
 fn mliq(args: &Args) -> Result<(), ArgError> {
     let tree = open_tree(args)?;
     let (queries, threads) = parse_batch(args)?;
+    let pin = parse_pin(args)?;
     let k: usize = args.num("k", 1)?;
     let accuracy: f64 = args.num("accuracy", 1e-4)?;
     if accuracy.is_nan() || accuracy <= 0.0 {
@@ -262,10 +277,14 @@ fn mliq(args: &Args) -> Result<(), ArgError> {
         )));
     }
     let t0 = std::time::Instant::now();
-    let batches = tree
-        .batch(threads)
-        .k_mliq_refined(&queries, k, accuracy)
-        .map_err(|e| ArgError(e.to_string()))?;
+    let batches = if pin {
+        let snap = tree.snapshot().map_err(|e| ArgError(e.to_string()))?;
+        eprintln!("(pinned snapshot of committed epoch {})", snap.epoch());
+        snap.batch(threads).k_mliq_refined(&queries, k, accuracy)
+    } else {
+        tree.batch(threads).k_mliq_refined(&queries, k, accuracy)
+    }
+    .map_err(|e| ArgError(e.to_string()))?;
     let elapsed = t0.elapsed();
     let mut total = 0usize;
     for (qi, hits) in batches.iter().enumerate() {
@@ -307,10 +326,15 @@ fn tiq(args: &Args) -> Result<(), ArgError> {
             "--accuracy must be positive, got {accuracy}"
         )));
     }
-    let batches = tree
-        .batch(threads)
-        .tiq(&queries, theta, accuracy)
-        .map_err(|e| ArgError(e.to_string()))?;
+    let pin = parse_pin(args)?;
+    let batches = if pin {
+        let snap = tree.snapshot().map_err(|e| ArgError(e.to_string()))?;
+        eprintln!("(pinned snapshot of committed epoch {})", snap.epoch());
+        snap.batch(threads).tiq(&queries, theta, accuracy)
+    } else {
+        tree.batch(threads).tiq(&queries, theta, accuracy)
+    }
+    .map_err(|e| ArgError(e.to_string()))?;
     let mut total = 0usize;
     for (qi, hits) in batches.iter().enumerate() {
         let prefix = if batches.len() > 1 {

@@ -111,7 +111,7 @@ pub struct BulkLoadOptions {
     /// Spill backend used when the budget overflows.
     pub spill: SpillKind,
     /// Crash-safety policy of the produced tree (see
-    /// [`GaussTree::set_durability`]). Under `Flush`/`Fsync` a crash
+    /// [`crate::tree::TreeOptions::durability`]). Under `Flush`/`Fsync` a crash
     /// mid-load recovers to the committed empty tree; the final flush
     /// commits the loaded tree atomically.
     pub durability: Durability,

@@ -14,6 +14,7 @@
 
 use crate::node::Node;
 use crate::tree::{GaussTree, TreeError};
+use crate::view::Plane;
 use gauss_storage::store::PageStore;
 use gauss_storage::PageId;
 use pfv::ParamRect;
@@ -154,6 +155,51 @@ impl<S: PageStore> GaussTree<S> {
     /// # Errors
     /// Storage/codec errors while traversing.
     pub fn check_invariants(&self, strict_fanout: bool) -> Result<Vec<InvariantError>, TreeError> {
+        let (mut errors, reachable) = self.working_plane().check_structure(strict_fanout)?;
+        self.check_page_accounting(&reachable, &mut errors);
+        Ok(errors)
+    }
+
+    /// Allocation-leak assertion: every page of the store is either the
+    /// meta page, reachable from the root, or parked on the free list —
+    /// nothing more, nothing less. Bulk loading, insertion, batch merges
+    /// and deletion (which returns dissolved pages to the free list) all
+    /// preserve this; a violation means some code path dropped or
+    /// double-owned a page.
+    fn check_page_accounting(&self, reachable: &[u64], errors: &mut Vec<InvariantError>) {
+        let reachable_set: std::collections::HashSet<u64> = reachable.iter().copied().collect();
+        let freed = self.free_pages();
+        for p in &freed {
+            if reachable_set.contains(&p.index()) {
+                errors.push(InvariantError::FreedPageReachable { page: p.index() });
+            }
+        }
+        let meta = self.meta_page_count();
+        let allocated = self.pool().num_pages();
+        let accounted = meta + reachable_set.len() as u64 + freed.len() as u64;
+        if accounted != allocated {
+            errors.push(InvariantError::PageLeak {
+                allocated,
+                reachable: reachable_set.len() as u64,
+                freed: freed.len() as u64,
+                meta,
+            });
+        }
+    }
+}
+
+impl<S: PageStore> Plane<'_, S> {
+    /// Structural half of the invariant check: balance, fanout bounds,
+    /// rectangle containment/tightness and count consistency — everything
+    /// that can be verified from one frozen root, so both the writer's
+    /// working state and a pinned snapshot can run it. Returns the
+    /// violations plus every page reachable from the root (the writer's
+    /// [`GaussTree::check_invariants`] feeds the latter into its page
+    /// accounting, which needs the free lists only the writer knows).
+    pub(crate) fn check_structure(
+        &self,
+        strict_fanout: bool,
+    ) -> Result<(Vec<InvariantError>, Vec<u64>), TreeError> {
         let mut errors = Vec::new();
         let mut reachable: Vec<u64> = Vec::new();
         if self.is_empty() {
@@ -189,35 +235,7 @@ impl<S: PageStore> GaussTree<S> {
                 });
             }
         }
-        self.check_page_accounting(&reachable, &mut errors);
-        Ok(errors)
-    }
-
-    /// Allocation-leak assertion: every page of the store is either the
-    /// meta page, reachable from the root, or parked on the free list —
-    /// nothing more, nothing less. Bulk loading, insertion, batch merges
-    /// and deletion (which returns dissolved pages to the free list) all
-    /// preserve this; a violation means some code path dropped or
-    /// double-owned a page.
-    fn check_page_accounting(&self, reachable: &[u64], errors: &mut Vec<InvariantError>) {
-        let reachable_set: std::collections::HashSet<u64> = reachable.iter().copied().collect();
-        let freed = self.free_pages();
-        for p in &freed {
-            if reachable_set.contains(&p.index()) {
-                errors.push(InvariantError::FreedPageReachable { page: p.index() });
-            }
-        }
-        let meta = self.meta_page_count();
-        let allocated = self.pool().num_pages();
-        let accounted = meta + reachable_set.len() as u64 + freed.len() as u64;
-        if accounted != allocated {
-            errors.push(InvariantError::PageLeak {
-                allocated,
-                reachable: reachable_set.len() as u64,
-                freed: freed.len() as u64,
-                meta,
-            });
-        }
+        Ok((errors, reachable))
     }
 
     /// Returns `(subtree count, subtree rect)`.

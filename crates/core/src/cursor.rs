@@ -11,7 +11,8 @@
 
 use crate::node::CachedNode;
 use crate::query::MliqResult;
-use crate::tree::{GaussTree, TreeError};
+use crate::tree::TreeError;
+use crate::view::Plane;
 use gauss_storage::store::PageStore;
 use gauss_storage::PageId;
 use pfv::{batch, Pfv};
@@ -60,15 +61,19 @@ impl Ord for Frontier {
     }
 }
 
-/// Lazy best-first ranking over a [`GaussTree`].
+/// Lazy best-first ranking over one tree state.
 ///
-/// Created by [`GaussTree::ranking_cursor`]; call [`RankingCursor::next_hit`]
-/// repeatedly. Holds the query and frontier; borrows the tree *shared*, so
-/// several cursors (even on different threads) can rank over one tree at
-/// once.
+/// Created by [`ReadView::ranking_cursor`] — on a
+/// [`GaussTree`](crate::tree::GaussTree) (working state) or a pinned
+/// [`Snapshot`](crate::tree::Snapshot) (committed epoch); call
+/// [`RankingCursor::next_hit`] repeatedly. Holds the query and frontier;
+/// borrows the view *shared*, so several cursors (even on different
+/// threads) can rank over one tree at once.
+///
+/// [`ReadView::ranking_cursor`]: crate::view::ReadView::ranking_cursor
 #[derive(Debug)]
 pub struct RankingCursor<'t, S: PageStore> {
-    tree: &'t GaussTree<S>,
+    plane: Plane<'t, S>,
     query: Pfv,
     heap: BinaryHeap<Frontier>,
     emitted: u64,
@@ -89,14 +94,14 @@ impl<'t, S: PageStore> RankingCursor<'t, S> {
     /// # Errors
     /// Storage / codec errors while expanding nodes.
     pub fn next_hit(&mut self) -> Result<Option<MliqResult>, TreeError> {
-        let mode = self.tree.config().combine;
+        let mode = self.plane.config().combine;
         while let Some(top) = self.heap.pop() {
             match top {
                 Frontier::Object { log_density, id } => {
                     self.emitted += 1;
                     return Ok(Some(MliqResult { id, log_density }));
                 }
-                Frontier::NodeBound { page, .. } => match &*self.tree.read_node_cached(page)? {
+                Frontier::NodeBound { page, .. } => match &*self.plane.read_node_cached(page)? {
                     CachedNode::Leaf(leaf) => {
                         self.dens.resize(leaf.columns.len(), 0.0);
                         batch::log_densities(mode, &self.query, &leaf.columns, &mut self.dens);
@@ -141,19 +146,11 @@ impl<'t, S: PageStore> RankingCursor<'t, S> {
     }
 }
 
-impl<S: PageStore> GaussTree<S> {
-    /// Starts a lazy best-first ranking for `q` (highest relative
-    /// probability first).
-    ///
-    /// # Errors
-    /// Dimensionality mismatch.
-    pub fn ranking_cursor(&self, q: &Pfv) -> Result<RankingCursor<'_, S>, TreeError> {
-        if q.dims() != self.dims() {
-            return Err(TreeError::DimMismatch {
-                expected: self.dims(),
-                got: q.dims(),
-            });
-        }
+impl<'t, S: PageStore> Plane<'t, S> {
+    /// Starts a lazy best-first ranking for `q` — the constructor behind
+    /// [`crate::view::ReadView::ranking_cursor`].
+    pub(crate) fn ranking_cursor(self, q: &Pfv) -> Result<RankingCursor<'t, S>, TreeError> {
+        self.check_dims(q.dims())?;
         let mut heap = BinaryHeap::new();
         if !self.is_empty() {
             heap.push(Frontier::NodeBound {
@@ -162,7 +159,7 @@ impl<S: PageStore> GaussTree<S> {
             });
         }
         Ok(RankingCursor {
-            tree: self,
+            plane: self,
             query: q.clone(),
             heap,
             emitted: 0,
@@ -175,6 +172,8 @@ impl<S: PageStore> GaussTree<S> {
 mod tests {
     use super::*;
     use crate::config::TreeConfig;
+    use crate::tree::GaussTree;
+    use crate::view::ReadView;
     use gauss_storage::{AccessStats, BufferPool, MemStore};
     use pfv::{combine, CombineMode};
 

@@ -178,6 +178,7 @@ impl<S: PageStore> GaussTree<S> {
 mod tests {
     use super::*;
     use crate::config::TreeConfig;
+    use crate::view::ReadView;
     use gauss_storage::{AccessStats, BufferPool, MemStore};
     use pfv::CombineMode;
 

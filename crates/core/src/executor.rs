@@ -1,4 +1,6 @@
-//! Multi-threaded batch-query execution over one shared [`GaussTree`].
+//! Multi-threaded batch-query execution over one shared read view — a
+//! [`GaussTree`](crate::tree::GaussTree) or a pinned
+//! [`Snapshot`](crate::tree::Snapshot).
 //!
 //! The storage layer's [`gauss_storage::SharedBufferPool`] makes every
 //! read-only tree operation `&self`, so a batch of queries can fan out
@@ -39,29 +41,35 @@
 //! ```
 
 use crate::query::{MliqResult, RefinedResult, TiqResult};
-use crate::tree::{GaussTree, TreeError};
+use crate::tree::TreeError;
+use crate::view::ReadView;
 use gauss_storage::store::PageStore;
 use gauss_storage::sync::{LockRank, TrackedMutex};
 use pfv::Pfv;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-/// Fans batches of queries across worker threads over one shared tree.
+/// Fans batches of queries across worker threads over one shared view —
+/// either a [`GaussTree`](crate::tree::GaussTree) borrowed shared or a
+/// pinned [`Snapshot`](crate::tree::Snapshot).
 ///
-/// Created by [`BatchExecutor::new`] or [`GaussTree::batch`].
+/// Created by [`BatchExecutor::new`] or [`ReadView::batch`].
 #[derive(Debug)]
-pub struct BatchExecutor<'t, S: PageStore> {
-    tree: &'t GaussTree<S>,
+pub struct BatchExecutor<'t, S: PageStore, V: ReadView<S>> {
+    view: &'t V,
     threads: usize,
+    _store: PhantomData<fn() -> S>,
 }
 
-impl<'t, S: PageStore + Send> BatchExecutor<'t, S> {
+impl<'t, S: PageStore + Send, V: ReadView<S> + Sync> BatchExecutor<'t, S, V> {
     /// Creates an executor running `threads` workers (clamped to ≥ 1; a
     /// single worker degenerates to an in-place serial loop).
     #[must_use]
-    pub fn new(tree: &'t GaussTree<S>, threads: usize) -> Self {
+    pub fn new(view: &'t V, threads: usize) -> Self {
         Self {
-            tree,
+            view,
             threads: threads.max(1),
+            _store: PhantomData,
         }
     }
 
@@ -71,16 +79,16 @@ impl<'t, S: PageStore + Send> BatchExecutor<'t, S> {
         self.threads
     }
 
-    /// Batch [`GaussTree::k_mliq`]: one result vector per query, in input
+    /// Batch [`ReadView::k_mliq`]: one result vector per query, in input
     /// order.
     ///
     /// # Errors
     /// The first error any worker hits (remaining work is abandoned).
     pub fn k_mliq(&self, queries: &[Pfv], k: usize) -> Result<Vec<Vec<MliqResult>>, TreeError> {
-        self.run(queries, |q| self.tree.k_mliq(q, k))
+        self.run(queries, |q| self.view.k_mliq(q, k))
     }
 
-    /// Batch [`GaussTree::k_mliq_refined`].
+    /// Batch [`ReadView::k_mliq_refined`].
     ///
     /// # Errors
     /// The first error any worker hits.
@@ -93,10 +101,10 @@ impl<'t, S: PageStore + Send> BatchExecutor<'t, S> {
         k: usize,
         accuracy: f64,
     ) -> Result<Vec<Vec<RefinedResult>>, TreeError> {
-        self.run(queries, |q| self.tree.k_mliq_refined(q, k, accuracy))
+        self.run(queries, |q| self.view.k_mliq_refined(q, k, accuracy))
     }
 
-    /// Batch [`GaussTree::tiq`].
+    /// Batch [`ReadView::tiq`].
     ///
     /// # Errors
     /// The first error any worker hits.
@@ -109,10 +117,10 @@ impl<'t, S: PageStore + Send> BatchExecutor<'t, S> {
         p_theta: f64,
         accuracy: f64,
     ) -> Result<Vec<Vec<TiqResult>>, TreeError> {
-        self.run(queries, |q| self.tree.tiq(q, p_theta, accuracy))
+        self.run(queries, |q| self.view.tiq(q, p_theta, accuracy))
     }
 
-    /// Batch [`GaussTree::tiq_anytime`].
+    /// Batch [`ReadView::tiq_anytime`].
     ///
     /// # Errors
     /// The first error any worker hits.
@@ -124,7 +132,7 @@ impl<'t, S: PageStore + Send> BatchExecutor<'t, S> {
         queries: &[Pfv],
         p_theta: f64,
     ) -> Result<Vec<Vec<TiqResult>>, TreeError> {
-        self.run(queries, |q| self.tree.tiq_anytime(q, p_theta))
+        self.run(queries, |q| self.view.tiq_anytime(q, p_theta))
     }
 
     /// Runs `f` over every query, claiming indices from a shared atomic
@@ -194,18 +202,11 @@ impl<'t, S: PageStore + Send> BatchExecutor<'t, S> {
     }
 }
 
-impl<S: PageStore + Send> GaussTree<S> {
-    /// Shorthand for [`BatchExecutor::new`]`(self, threads)`.
-    #[must_use]
-    pub fn batch(&self, threads: usize) -> BatchExecutor<'_, S> {
-        BatchExecutor::new(self, threads)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::TreeConfig;
+    use crate::tree::GaussTree;
     use gauss_storage::{AccessStats, BufferPool, MemStore};
 
     fn build(n: u64) -> GaussTree<MemStore> {

@@ -15,7 +15,8 @@
 //!   below τ are pruned.
 
 use crate::node::Node;
-use crate::tree::{GaussTree, TreeError};
+use crate::tree::TreeError;
+use crate::view::Plane;
 use gauss_storage::store::PageStore;
 use pfv::hull::DimBounds;
 use pfv::Pfv;
@@ -68,18 +69,10 @@ pub fn mass_upper_1d(bounds: &DimBounds, lo: f64, hi: f64) -> f64 {
     ((hi - lo) * bounds.upper(x_star)).min(1.0)
 }
 
-impl<S: PageStore> GaussTree<S> {
-    /// Probabilistic box threshold query: every object whose true feature
-    /// vector lies in `[lo, hi]` with probability at least `tau`.
-    ///
-    /// Results are sorted by descending probability.
-    ///
-    /// # Errors
-    /// Dimensionality mismatch or storage errors.
-    ///
-    /// # Panics
-    /// Panics unless `0 < tau <= 1` and the box is well-formed.
-    pub fn probabilistic_box_query(
+impl<S: PageStore> Plane<'_, S> {
+    /// Probabilistic box threshold query — the algorithm behind
+    /// [`crate::view::ReadView::probabilistic_box_query`].
+    pub(crate) fn probabilistic_box_query(
         &self,
         lo: &[f64],
         hi: &[f64],
@@ -142,6 +135,8 @@ impl<S: PageStore> GaussTree<S> {
 mod tests {
     use super::*;
     use crate::config::TreeConfig;
+    use crate::tree::GaussTree;
+    use crate::view::ReadView;
     use gauss_storage::{AccessStats, BufferPool, MemStore};
 
     fn build(items: &[(u64, Pfv)]) -> GaussTree<MemStore> {

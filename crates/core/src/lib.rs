@@ -10,9 +10,9 @@
 //! * conservative per-node bounds from Lemmas 2/3 (see [`pfv::hull`]);
 //! * best-first query processing over a priority queue
 //!   (Hjaltason–Samet style) for
-//!   [k-most-likely identification queries](GaussTree::k_mliq),
-//!   [probability-refined k-MLIQ](GaussTree::k_mliq_refined) (§5.2.2) and
-//!   [threshold identification queries](GaussTree::tiq) (§5.2.3, Figure 5);
+//!   [k-most-likely identification queries](ReadView::k_mliq),
+//!   [probability-refined k-MLIQ](ReadView::k_mliq_refined) (§5.2.2) and
+//!   [threshold identification queries](ReadView::tiq) (§5.2.3, Figure 5);
 //! * the insertion strategy of §5.3 (exact-fit preference, then minimal
 //!   hull-cost enlargement) and the split strategy that minimises the
 //!   integral `∫ N̂(x) dx` of the resulting hull functions, for which the
@@ -42,10 +42,17 @@
 //! takes `&self` and can run concurrently with others over one shared tree
 //! (see the [`executor`] module for the multi-threaded batch API).
 //!
+//! Every query entry point is a provided method of the [`ReadView`] trait
+//! (module [`view`]), implemented both by [`GaussTree`] — queries see the
+//! tree's current working state — and by the pinned [`Snapshot`] handed out
+//! by [`GaussTree::snapshot`], which keeps serving one committed epoch
+//! lock-free while a writer shadow-builds the next (see the *Snapshots &
+//! MVCC* section of the README).
+//!
 //! # Example
 //!
 //! ```
-//! use gauss_tree::{GaussTree, TreeConfig};
+//! use gauss_tree::{GaussTree, ReadView, TreeConfig};
 //! use gauss_storage::{BufferPool, MemStore, AccessStats};
 //! use pfv::Pfv;
 //!
@@ -85,6 +92,8 @@ pub mod query;
 pub mod split;
 /// The Gauss-tree itself: build, insert, query entry points.
 pub mod tree;
+/// The shared read-plane: the [`ReadView`] query trait and its substrate.
+pub mod view;
 
 pub use bulk::{BulkLoadOptions, BulkLoadReport, SpillKind};
 pub use check::InvariantError;
@@ -95,4 +104,5 @@ pub use executor::BatchExecutor;
 pub use interval::BoxQueryResult;
 pub use node::{children_log_hulls, CachedNode, ColumnarLeafNode};
 pub use query::{MliqResult, RefinedResult, TiqResult};
-pub use tree::{GaussTree, RecoveryReport, TreeError};
+pub use tree::{GaussTree, RecoveryReport, Snapshot, TreeError, TreeOptions};
+pub use view::ReadView;

@@ -2,23 +2,31 @@
 //!
 //! All three algorithms run best-first over a priority queue of *active
 //! nodes* ordered by the conservative upper bound `N̂` of the node's
-//! Gaussians evaluated for the query (Hjaltason–Samet, as in §5.2.1):
+//! Gaussians evaluated for the query (Hjaltason–Samet, as in §5.2.1).
+//! They are implemented once against the shared read-plane
+//! ([`crate::view::Plane`]) and surface on both the writer handle and
+//! pinned snapshots through [`crate::view::ReadView`]:
 //!
-//! * [`GaussTree::k_mliq`] — the plain k-most-likely identification query:
+//! * [`ReadView::k_mliq`] — the plain k-most-likely identification query:
 //!   finds the k objects with maximal relative probability (density); stops
 //!   when every candidate beats the bound of the best unexplored node;
-//! * [`GaussTree::k_mliq_refined`] — §5.2.2: additionally reports the
+//! * [`ReadView::k_mliq_refined`] — §5.2.2: additionally reports the
 //!   *actual* identification probability `P(v|q)` by maintaining lower and
 //!   upper bounds `n·Ň ≤ Σ ≤ n·N̂` on the contribution of unexplored
 //!   subtrees to the Bayes denominator, refining until the probability
 //!   interval is narrower than the caller's accuracy;
-//! * [`GaussTree::tiq`] — §5.2.3 / Figure 5: the threshold identification
+//! * [`ReadView::tiq`] — §5.2.3 / Figure 5: the threshold identification
 //!   query; candidates are pruned once their probability upper bound drops
 //!   below the threshold, and processing stops when no unexplored node can
 //!   contain a qualifying object and every candidate is decided.
+//!
+//! [`ReadView::k_mliq`]: crate::view::ReadView::k_mliq
+//! [`ReadView::k_mliq_refined`]: crate::view::ReadView::k_mliq_refined
+//! [`ReadView::tiq`]: crate::view::ReadView::tiq
 
 use crate::node::CachedNode;
-use crate::tree::{GaussTree, TreeError};
+use crate::tree::TreeError;
+use crate::view::Plane;
 use gauss_storage::store::PageStore;
 use gauss_storage::PageId;
 use pfv::logsum::{log_add_exp, LogSumAcc, ScaledSum};
@@ -204,27 +212,11 @@ fn clamped_probs(ld: f64, log_lo: f64, log_hi: f64, log_mid: f64) -> (f64, f64, 
     (p, p_lo, p_hi)
 }
 
-impl<S: PageStore> GaussTree<S> {
-    fn check_query(&self, q: &Pfv) -> Result<(), TreeError> {
-        if q.dims() != self.dims() {
-            return Err(TreeError::DimMismatch {
-                expected: self.dims(),
-                got: q.dims(),
-            });
-        }
-        Ok(())
-    }
-
-    /// k-most-likely identification query (§5.2.1, Definition 3).
-    ///
-    /// Returns up to `k` objects ranked by descending relative probability
-    /// `p(q|v)`. Does not compute normalised probabilities — use
-    /// [`GaussTree::k_mliq_refined`] when you need `P(v|q)`.
-    ///
-    /// # Errors
-    /// Dimensionality mismatch or storage errors.
-    pub fn k_mliq(&self, q: &Pfv, k: usize) -> Result<Vec<MliqResult>, TreeError> {
-        self.check_query(q)?;
+impl<S: PageStore> Plane<'_, S> {
+    /// k-most-likely identification query (§5.2.1, Definition 3) — the
+    /// algorithm behind [`crate::view::ReadView::k_mliq`].
+    pub(crate) fn k_mliq(&self, q: &Pfv, k: usize) -> Result<Vec<MliqResult>, TreeError> {
+        self.check_dims(q.dims())?;
         if k == 0 || self.is_empty() {
             return Ok(Vec::new());
         }
@@ -306,27 +298,16 @@ impl<S: PageStore> GaussTree<S> {
         Ok(out)
     }
 
-    /// Probability-refined k-MLIQ (§5.2.2).
-    ///
-    /// Like [`GaussTree::k_mliq`] but also determines the identification
-    /// probability `P(v|q)` of every answer with guaranteed bounds whose
-    /// width is at most `accuracy` (e.g. `1e-3` for three digits, as the
-    /// paper puts it: "exact … according to user's specification of
-    /// exactness").
-    ///
-    /// # Errors
-    /// Dimensionality mismatch or storage errors.
-    ///
-    /// # Panics
-    /// Panics if `accuracy <= 0`.
-    pub fn k_mliq_refined(
+    /// Probability-refined k-MLIQ (§5.2.2) — the algorithm behind
+    /// [`crate::view::ReadView::k_mliq_refined`].
+    pub(crate) fn k_mliq_refined(
         &self,
         q: &Pfv,
         k: usize,
         accuracy: f64,
     ) -> Result<Vec<RefinedResult>, TreeError> {
         assert!(accuracy > 0.0, "accuracy must be positive");
-        self.check_query(q)?;
+        self.check_dims(q.dims())?;
         if k == 0 || self.is_empty() {
             return Ok(Vec::new());
         }
@@ -421,34 +402,20 @@ impl<S: PageStore> GaussTree<S> {
         Ok(out)
     }
 
-    /// Threshold identification query (§5.2.3, Figure 5, Definition 2):
-    /// every object with `P(v|q) ≥ p_theta`, with probability bounds of
-    /// width at most `accuracy`, and with every boundary candidate decided
-    /// exactly.
-    ///
-    /// # Errors
-    /// Dimensionality mismatch or storage errors.
-    ///
-    /// # Panics
-    /// Panics unless `0 < p_theta <= 1` and `accuracy > 0`.
-    pub fn tiq(&self, q: &Pfv, p_theta: f64, accuracy: f64) -> Result<Vec<TiqResult>, TreeError> {
+    /// Threshold identification query (§5.2.3, Figure 5, Definition 2) —
+    /// the algorithm behind [`crate::view::ReadView::tiq`].
+    pub(crate) fn tiq(
+        &self,
+        q: &Pfv,
+        p_theta: f64,
+        accuracy: f64,
+    ) -> Result<Vec<TiqResult>, TreeError> {
         self.tiq_impl(q, p_theta, Some(accuracy))
     }
 
-    /// The literal Figure-5 algorithm: stops as soon as no unexplored node
-    /// can contain a qualifying object, keeps every candidate whose
-    /// probability *could* reach the threshold, and reports the conservative
-    /// probability `p / (maxSum + sum)`. Cheaper than [`GaussTree::tiq`] but
-    /// boundary candidates may be reported whose exact probability is
-    /// slightly below the threshold (their `prob_lo`/`prob_hi` interval
-    /// straddles it).
-    ///
-    /// # Errors
-    /// Dimensionality mismatch or storage errors.
-    ///
-    /// # Panics
-    /// Panics unless `0 < p_theta <= 1`.
-    pub fn tiq_anytime(&self, q: &Pfv, p_theta: f64) -> Result<Vec<TiqResult>, TreeError> {
+    /// The literal Figure-5 anytime algorithm — behind
+    /// [`crate::view::ReadView::tiq_anytime`].
+    pub(crate) fn tiq_anytime(&self, q: &Pfv, p_theta: f64) -> Result<Vec<TiqResult>, TreeError> {
         self.tiq_impl(q, p_theta, None)
     }
 
@@ -466,7 +433,7 @@ impl<S: PageStore> GaussTree<S> {
             accuracy.is_none_or(|a| a > 0.0),
             "accuracy must be positive"
         );
-        self.check_query(q)?;
+        self.check_dims(q.dims())?;
         if self.is_empty() {
             return Ok(Vec::new());
         }
@@ -633,6 +600,8 @@ fn push_candidate(
 mod tests {
     use super::*;
     use crate::config::TreeConfig;
+    use crate::tree::GaussTree;
+    use crate::view::ReadView;
     use gauss_storage::{AccessStats, BufferPool, MemStore};
     use pfv::{combine, CombineMode};
 

@@ -4,10 +4,13 @@ use crate::bulk::{BulkLoadOptions, BulkLoadReport};
 use crate::config::TreeConfig;
 use crate::node::{CachedNode, InnerEntry, LeafEntry, Node, NodeCodecError};
 use crate::split::{group_rect, node_cost, split_items, split_many};
+use crate::view::{Plane, ReadView};
 use gauss_storage::store::{Durability, PageStore, StoreError};
-use gauss_storage::{fnv1a64, PageId, Reader, SharedBufferPool, SideCache, WriteBatch, Writer};
+use gauss_storage::{
+    fnv1a64, EpochRegistry, PageId, Reader, SharedBufferPool, SideCache, WriteBatch, Writer,
+};
 use pfv::{CombineMode, ParamRect, Pfv};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 const META_MAGIC: u32 = 0x4754_5245; // "GTRE"
@@ -68,6 +71,11 @@ pub enum TreeError {
         /// The doubly freed page id.
         page: u64,
     },
+    /// No committed epoch is available to pin as a [`Snapshot`] — either
+    /// the file uses the legacy v1 format (no epochs), or uncommitted
+    /// in-place writes have diverged the store from the last commit (call
+    /// [`GaussTree::flush`] first).
+    SnapshotUnavailable(&'static str),
 }
 
 impl std::fmt::Display for TreeError {
@@ -84,6 +92,9 @@ impl std::fmt::Display for TreeError {
             TreeError::NotAGaussTree => write!(f, "store does not contain a Gauss-tree"),
             TreeError::Corrupt(what) => write!(f, "corrupt tree: {what}"),
             TreeError::DoubleFree { page } => write!(f, "page {page} freed twice"),
+            TreeError::SnapshotUnavailable(why) => {
+                write!(f, "no committed epoch to snapshot: {why}")
+            }
         }
     }
 }
@@ -102,27 +113,39 @@ impl From<NodeCodecError> for TreeError {
     }
 }
 
-/// The Gauss-tree (Definition 4 of the paper).
+/// The Gauss-tree (Definition 4 of the paper) — the *writer handle* of
+/// the index.
 ///
 /// Nodes live behind a [`SharedBufferPool`], so every read-only operation
-/// (`k_mliq*`, `tiq*`, `for_each_entry`, `check_invariants`, cursors) takes
-/// `&self` and many threads may query one tree concurrently (see
-/// [`crate::executor`]). Mutation (`insert`, `delete`, `bulk_load`,
-/// `flush`) keeps `&mut self`. Constructors accept anything convertible
-/// into a [`SharedBufferPool`] — in particular a plain
-/// [`gauss_storage::BufferPool`].
+/// (`k_mliq*`, `tiq*`, `for_each_entry`, `check_invariants`, cursors —
+/// all provided by the [`ReadView`] trait) takes `&self` and many threads
+/// may query one tree concurrently (see [`crate::executor`]). Mutation
+/// (`insert`, `delete`, `bulk_load`, `flush`) keeps `&mut self`.
+/// Constructors accept anything convertible into a [`SharedBufferPool`] —
+/// in particular a plain [`gauss_storage::BufferPool`].
+///
+/// [`GaussTree::snapshot`] additionally pins the last *committed* epoch
+/// as an owning [`Snapshot`] view: queries on it run lock-free against
+/// that frozen state while this handle keeps shadow-building the next
+/// epoch (MVCC — see the [`Snapshot`] docs for the protocol).
 ///
 /// See the [crate docs](crate) for an overview and an example.
 #[derive(Debug)]
 pub struct GaussTree<S: PageStore> {
-    pool: SharedBufferPool<S>,
+    pool: Arc<SharedBufferPool<S>>,
     /// Decoded-node companion cache: pages already paid for via the pool
     /// are kept in query-ready form ([`CachedNode`] — columnar leaves,
     /// inner entry vectors) so the read hot path never re-parses bytes.
     /// Invalidated on every node write; never consulted without first
     /// requesting the page from the pool, so access accounting is
-    /// unchanged.
-    node_cache: SideCache<CachedNode>,
+    /// unchanged. Shared with snapshots: shadow paging guarantees a
+    /// committed page's bytes never change while a snapshot can read
+    /// them, so cached decodes stay valid across epochs.
+    node_cache: Arc<SideCache<CachedNode>>,
+    /// Epoch pin counts of live [`Snapshot`]s (shared with every snapshot
+    /// handed out). Gates page reclamation ([`GaussTree::free_aging`])
+    /// and forces shadow paging while pins exist.
+    registry: Arc<EpochRegistry>,
     config: TreeConfig,
     leaf_cap: usize,
     inner_cap: usize,
@@ -161,6 +184,24 @@ pub struct GaussTree<S: PageStore> {
     /// Pages written since the last commit that the committed tree does
     /// not reference; shadow paging may update them in place.
     shadowed: HashSet<u64>,
+    /// Root page as of the last committed epoch — what
+    /// [`GaussTree::snapshot`] pins while the working `root`/`height`/`len`
+    /// fields run ahead under shadow paging.
+    committed_root: PageId,
+    /// Height as of the last committed epoch.
+    committed_height: u32,
+    /// Entry count as of the last committed epoch.
+    committed_len: u64,
+    /// Whether an in-place write has diverged the store from the last
+    /// committed epoch (legacy-speed mutation under [`Durability::None`]
+    /// with no live snapshots). While set, [`GaussTree::snapshot`] refuses
+    /// to pin the stale committed root.
+    dirty_since_commit: bool,
+    /// Commit-promoted frees still gated by live snapshots: each entry
+    /// holds the pages whose free was committed at the tagged epoch,
+    /// reusable only once no snapshot pins an *older* epoch. Kept in
+    /// epoch order so reaping pops from the front.
+    free_aging: VecDeque<(u64, Vec<PageId>)>,
 }
 
 /// On-disk metadata layout of an opened tree.
@@ -188,6 +229,186 @@ pub struct RecoveryReport {
     pub orphaned_pages: u64,
     /// Whether the file uses the legacy single-slot format.
     pub legacy: bool,
+}
+
+/// Builder-style construction options for [`GaussTree::create_with`],
+/// [`GaussTree::open_with`] and [`GaussTree::recover_with`] — the one
+/// place the crash-safety policy and cache sizing are decided, replacing
+/// the deprecated [`GaussTree::set_durability`] mutation.
+///
+/// ```
+/// use gauss_tree::TreeOptions;
+/// use gauss_storage::Durability;
+///
+/// let opts = TreeOptions::new()
+///     .durability(Durability::Fsync)
+///     .node_cache_capacity(4096);
+/// # let _ = opts;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TreeOptions {
+    durability: Durability,
+    node_cache_capacity: Option<usize>,
+}
+
+impl TreeOptions {
+    /// Default options: [`Durability::None`], decoded-node cache sized to
+    /// the buffer pool's frame capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Crash-safety policy for every mutation on the opened tree (see
+    /// [`GaussTree::flush`] for the commit protocol it drives).
+    #[must_use]
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Capacity (in nodes) of the decoded-node companion cache. Defaults
+    /// to the buffer pool's frame capacity.
+    #[must_use]
+    pub fn node_cache_capacity(mut self, nodes: usize) -> Self {
+        self.node_cache_capacity = Some(nodes);
+        self
+    }
+
+    /// The decoded-node cache capacity for a pool of `pool_cap` frames.
+    fn cache_cap(&self, pool_cap: usize) -> usize {
+        self.node_cache_capacity.unwrap_or(pool_cap).max(1)
+    }
+}
+
+/// An immutable, owning view of one *committed* epoch of a [`GaussTree`] —
+/// the reader half of the MVCC split.
+///
+/// Obtained from [`GaussTree::snapshot`]. A snapshot pins its epoch in the
+/// tree's shared [`EpochRegistry`]:
+///
+/// * every query method (provided by [`ReadView`]) runs lock-free against
+///   the frozen committed root — no `&mut` borrow of the writer, no writer
+///   mutex — while the writer keeps shadow-building the next epoch;
+/// * pages the writer frees stay un-reused until every snapshot pinning an
+///   epoch that references them is dropped (see the free-aging rule in
+///   [`GaussTree::flush`]);
+/// * while any snapshot is live the writer shadow-pages even under
+///   [`Durability::None`], so committed bytes are never overwritten.
+///
+/// Cloning re-pins the epoch; dropping unpins it. Snapshots are `Send` and
+/// `Sync` — hand them to other threads freely.
+#[derive(Debug)]
+pub struct Snapshot<S: PageStore> {
+    pool: Arc<SharedBufferPool<S>>,
+    node_cache: Arc<SideCache<CachedNode>>,
+    registry: Arc<EpochRegistry>,
+    config: TreeConfig,
+    leaf_cap: usize,
+    inner_cap: usize,
+    epoch: u64,
+    root: PageId,
+    height: u32,
+    len: u64,
+}
+
+impl<S: PageStore> Snapshot<S> {
+    /// The committed epoch this snapshot pins.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of stored pfv at this epoch.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the tree was empty at this epoch.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree at this epoch (0 = the root is a leaf).
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Dimensionality of the indexed pfv.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.config.dims
+    }
+
+    /// The tree's configuration.
+    #[must_use]
+    pub fn config(&self) -> &TreeConfig {
+        &self.config
+    }
+
+    /// Root page id at this epoch.
+    #[must_use]
+    pub fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    /// Structural invariant check of the pinned epoch (§4 node invariants:
+    /// conservative rectangles, counts, balanced height, fill factors with
+    /// `strict_fanout`). Page accounting is *not* checked — free lists
+    /// belong to the writer's working state, not to a frozen epoch.
+    ///
+    /// # Errors
+    /// Store / codec errors while traversing.
+    pub fn check_invariants(
+        &self,
+        strict_fanout: bool,
+    ) -> Result<Vec<crate::check::InvariantError>, TreeError> {
+        self.plane()
+            .check_structure(strict_fanout)
+            .map(|(errs, _)| errs)
+    }
+}
+
+impl<S: PageStore> Clone for Snapshot<S> {
+    fn clone(&self) -> Self {
+        self.registry.pin(self.epoch);
+        Self {
+            pool: Arc::clone(&self.pool),
+            node_cache: Arc::clone(&self.node_cache),
+            registry: Arc::clone(&self.registry),
+            config: self.config,
+            leaf_cap: self.leaf_cap,
+            inner_cap: self.inner_cap,
+            epoch: self.epoch,
+            root: self.root,
+            height: self.height,
+            len: self.len,
+        }
+    }
+}
+
+impl<S: PageStore> Drop for Snapshot<S> {
+    fn drop(&mut self) {
+        self.registry.unpin(self.epoch);
+    }
+}
+
+impl<S: PageStore> ReadView<S> for Snapshot<S> {
+    fn plane(&self) -> Plane<'_, S> {
+        Plane {
+            pool: &self.pool,
+            node_cache: &self.node_cache,
+            config: &self.config,
+            leaf_cap: self.leaf_cap,
+            inner_cap: self.inner_cap,
+            root: self.root,
+            height: self.height,
+            len: self.len,
+        }
+    }
 }
 
 /// One parsed v2 meta slot, pending validation against the store.
@@ -225,8 +446,9 @@ enum ChildUpdate {
 }
 
 impl<S: PageStore> GaussTree<S> {
-    /// Creates an empty Gauss-tree in a fresh store with
-    /// [`Durability::None`] (fast in-place writes, no crash guarantees).
+    /// Creates an empty Gauss-tree in a fresh store with default
+    /// [`TreeOptions`] — [`Durability::None`] (fast in-place writes, no
+    /// crash guarantees).
     ///
     /// # Errors
     /// Propagates store errors; fails if the page size cannot hold two
@@ -235,19 +457,32 @@ impl<S: PageStore> GaussTree<S> {
         pool: impl Into<SharedBufferPool<S>>,
         config: TreeConfig,
     ) -> Result<Self, TreeError> {
-        Self::create_durable(pool, config, Durability::None)
+        Self::create_with(pool, config, &TreeOptions::default())
     }
 
-    /// Creates an empty Gauss-tree in a fresh store under the given
-    /// [`Durability`] policy (see [`GaussTree::set_durability`]).
+    /// Deprecated shim over [`GaussTree::create_with`].
     ///
     /// # Errors
-    /// Propagates store errors; rejects a non-empty store (the metadata
-    /// slots must own pages 0–1).
+    /// As [`GaussTree::create_with`].
+    #[deprecated(note = "use `create_with` with `TreeOptions::new().durability(..)`")]
     pub fn create_durable(
         pool: impl Into<SharedBufferPool<S>>,
         config: TreeConfig,
         durability: Durability,
+    ) -> Result<Self, TreeError> {
+        Self::create_with(pool, config, &TreeOptions::new().durability(durability))
+    }
+
+    /// Creates an empty Gauss-tree in a fresh store under the given
+    /// [`TreeOptions`].
+    ///
+    /// # Errors
+    /// Propagates store errors; rejects a non-empty store (the metadata
+    /// slots must own pages 0–1).
+    pub fn create_with(
+        pool: impl Into<SharedBufferPool<S>>,
+        config: TreeConfig,
+        opts: &TreeOptions,
     ) -> Result<Self, TreeError> {
         let pool = pool.into();
         if pool.num_pages() != 0 {
@@ -260,15 +495,16 @@ impl<S: PageStore> GaussTree<S> {
         let slot_b = pool.allocate()?;
         debug_assert_eq!((slot_a, slot_b), (META_SLOT_A, META_SLOT_B));
         let root = pool.allocate()?;
-        let node_cache = SideCache::new(pool.capacity().max(1));
+        let node_cache = SideCache::new(opts.cache_cap(pool.capacity()));
         let mut tree = Self {
-            pool,
-            node_cache,
+            pool: Arc::new(pool),
+            node_cache: Arc::new(node_cache),
+            registry: Arc::new(EpochRegistry::new()),
             config,
             leaf_cap,
             inner_cap,
             format: MetaFormat::V2,
-            durability,
+            durability: opts.durability,
             epoch: 0,
             root,
             height: 0,
@@ -278,6 +514,11 @@ impl<S: PageStore> GaussTree<S> {
             carriers_live: Vec::new(),
             free_set: HashSet::new(),
             shadowed: HashSet::new(),
+            committed_root: root,
+            committed_height: 0,
+            committed_len: 0,
+            dirty_since_commit: false,
+            free_aging: VecDeque::new(),
         };
         tree.write_node(root, &Node::Leaf(Vec::new()))?;
         tree.flush()?;
@@ -302,6 +543,7 @@ impl<S: PageStore> GaussTree<S> {
     /// previous or the new committed state. Legacy (v1-format) trees keep
     /// their single meta slot, so their meta commit itself is not atomic
     /// regardless of policy; rebuild to upgrade.
+    #[deprecated(note = "pass `TreeOptions::new().durability(..)` to `create_with`/`open_with`")]
     pub fn set_durability(&mut self, durability: Durability) {
         self.durability = durability;
     }
@@ -312,9 +554,57 @@ impl<S: PageStore> GaussTree<S> {
         self.epoch
     }
 
-    /// Whether mutation must shadow-write instead of updating in place.
+    /// Pins the last committed epoch as an immutable [`Snapshot`] view.
+    ///
+    /// The snapshot owns shared handles (buffer pool, decoded-node cache,
+    /// epoch registry), so it has no lifetime tie to this writer: send it
+    /// to another thread and keep mutating here. While it lives, this
+    /// writer shadow-pages every mutation (even under [`Durability::None`])
+    /// and defers page reuse, so the pinned state is never overwritten.
+    ///
+    /// # Errors
+    /// [`TreeError::SnapshotUnavailable`] if the file uses the legacy v1
+    /// format (no committed epochs) or if in-place writes since the last
+    /// [`GaussTree::flush`] have diverged the store from the committed
+    /// epoch — flush first, then snapshot.
+    pub fn snapshot(&self) -> Result<Snapshot<S>, TreeError> {
+        if self.format == MetaFormat::V1 {
+            return Err(TreeError::SnapshotUnavailable(
+                "legacy v1 files have no committed epochs",
+            ));
+        }
+        if self.dirty_since_commit {
+            return Err(TreeError::SnapshotUnavailable(
+                "in-place writes since the last commit",
+            ));
+        }
+        self.registry.pin(self.epoch);
+        Ok(Snapshot {
+            pool: Arc::clone(&self.pool),
+            node_cache: Arc::clone(&self.node_cache),
+            registry: Arc::clone(&self.registry),
+            config: self.config,
+            leaf_cap: self.leaf_cap,
+            inner_cap: self.inner_cap,
+            epoch: self.epoch,
+            root: self.committed_root,
+            height: self.committed_height,
+            len: self.committed_len,
+        })
+    }
+
+    /// Number of live [`Snapshot`] pins on this tree (all epochs).
+    #[must_use]
+    pub fn pinned_snapshots(&self) -> u64 {
+        self.registry.pinned_count()
+    }
+
+    /// Whether mutation must shadow-write instead of updating in place:
+    /// always under a durable policy, and whenever a live [`Snapshot`]
+    /// pins a committed epoch that in-place writes would tear up.
     pub(crate) fn is_shadowing(&self) -> bool {
-        self.durability != Durability::None && self.format == MetaFormat::V2
+        self.format == MetaFormat::V2
+            && (self.durability != Durability::None || self.registry.has_pins())
     }
 
     /// Opens an existing Gauss-tree from its store.
@@ -327,15 +617,26 @@ impl<S: PageStore> GaussTree<S> {
     /// shadow writes) are reclaimed onto the free list. v1 files (single
     /// meta page) keep opening as before.
     ///
-    /// The opened tree starts at [`Durability::None`]; call
-    /// [`GaussTree::set_durability`] before mutating if crash safety is
+    /// The opened tree uses default [`TreeOptions`] ([`Durability::None`]);
+    /// use [`GaussTree::open_with`] when crash safety or cache sizing is
     /// required.
     ///
     /// # Errors
     /// [`TreeError::NotAGaussTree`] if no valid metadata is found; store
     /// errors otherwise.
     pub fn open(pool: impl Into<SharedBufferPool<S>>) -> Result<Self, TreeError> {
-        Self::open_impl(pool.into(), false).map(|(tree, _)| tree)
+        Self::open_with(pool, &TreeOptions::default())
+    }
+
+    /// Opens an existing Gauss-tree under the given [`TreeOptions`].
+    ///
+    /// # Errors
+    /// As [`GaussTree::open`].
+    pub fn open_with(
+        pool: impl Into<SharedBufferPool<S>>,
+        opts: &TreeOptions,
+    ) -> Result<Self, TreeError> {
+        Self::open_impl(pool.into(), false, opts).map(|(tree, _)| tree)
     }
 
     /// Opens an existing Gauss-tree, additionally *verifying* the chosen
@@ -353,12 +654,24 @@ impl<S: PageStore> GaussTree<S> {
     pub fn open_with_recovery(
         pool: impl Into<SharedBufferPool<S>>,
     ) -> Result<(Self, RecoveryReport), TreeError> {
-        Self::open_impl(pool.into(), true)
+        Self::recover_with(pool, &TreeOptions::default())
+    }
+
+    /// [`GaussTree::open_with_recovery`] under the given [`TreeOptions`].
+    ///
+    /// # Errors
+    /// As [`GaussTree::open_with_recovery`].
+    pub fn recover_with(
+        pool: impl Into<SharedBufferPool<S>>,
+        opts: &TreeOptions,
+    ) -> Result<(Self, RecoveryReport), TreeError> {
+        Self::open_impl(pool.into(), true, opts)
     }
 
     fn open_impl(
         pool: SharedBufferPool<S>,
         verify: bool,
+        opts: &TreeOptions,
     ) -> Result<(Self, RecoveryReport), TreeError> {
         let allocated_now = pool.num_pages();
         if allocated_now == 0 {
@@ -371,7 +684,7 @@ impl<S: PageStore> GaussTree<S> {
             let magic = r.get_u32().unwrap_or(0);
             let version = r.get_u32().unwrap_or(0);
             if magic == META_MAGIC && version == META_VERSION_V1 {
-                let tree = Self::open_v1(pool)?;
+                let tree = Self::open_v1(pool, opts)?;
                 if verify {
                     match tree.check_invariants(false) {
                         Ok(errs) if errs.is_empty() => {}
@@ -416,7 +729,7 @@ impl<S: PageStore> GaussTree<S> {
                 orphaned_pages: allocated_now - meta.allocated,
                 legacy: false,
             };
-            let mut tree = Self::from_meta(pool, meta);
+            let mut tree = Self::from_meta(pool, meta, opts);
             if !verify {
                 return Ok((tree, report));
             }
@@ -555,10 +868,10 @@ impl<S: PageStore> GaussTree<S> {
     /// Builds the in-memory tree from a validated slot, reclaiming pages
     /// the chosen epoch never committed (shadow writes of an interrupted
     /// mutation) onto the free list.
-    fn from_meta(pool: SharedBufferPool<S>, meta: ParsedMeta) -> Self {
+    fn from_meta(pool: SharedBufferPool<S>, meta: ParsedMeta, opts: &TreeOptions) -> Self {
         let leaf_cap = meta.config.leaf_capacity(pool.page_size());
         let inner_cap = meta.config.inner_capacity(pool.page_size());
-        let node_cache = SideCache::new(pool.capacity().max(1));
+        let node_cache = SideCache::new(opts.cache_cap(pool.capacity()));
         let carrier_set: HashSet<u64> = meta.carriers.iter().map(|p| p.index()).collect();
         let mut free_set: HashSet<u64> = meta.free_ids.iter().map(|p| p.index()).collect();
         let mut free_committed: Vec<PageId> = meta
@@ -573,13 +886,14 @@ impl<S: PageStore> GaussTree<S> {
             free_committed.push(PageId(orphan));
         }
         Self {
-            pool,
-            node_cache,
+            pool: Arc::new(pool),
+            node_cache: Arc::new(node_cache),
+            registry: Arc::new(EpochRegistry::new()),
             config: meta.config,
             leaf_cap,
             inner_cap,
             format: MetaFormat::V2,
-            durability: Durability::None,
+            durability: opts.durability,
             epoch: meta.epoch,
             root: meta.root,
             height: meta.height,
@@ -589,11 +903,16 @@ impl<S: PageStore> GaussTree<S> {
             carriers_live: meta.carriers,
             free_set,
             shadowed: HashSet::new(),
+            committed_root: meta.root,
+            committed_height: meta.height,
+            committed_len: meta.len,
+            dirty_since_commit: false,
+            free_aging: VecDeque::new(),
         }
     }
 
     /// Opens a legacy v1 (single meta slot) file.
-    fn open_v1(pool: SharedBufferPool<S>) -> Result<Self, TreeError> {
+    fn open_v1(pool: SharedBufferPool<S>, opts: &TreeOptions) -> Result<Self, TreeError> {
         let allocated = pool.num_pages();
         let page = pool.page(PageId(0))?;
         let mut r = Reader::new(&page);
@@ -669,16 +988,17 @@ impl<S: PageStore> GaussTree<S> {
         }
         let leaf_cap = config.leaf_capacity(pool.page_size());
         let inner_cap = config.inner_capacity(pool.page_size());
-        let node_cache = SideCache::new(pool.capacity().max(1));
+        let node_cache = SideCache::new(opts.cache_cap(pool.capacity()));
         let free_set = free_list.iter().map(|p| p.index()).collect();
         Ok(Self {
-            pool,
-            node_cache,
+            pool: Arc::new(pool),
+            node_cache: Arc::new(node_cache),
+            registry: Arc::new(EpochRegistry::new()),
             config,
             leaf_cap,
             inner_cap,
             format: MetaFormat::V1,
-            durability: Durability::None,
+            durability: opts.durability,
             epoch: 0,
             root,
             height,
@@ -688,12 +1008,37 @@ impl<S: PageStore> GaussTree<S> {
             carriers_live: Vec::new(),
             free_set,
             shadowed: HashSet::new(),
+            committed_root: root,
+            committed_height: height,
+            committed_len: len,
+            dirty_since_commit: false,
+            free_aging: VecDeque::new(),
         })
     }
 
-    /// Gives the pool back (recovery's slot-fallback path).
+    /// Gives the pool back (recovery's slot-fallback path; no snapshot can
+    /// exist on a tree that is still being opened).
     fn into_pool(self) -> SharedBufferPool<S> {
-        self.pool
+        match Arc::try_unwrap(self.pool) {
+            Ok(pool) => pool,
+            // lint: allow(no-panic) -- only reachable during open, before any snapshot is handed out
+            Err(_) => panic!("buffer pool still shared during open"),
+        }
+    }
+
+    /// Consumes the tree and returns the underlying page store (flush
+    /// first if the latest mutations must be committed).
+    ///
+    /// # Panics
+    /// Panics if any [`Snapshot`] of this tree is still alive — snapshots
+    /// share the buffer pool and must be dropped first.
+    #[must_use]
+    pub fn into_store(self) -> S {
+        match Arc::try_unwrap(self.pool) {
+            Ok(pool) => pool.into_store(),
+            // lint: allow(no-panic) -- documented contract: drop all snapshots before into_store
+            Err(_) => panic!("GaussTree::into_store called with live snapshots"),
+        }
     }
 
     /// Bulk-loads a tree from `(id, pfv)` pairs (STR-style recursive
@@ -730,7 +1075,11 @@ impl<S: PageStore> GaussTree<S> {
         items: impl IntoIterator<Item = (u64, Pfv)>,
         opts: &BulkLoadOptions,
     ) -> Result<(Self, BulkLoadReport), TreeError> {
-        let mut tree = Self::create_durable(pool, config, opts.durability)?;
+        let mut tree = Self::create_with(
+            pool,
+            config,
+            &TreeOptions::new().durability(opts.durability),
+        )?;
         let report = crate::bulk::run(&mut tree, items, opts)?;
         Ok((tree, report))
     }
@@ -831,13 +1180,21 @@ impl<S: PageStore> GaussTree<S> {
         let meta_cap = page_size.saturating_sub(META_BASE_BYTES) / 8;
         let per_carrier = ((page_size - FREE_CHAIN_HEADER_BYTES) / 8).max(1);
 
+        // Dropped snapshots may have released aged pages; fold them back
+        // into the reusable pool before carriers are drawn from it.
+        self.reap_aged();
+
         // Every free id that must survive reopen, whatever sub-list it is
-        // on right now.
+        // on right now — including snapshot-gated aging pages: their free
+        // *is* committed, only in-memory reuse is deferred.
         let mut all_ids: Vec<PageId> =
             Vec::with_capacity(self.free_pending.len() + self.carriers_live.len());
         all_ids.extend(&self.free_pending);
         all_ids.extend(&self.carriers_live);
         all_ids.extend(&self.free_committed);
+        for (_, pages) in &self.free_aging {
+            all_ids.extend(pages);
+        }
 
         // Overflow carriers for the new chain: committed-free pages (the
         // live chain's carriers are held out of `free_committed`, so they
@@ -933,13 +1290,46 @@ impl<S: PageStore> GaussTree<S> {
         self.pool.sync(self.durability)?;
 
         // The commit succeeded: this epoch's deferred frees and the
-        // superseded chain's carriers become reusable.
+        // superseded chain's carriers become reusable — except that pages
+        // the *previous* epoch still references must additionally wait for
+        // every snapshot pinned at an older epoch to drop (free-aging
+        // rule), or a reuse would overwrite a page a live reader can still
+        // reach.
         self.epoch = new_epoch;
-        self.free_committed.append(&mut self.free_pending);
+        let pending = std::mem::take(&mut self.free_pending);
+        if !pending.is_empty() {
+            self.free_aging.push_back((new_epoch, pending));
+        }
         self.free_committed.append(&mut self.carriers_live);
         self.carriers_live = new_carriers;
         self.shadowed.clear();
+        self.dirty_since_commit = false;
+        self.committed_root = self.root;
+        self.committed_height = self.height;
+        self.committed_len = self.len;
+        self.reap_aged();
         Ok(())
+    }
+
+    /// Promotes aged frees whose gating epoch is clear of snapshot pins:
+    /// an entry tagged `E` holds pages referenced by epoch `E - 1` and
+    /// earlier, so it is reusable once no live snapshot pins an epoch
+    /// below `E`. Entries are promoted front-first (epoch order), stopping
+    /// at the first still-gated tag.
+    fn reap_aged(&mut self) {
+        if self.free_aging.is_empty() {
+            return;
+        }
+        let min = self.registry.min_pinned();
+        while let Some((tag, _)) = self.free_aging.front() {
+            if min.is_none_or(|m| m >= *tag) {
+                // lint: allow(no-panic) -- front() just returned Some
+                let (_, mut pages) = self.free_aging.pop_front().expect("front checked");
+                self.free_committed.append(&mut pages);
+            } else {
+                break;
+            }
+        }
     }
 
     fn flush_v1(&mut self) -> Result<(), TreeError> {
@@ -1002,6 +1392,11 @@ impl<S: PageStore> GaussTree<S> {
     /// one is available. The page is marked shadowed: it is not part of
     /// the committed tree, so shadow paging may write it in place.
     pub(crate) fn alloc_page(&mut self) -> Result<PageId, TreeError> {
+        if self.free_committed.is_empty() && !self.free_aging.is_empty() {
+            // A snapshot drop may have un-gated aged frees since the last
+            // commit; prefer them over growing the store.
+            self.reap_aged();
+        }
         let page = match self.free_committed.pop() {
             Some(p) => {
                 self.free_set.remove(&p.index());
@@ -1025,19 +1420,28 @@ impl<S: PageStore> GaussTree<S> {
             return Err(TreeError::DoubleFree { page: page.index() });
         }
         let was_shadowed = self.shadowed.remove(&page.index());
-        if was_shadowed || !self.is_shadowing() {
+        if was_shadowed {
             self.free_committed.push(page);
-        } else {
+        } else if self.is_shadowing() {
             self.free_pending.push(page);
+        } else {
+            // In-place mode: a committed page becomes reusable right away,
+            // which diverges the store from the committed epoch — block
+            // snapshots until the next flush re-commits.
+            self.dirty_since_commit = true;
+            self.free_committed.push(page);
         }
         Ok(())
     }
 
     /// Pages freed and not yet reused by later allocations (reusable,
-    /// commit-deferred, and live chain carriers together).
+    /// commit-deferred, snapshot-gated, and live chain carriers together).
     #[must_use]
     pub fn free_page_count(&self) -> usize {
-        self.free_committed.len() + self.free_pending.len() + self.carriers_live.len()
+        self.free_committed.len()
+            + self.free_pending.len()
+            + self.carriers_live.len()
+            + self.free_aging.iter().map(|(_, p)| p.len()).sum::<usize>()
     }
 
     /// The freed-page ids (for the invariant checker).
@@ -1046,6 +1450,9 @@ impl<S: PageStore> GaussTree<S> {
         out.extend(&self.free_committed);
         out.extend(&self.free_pending);
         out.extend(&self.carriers_live);
+        for (_, pages) in &self.free_aging {
+            out.extend(pages);
+        }
         out
     }
 
@@ -1436,28 +1843,6 @@ impl<S: PageStore> GaussTree<S> {
         Ok(Node::read_from(self.config.dims, &bytes)?)
     }
 
-    /// Reads the node stored at `page` in query-ready cached form.
-    ///
-    /// The page is *always* requested from the buffer pool first — so
-    /// logical/physical access accounting is identical to [`read_node`] —
-    /// and only the decode step is skipped on a node-cache hit. Leaves come
-    /// back as columnar scans for the batched Lemma-1 kernel.
-    ///
-    /// [`read_node`]: Self::read_node
-    ///
-    /// # Errors
-    /// Store / codec errors.
-    pub(crate) fn read_node_cached(&self, page: PageId) -> Result<Arc<CachedNode>, TreeError> {
-        let bytes = self.pool.page(page)?;
-        if let Some(cached) = self.node_cache.get(page) {
-            return Ok(cached);
-        }
-        let node = Node::read_from(self.config.dims, &bytes)?;
-        let cached = Arc::new(node.into_cached(self.config.dims));
-        self.node_cache.insert(page, Arc::clone(&cached));
-        Ok(cached)
-    }
-
     /// The decoded-node companion cache (size/occupancy introspection).
     #[must_use]
     pub fn node_cache(&self) -> &SideCache<CachedNode> {
@@ -1502,6 +1887,13 @@ impl<S: PageStore> GaussTree<S> {
     }
 
     fn write_node(&mut self, page: PageId, node: &Node) -> Result<(), TreeError> {
+        // An in-place write to a page the committed epoch references
+        // diverges the store from that epoch: snapshots are blocked until
+        // the next flush re-commits. Shadow pages are invisible to the
+        // committed tree, so writing them keeps the epoch intact.
+        if !self.shadowed.contains(&page.index()) {
+            self.dirty_since_commit = true;
+        }
         let mut buf = vec![0u8; self.pool.page_size()];
         node.write_to(self.config.dims, &mut buf);
         // Invalidate the decoded form before the bytes change so no reader
@@ -1533,30 +1925,20 @@ impl<S: PageStore> GaussTree<S> {
         }
     }
 
-    /// Visits every stored `(id, pfv)` pair (in tree order).
-    ///
-    /// # Errors
-    /// Store / codec errors.
-    pub fn for_each_entry(&self, mut f: impl FnMut(u64, &Pfv)) -> Result<(), TreeError> {
-        let mut stack = vec![(self.root, self.height)];
-        while let Some((page, level)) = stack.pop() {
-            match self.read_node(page)? {
-                Node::Leaf(es) => {
-                    for e in &es {
-                        f(e.id, &e.pfv);
-                    }
-                }
-                Node::Inner(es) => {
-                    if level == 0 {
-                        return Err(TreeError::Corrupt("inner node at leaf level"));
-                    }
-                    for e in &es {
-                        stack.push((e.child, level - 1));
-                    }
-                }
-            }
+    /// The read-plane over this writer's *working* state (root/height/len
+    /// as mutated so far, committed or not) — what [`ReadView`] queries on
+    /// `&GaussTree` observe.
+    pub(crate) fn working_plane(&self) -> Plane<'_, S> {
+        Plane {
+            pool: &self.pool,
+            node_cache: &self.node_cache,
+            config: &self.config,
+            leaf_cap: self.leaf_cap,
+            inner_cap: self.inner_cap,
+            root: self.root,
+            height: self.height,
+            len: self.len,
         }
-        Ok(())
     }
 }
 
@@ -1620,10 +2002,7 @@ mod tests {
             t.insert(i, &v).unwrap();
         }
         t.flush().unwrap();
-        let store = {
-            let GaussTree { pool, .. } = t;
-            pool.into_store()
-        };
+        let store = t.into_store();
         let pool = BufferPool::new(store, 1024, AccessStats::new_shared());
         let t2 = GaussTree::open(pool).unwrap();
         assert_eq!(t2.len(), 30);
@@ -1689,8 +2068,8 @@ mod tests {
             t.insert(i, &pfv1(i as f64, 0.1)).unwrap();
         }
         let root = t.root_page();
-        let a = t.read_node_cached(root).unwrap();
-        let b = t.read_node_cached(root).unwrap();
+        let a = t.working_plane().read_node_cached(root).unwrap();
+        let b = t.working_plane().read_node_cached(root).unwrap();
         assert!(
             std::sync::Arc::ptr_eq(&a, &b),
             "second read must hit the node cache"
@@ -1699,7 +2078,7 @@ mod tests {
 
         // Mutation must invalidate: the next read decodes the new bytes.
         t.insert(100, &pfv1(50.0, 0.2)).unwrap();
-        let c = t.read_node_cached(t.root_page()).unwrap();
+        let c = t.working_plane().read_node_cached(t.root_page()).unwrap();
         assert!(
             !std::sync::Arc::ptr_eq(&a, &c),
             "write must invalidate the cached decode"
@@ -1720,8 +2099,8 @@ mod tests {
         }
         let root = t.root_page();
         t.pool().clear_cache_and_stats();
-        let _ = t.read_node_cached(root).unwrap();
-        let _ = t.read_node_cached(root).unwrap();
+        let _ = t.working_plane().read_node_cached(root).unwrap();
+        let _ = t.working_plane().read_node_cached(root).unwrap();
         let snap = t.stats().snapshot();
         assert_eq!(snap.logical_reads, 2, "every cached read stays logical");
         assert_eq!(snap.physical_reads, 1, "first read faults, second hits");
@@ -1792,10 +2171,7 @@ mod tests {
         t.extend((50..90u64).map(|i| (i, pfv1(i as f64 * 0.5, 0.3))))
             .unwrap();
         t.flush().unwrap();
-        let store = {
-            let GaussTree { pool, .. } = t;
-            pool.into_store()
-        };
+        let store = t.into_store();
         let pool = BufferPool::new(store, 1024, AccessStats::new_shared());
         let t2 = GaussTree::open(pool).unwrap();
         assert_eq!(t2.len(), 90);
@@ -1831,10 +2207,7 @@ mod tests {
         assert!(t.check_invariants(false).unwrap().is_empty());
         t.flush().unwrap();
 
-        let store = {
-            let GaussTree { pool, .. } = t;
-            pool.into_store()
-        };
+        let store = t.into_store();
         let pool = BufferPool::new(store, 4096, AccessStats::new_shared());
         let t2 = GaussTree::open(pool).unwrap();
         assert_eq!(t2.free_page_count(), freed, "free list truncated on reopen");
@@ -1853,10 +2226,7 @@ mod tests {
         t.flush().unwrap();
         t.flush().unwrap();
         assert_eq!(t.epoch(), 3);
-        let store = {
-            let GaussTree { pool, .. } = t;
-            pool.into_store()
-        };
+        let store = t.into_store();
         let pool = BufferPool::new(store, 1024, AccessStats::new_shared());
         let (t2, report) = GaussTree::open_with_recovery(pool).unwrap();
         assert_eq!(t2.epoch(), 3);
@@ -1870,7 +2240,12 @@ mod tests {
     fn torn_meta_slot_falls_back_to_previous_epoch() {
         let config = TreeConfig::new(1).with_capacities(4, 4);
         let pool = BufferPool::new(MemStore::new(1024), 1024, AccessStats::new_shared());
-        let mut t = GaussTree::create_durable(pool, config, Durability::Fsync).unwrap();
+        let mut t = GaussTree::create_with(
+            pool,
+            config,
+            &TreeOptions::new().durability(Durability::Fsync),
+        )
+        .unwrap();
         for i in 0..20u64 {
             t.insert(i, &pfv1(i as f64, 0.1)).unwrap();
         }
@@ -1888,10 +2263,7 @@ mod tests {
         }
         t.pool().write(PageId(1), &bytes).unwrap();
 
-        let store = {
-            let GaussTree { pool, .. } = t;
-            pool.into_store()
-        };
+        let store = t.into_store();
         let pool = BufferPool::new(store, 1024, AccessStats::new_shared());
         let (t2, report) = GaussTree::open_with_recovery(pool).unwrap();
         assert_eq!(report.epoch, 2, "must fall back to the intact commit");
@@ -1926,10 +2298,7 @@ mod tests {
             let _ = t.pool().allocate().unwrap();
         }
         let free_before = t.free_page_count();
-        let store = {
-            let GaussTree { pool, .. } = t;
-            pool.into_store()
-        };
+        let store = t.into_store();
         let pool = BufferPool::new(store, 1024, AccessStats::new_shared());
         let (t2, report) = GaussTree::open_with_recovery(pool).unwrap();
         assert_eq!(report.orphaned_pages, 3);
@@ -1937,10 +2306,7 @@ mod tests {
         assert!(t2.check_invariants(false).unwrap().is_empty());
         // The reclamation was sealed by a commit: a later plain open sees
         // the orphans on the persisted free list, not as orphans again.
-        let store = {
-            let GaussTree { pool, .. } = t2;
-            pool.into_store()
-        };
+        let store = t2.into_store();
         let pool = BufferPool::new(store, 1024, AccessStats::new_shared());
         let (t3, report) = GaussTree::open_with_recovery(pool).unwrap();
         assert_eq!(report.orphaned_pages, 0, "reclamation must be persistent");
@@ -1951,7 +2317,12 @@ mod tests {
     fn shadow_paging_defers_reuse_until_commit() {
         let config = TreeConfig::new(1).with_capacities(4, 4);
         let pool = BufferPool::new(MemStore::new(4096), 1024, AccessStats::new_shared());
-        let mut t = GaussTree::create_durable(pool, config, Durability::Flush).unwrap();
+        let mut t = GaussTree::create_with(
+            pool,
+            config,
+            &TreeOptions::new().durability(Durability::Flush),
+        )
+        .unwrap();
         let items: Vec<(u64, Pfv)> = (0..60u64).map(|i| (i, pfv1(i as f64, 0.15))).collect();
         for (id, v) in &items {
             t.insert(*id, v).unwrap();
@@ -2034,10 +2405,7 @@ mod tests {
         // the second slot can never be claimed) and the file reopens.
         t.insert(11, &pfv1(4.0, 0.3)).unwrap();
         t.flush().unwrap();
-        let store = {
-            let GaussTree { pool, .. } = t;
-            pool.into_store()
-        };
+        let store = t.into_store();
         let pool = BufferPool::new(store, 64, AccessStats::new_shared());
         let t2 = GaussTree::open(pool).unwrap();
         assert_eq!(t2.len(), 3);
@@ -2055,10 +2423,7 @@ mod tests {
             t.insert(i, &pfv1(i as f64, 0.1)).unwrap();
         }
         t.flush().unwrap();
-        let full = {
-            let GaussTree { pool, .. } = t;
-            pool.into_store()
-        };
+        let full = t.into_store();
         // Copy only the two meta slot pages into a fresh store — a
         // page-aligned truncation that cut away every node. Both slots
         // commit to more pages than the store holds, so both must be
@@ -2106,10 +2471,7 @@ mod tests {
         cycle[..8].copy_from_slice(&first_carrier.index().to_le_bytes()); // next = itself
         t.pool().write(first_carrier, &cycle).unwrap();
 
-        let store = {
-            let GaussTree { pool, .. } = t;
-            pool.into_store()
-        };
+        let store = t.into_store();
         let pool = BufferPool::new(store, 4096, AccessStats::new_shared());
         let t2 = GaussTree::open(pool).unwrap();
         assert_eq!(t2.epoch(), 2, "cyclic chain slot must be rejected");
@@ -2124,7 +2486,12 @@ mod tests {
         // that decision so later plain opens stop re-selecting it.
         let config = TreeConfig::new(1).with_capacities(4, 4);
         let pool = BufferPool::new(MemStore::new(1024), 4096, AccessStats::new_shared());
-        let mut t = GaussTree::create_durable(pool, config, Durability::Fsync).unwrap();
+        let mut t = GaussTree::create_with(
+            pool,
+            config,
+            &TreeOptions::new().durability(Durability::Fsync),
+        )
+        .unwrap();
         for i in 0..20u64 {
             t.insert(i, &pfv1(i as f64, 0.1)).unwrap();
         }
@@ -2144,10 +2511,7 @@ mod tests {
         bytes[8..16].copy_from_slice(&sum.to_le_bytes());
         t.pool().write(slot, &bytes).unwrap();
 
-        let store = {
-            let GaussTree { pool, .. } = t;
-            pool.into_store()
-        };
+        let store = t.into_store();
         let pool = BufferPool::new(store, 4096, AccessStats::new_shared());
         let (t2, report) = GaussTree::open_with_recovery(pool).unwrap();
         assert!(report.fell_back);
@@ -2158,10 +2522,7 @@ mod tests {
 
         // The seal persists: a plain (unverified) open now lands on the
         // recovered state instead of the corrupt higher epoch.
-        let store = {
-            let GaussTree { pool, .. } = t2;
-            pool.into_store()
-        };
+        let store = t2.into_store();
         let pool = BufferPool::new(store, 4096, AccessStats::new_shared());
         let t3 = GaussTree::open(pool).unwrap();
         assert_eq!(t3.len(), 20);
@@ -2172,7 +2533,12 @@ mod tests {
     fn durable_flush_issues_ordered_barriers() {
         let config = TreeConfig::new(1).with_capacities(4, 4);
         let pool = BufferPool::new(MemStore::new(4096), 64, AccessStats::new_shared());
-        let mut t = GaussTree::create_durable(pool, config, Durability::Fsync).unwrap();
+        let mut t = GaussTree::create_with(
+            pool,
+            config,
+            &TreeOptions::new().durability(Durability::Fsync),
+        )
+        .unwrap();
         assert_eq!(
             t.stats().snapshot().syncs,
             2,

@@ -1,0 +1,268 @@
+//! The shared read-plane: one implementation of every read-only tree
+//! operation, consumed through the [`ReadView`] trait by both the writer
+//! handle ([`GaussTree`], which reads its *working* state) and the pinned
+//! [`Snapshot`](crate::tree::Snapshot) view (which reads a *committed*
+//! epoch).
+//!
+//! The paper's query algorithms (§5.2) only ever need five things: the
+//! tree configuration, the root page, the height, the length, and a way to
+//! read node pages. `Plane` packages exactly that, so the k-MLIQ / TIQ /
+//! cursor / box-query / traversal / structural-check code exists once —
+//! `query.rs`, `cursor.rs`, `interval.rs` and `check.rs` all implement
+//! against `Plane` — and every public entry point is a provided method of
+//! [`ReadView`]. Callers learn one new concept
+//! ([`GaussTree::snapshot`](crate::tree::GaussTree::snapshot)) and keep
+//! calling the same query methods on whichever view they hold.
+
+use crate::config::TreeConfig;
+use crate::cursor::RankingCursor;
+use crate::executor::BatchExecutor;
+use crate::interval::BoxQueryResult;
+use crate::node::{CachedNode, Node};
+use crate::query::{MliqResult, RefinedResult, TiqResult};
+use crate::tree::{GaussTree, TreeError};
+use gauss_storage::store::PageStore;
+use gauss_storage::{PageId, SharedBufferPool, SideCache};
+use pfv::Pfv;
+use std::sync::Arc;
+
+/// A borrowed, read-only view of one tree state (root + height + length +
+/// page access) — the substrate every query algorithm runs against.
+///
+/// Obtained through [`ReadView::plane`]; not constructed directly. All
+/// fields borrow from the owning [`GaussTree`] or
+/// [`Snapshot`](crate::tree::Snapshot), so a `Plane` is a cheap `Copy`
+/// token, not a pinned state by itself.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy)]
+pub struct Plane<'a, S: PageStore> {
+    pub(crate) pool: &'a SharedBufferPool<S>,
+    pub(crate) node_cache: &'a SideCache<CachedNode>,
+    pub(crate) config: &'a TreeConfig,
+    pub(crate) leaf_cap: usize,
+    pub(crate) inner_cap: usize,
+    pub(crate) root: PageId,
+    pub(crate) height: u32,
+    pub(crate) len: u64,
+}
+
+impl<'a, S: PageStore> Plane<'a, S> {
+    pub(crate) fn config(&self) -> &'a TreeConfig {
+        self.config
+    }
+
+    pub(crate) fn dims(&self) -> usize {
+        self.config.dims
+    }
+
+    pub(crate) fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub(crate) fn height(&self) -> u32 {
+        self.height
+    }
+
+    pub(crate) fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    pub(crate) fn leaf_capacity(&self) -> usize {
+        self.leaf_cap
+    }
+
+    pub(crate) fn inner_capacity(&self) -> usize {
+        self.inner_cap
+    }
+
+    /// Reads and decodes the node stored at `page`.
+    pub(crate) fn read_node(&self, page: PageId) -> Result<Node, TreeError> {
+        let bytes = self.pool.page(page)?;
+        Ok(Node::read_from(self.config.dims, &bytes)?)
+    }
+
+    /// Reads the node stored at `page` in query-ready cached form. The
+    /// page is *always* requested from the buffer pool first — access
+    /// accounting is identical to [`Plane::read_node`] — and only the
+    /// decode step is skipped on a node-cache hit.
+    pub(crate) fn read_node_cached(&self, page: PageId) -> Result<Arc<CachedNode>, TreeError> {
+        let bytes = self.pool.page(page)?;
+        if let Some(cached) = self.node_cache.get(page) {
+            return Ok(cached);
+        }
+        let node = Node::read_from(self.config.dims, &bytes)?;
+        let cached = Arc::new(node.into_cached(self.config.dims));
+        self.node_cache.insert(page, Arc::clone(&cached));
+        Ok(cached)
+    }
+
+    pub(crate) fn check_dims(&self, got: usize) -> Result<(), TreeError> {
+        if got != self.dims() {
+            return Err(TreeError::DimMismatch {
+                expected: self.dims(),
+                got,
+            });
+        }
+        Ok(())
+    }
+
+    /// Visits every stored `(id, pfv)` pair (in tree order).
+    pub(crate) fn for_each_entry(&self, mut f: impl FnMut(u64, &Pfv)) -> Result<(), TreeError> {
+        let mut stack = vec![(self.root, self.height)];
+        while let Some((page, level)) = stack.pop() {
+            match self.read_node(page)? {
+                Node::Leaf(es) => {
+                    for e in &es {
+                        f(e.id, &e.pfv);
+                    }
+                }
+                Node::Inner(es) => {
+                    if level == 0 {
+                        return Err(TreeError::Corrupt("inner node at leaf level"));
+                    }
+                    for e in &es {
+                        stack.push((e.child, level - 1));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Read-only query surface shared by the writer handle and pinned
+/// snapshots.
+///
+/// Implemented by [`GaussTree`] (queries run against the tree's *working*
+/// state, exactly as before the snapshot API existed) and by
+/// [`Snapshot`](crate::tree::Snapshot) (queries run lock-free against the
+/// pinned *committed* epoch, concurrently with a writer shadow-building
+/// the next one). Every method is provided — implementors only supply
+/// [`ReadView::plane`].
+pub trait ReadView<S: PageStore> {
+    /// The raw read-plane this view exposes. Implementation detail —
+    /// call the query methods instead.
+    #[doc(hidden)]
+    fn plane(&self) -> Plane<'_, S>;
+
+    /// k-most-likely identification query (paper §5.2.1, Definition 3).
+    ///
+    /// Returns up to `k` objects ranked by descending relative probability
+    /// `p(q|v)`. Does not compute normalised probabilities — use
+    /// [`ReadView::k_mliq_refined`] when you need `P(v|q)`.
+    ///
+    /// # Errors
+    /// Dimensionality mismatch or storage errors.
+    fn k_mliq(&self, q: &Pfv, k: usize) -> Result<Vec<MliqResult>, TreeError> {
+        self.plane().k_mliq(q, k)
+    }
+
+    /// Probability-refined k-MLIQ (paper §5.2.2).
+    ///
+    /// Like [`ReadView::k_mliq`] but also determines the identification
+    /// probability `P(v|q)` of every answer with guaranteed bounds whose
+    /// width is at most `accuracy`.
+    ///
+    /// # Errors
+    /// Dimensionality mismatch or storage errors.
+    ///
+    /// # Panics
+    /// Panics if `accuracy <= 0`.
+    fn k_mliq_refined(
+        &self,
+        q: &Pfv,
+        k: usize,
+        accuracy: f64,
+    ) -> Result<Vec<RefinedResult>, TreeError> {
+        self.plane().k_mliq_refined(q, k, accuracy)
+    }
+
+    /// Threshold identification query (paper §5.2.3, Figure 5,
+    /// Definition 2): every object with `P(v|q) ≥ p_theta`, with
+    /// probability bounds of width at most `accuracy`, and with every
+    /// boundary candidate decided exactly.
+    ///
+    /// # Errors
+    /// Dimensionality mismatch or storage errors.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p_theta <= 1` and `accuracy > 0`.
+    fn tiq(&self, q: &Pfv, p_theta: f64, accuracy: f64) -> Result<Vec<TiqResult>, TreeError> {
+        self.plane().tiq(q, p_theta, accuracy)
+    }
+
+    /// The literal Figure-5 algorithm: stops as soon as no unexplored node
+    /// can contain a qualifying object, keeps every candidate whose
+    /// probability *could* reach the threshold, and reports the
+    /// conservative probability. Cheaper than [`ReadView::tiq`] but
+    /// boundary candidates may be reported whose exact probability is
+    /// slightly below the threshold.
+    ///
+    /// # Errors
+    /// Dimensionality mismatch or storage errors.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p_theta <= 1`.
+    fn tiq_anytime(&self, q: &Pfv, p_theta: f64) -> Result<Vec<TiqResult>, TreeError> {
+        self.plane().tiq_anytime(q, p_theta)
+    }
+
+    /// Starts a lazy best-first ranking for `q` (highest relative
+    /// probability first) — see [`RankingCursor`].
+    ///
+    /// # Errors
+    /// Dimensionality mismatch.
+    fn ranking_cursor(&self, q: &Pfv) -> Result<RankingCursor<'_, S>, TreeError> {
+        self.plane().ranking_cursor(q)
+    }
+
+    /// Probabilistic box threshold query (interval uncertainty model of
+    /// Cheng et al., see [`crate::interval`]): every object whose true
+    /// feature vector lies in `[lo, hi]` with probability at least `tau`,
+    /// sorted by descending probability.
+    ///
+    /// # Errors
+    /// Dimensionality mismatch or storage errors.
+    ///
+    /// # Panics
+    /// Panics unless `0 < tau <= 1` and the box is well-formed.
+    fn probabilistic_box_query(
+        &self,
+        lo: &[f64],
+        hi: &[f64],
+        tau: f64,
+    ) -> Result<Vec<BoxQueryResult>, TreeError> {
+        self.plane().probabilistic_box_query(lo, hi, tau)
+    }
+
+    /// Visits every stored `(id, pfv)` pair (in tree order).
+    ///
+    /// # Errors
+    /// Store / codec errors.
+    fn for_each_entry(&self, f: impl FnMut(u64, &Pfv)) -> Result<(), TreeError>
+    where
+        Self: Sized,
+    {
+        self.plane().for_each_entry(f)
+    }
+
+    /// Fans batches of queries across `threads` worker threads over this
+    /// view — shorthand for [`BatchExecutor::new`]`(self, threads)`.
+    fn batch(&self, threads: usize) -> BatchExecutor<'_, S, Self>
+    where
+        Self: Sized + Sync,
+        S: Send,
+    {
+        BatchExecutor::new(self, threads)
+    }
+}
+
+impl<S: PageStore> ReadView<S> for GaussTree<S> {
+    fn plane(&self) -> Plane<'_, S> {
+        self.working_plane()
+    }
+}

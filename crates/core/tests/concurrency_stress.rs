@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use gauss_storage::{AccessStats, BufferPool, MemStore};
 use gauss_tree::config::TreeConfig;
 use gauss_tree::tree::GaussTree;
+use gauss_tree::ReadView;
 use pfv::vector::Pfv;
 
 fn build(n: u64) -> GaussTree<MemStore> {

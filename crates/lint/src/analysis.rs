@@ -5,7 +5,7 @@
 //!
 //! 1. **Fact extraction** ([`file_facts`]) — purely intraprocedural. For
 //!    every function (via the [`crate::parse`] item tree) it records which
-//!    [`LockRank`]s are acquired directly, which calls are made while
+//!    `LockRank`s are acquired directly, which calls are made while
 //!    which guards are live, and emits the findings that need no other
 //!    file: direct rank inversions, guards held across `PageStore` I/O in
 //!    query-path modules (`guard-across-call`), the `durability-protocol`
@@ -34,8 +34,8 @@
 //! is outside the model. The runtime tracker remains the backstop for
 //! those blind spots.
 //!
-//! [`LockRank`]: https://en.wikipedia.org/wiki/Hierarchy (rank 0 = Store,
-//! 1 = Shard, 2 = SideCache, 3 = WorkQueue, 4 = ResultSlot; see
+//! `LockRank` is the workspace lock hierarchy (rank 0 = Store, 1 = Shard,
+//! 2 = SideCache, 3 = WorkQueue, 4 = ResultSlot, 5 = EpochRegistry; see
 //! `gauss_storage::sync`).
 
 use std::collections::{BTreeSet, HashMap};
@@ -48,7 +48,14 @@ use crate::rules::{
 use crate::walk::{FileKind, SourceFile};
 
 /// Rank names from `gauss_storage::sync::LockRank`, index = rank value.
-const RANK_NAMES: &[&str] = &["Store", "Shard", "SideCache", "WorkQueue", "ResultSlot"];
+const RANK_NAMES: &[&str] = &[
+    "Store",
+    "Shard",
+    "SideCache",
+    "WorkQueue",
+    "ResultSlot",
+    "EpochRegistry",
+];
 
 /// Sentinel "acquires nothing" rank (all real ranks are smaller).
 const NO_RANK: u8 = u8::MAX;
@@ -258,7 +265,7 @@ const SYNC_MODULE: &str = "crates/storage/src/sync.rs";
 /// One direct lock acquisition (or a held guard at a call site).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Acq {
-    /// Lock rank (0 = Store … 4 = ResultSlot).
+    /// Lock rank (0 = Store … 5 = EpochRegistry).
     pub rank: u8,
     /// 1-based line of the acquisition.
     pub line: usize,
@@ -588,6 +595,7 @@ fn analyze_body(
     let mut frames: Vec<Frame> = Vec::new();
     let mut sync_seen = false;
     let mut epoch_assigned = false;
+    let mut min_pinned_seen = false;
     let mut report = |rule: &'static str, line: usize, message: String, chain: Vec<String>| {
         if !blanked.is_allowed(rule, line) {
             facts.local.push(Finding {
@@ -704,6 +712,9 @@ fn analyze_body(
                     if name == "sync" {
                         sync_seen = true;
                     }
+                    if name == "min_pinned" {
+                        min_pinned_seen = true;
+                    }
                     durability_checks(
                         toks,
                         j,
@@ -711,6 +722,7 @@ fn analyze_body(
                         method,
                         sync_seen,
                         epoch_assigned,
+                        min_pinned_seen,
                         line,
                         &mut report,
                     );
@@ -877,6 +889,7 @@ fn durability_checks(
     method: bool,
     sync_seen: bool,
     epoch_assigned: bool,
+    min_pinned_seen: bool,
     line: usize,
     report: &mut impl FnMut(&'static str, usize, String, Vec<String>),
 ) {
@@ -910,14 +923,36 @@ fn durability_checks(
             Vec::new(),
         );
     }
-    if name == "append" && args_mention(toks, j + 1, "free_pending") && !epoch_assigned {
+    if matches!(name, "append" | "take")
+        && args_mention(toks, j + 1, "free_pending")
+        && !epoch_assigned
+    {
         report(
             DURABILITY_PROTOCOL,
             line,
-            "`free_pending` promoted to the free list before the epoch commit \
-             (`self.epoch = …`): a crash here would reuse pages the durable tree \
-             still references"
-                .to_string(),
+            format!(
+                "`free_pending` drained (`{name}`) before the epoch commit \
+                 (`self.epoch = …`): a crash here would reuse pages the durable tree \
+                 still references"
+            ),
+            Vec::new(),
+        );
+    }
+    if method
+        && matches!(name, "pop_front" | "pop" | "drain" | "remove" | "clear")
+        && j >= 2
+        && toks[j - 1].1 == Tok::Punct(b'.')
+        && toks[j - 2].1 == Tok::Ident("free_aging")
+        && !min_pinned_seen
+    {
+        report(
+            DURABILITY_PROTOCOL,
+            line,
+            format!(
+                "`free_aging.{name}(…)` reclaims epoch-tagged pages without first \
+                 consulting `EpochRegistry::min_pinned`: a live snapshot may still \
+                 read them"
+            ),
             Vec::new(),
         );
     }
@@ -1436,6 +1471,47 @@ impl T {\n    pub fn flush(&mut self) {\n        self.pool.sync(d);\n        sel
 
         let ok = "impl T {\n    fn commit(&mut self) {\n        self.epoch = e;\n        self.free_committed.append(&mut self.free_pending);\n    }\n}\n";
         let f = facts_for("crates/core/src/tree.rs", ok);
+        assert!(f.local.iter().all(|f| f.rule != DURABILITY_PROTOCOL));
+
+        // `mem::take` is just another way of draining free_pending early.
+        let take_early = "impl T {\n    fn commit(&mut self) {\n        let p = std::mem::take(&mut self.free_pending);\n        self.epoch = e;\n    }\n}\n";
+        let f = facts_for("crates/core/src/tree.rs", take_early);
+        assert_eq!(
+            f.local
+                .iter()
+                .filter(|f| f.rule == DURABILITY_PROTOCOL)
+                .count(),
+            1,
+            "take before epoch bump must report"
+        );
+
+        let take_ok = "impl T {\n    fn commit(&mut self) {\n        self.epoch = e;\n        let p = std::mem::take(&mut self.free_pending);\n    }\n}\n";
+        let f = facts_for("crates/core/src/tree.rs", take_ok);
+        assert!(f.local.iter().all(|f| f.rule != DURABILITY_PROTOCOL));
+    }
+
+    #[test]
+    fn durability_free_aging_requires_min_pinned() {
+        // Reclaiming aged pages without consulting the epoch registry
+        // would hand a pinned snapshot's pages to the allocator.
+        let blind = "impl T {\n    fn reap(&mut self) {\n        let p = self.free_aging.pop_front();\n    }\n}\n";
+        let f = facts_for("crates/core/src/tree.rs", blind);
+        assert_eq!(
+            f.local
+                .iter()
+                .filter(|f| f.rule == DURABILITY_PROTOCOL)
+                .count(),
+            1,
+            "free_aging reclaim without min_pinned must report"
+        );
+
+        let guarded = "impl T {\n    fn reap(&mut self) {\n        let min = self.registry.min_pinned();\n        if min.is_none() {\n            let p = self.free_aging.pop_front();\n        }\n    }\n}\n";
+        let f = facts_for("crates/core/src/tree.rs", guarded);
+        assert!(f.local.iter().all(|f| f.rule != DURABILITY_PROTOCOL));
+
+        // Growing the aging list is always fine — only reclaim is gated.
+        let push = "impl T {\n    fn park(&mut self) {\n        self.free_aging.push_back((e, p));\n    }\n}\n";
+        let f = facts_for("crates/core/src/tree.rs", push);
         assert!(f.local.iter().all(|f| f.rule != DURABILITY_PROTOCOL));
     }
 

@@ -68,4 +68,6 @@ pub use shared::{SharedBufferPool, WriteBatch};
 pub use side_cache::SideCache;
 pub use stats::{AccessStats, StatsSnapshot};
 pub use store::{Durability, FileStore, MemStore, PageStore, StoreError};
-pub use sync::{LockRank, TrackedCondvar, TrackedGuard, TrackedMutex, LOCK_TRACKING};
+pub use sync::{
+    EpochRegistry, LockRank, TrackedCondvar, TrackedGuard, TrackedMutex, LOCK_TRACKING,
+};

@@ -14,6 +14,7 @@
 
 use gausstree::pfv::Pfv;
 use gausstree::storage::{AccessStats, BufferPool, FileStore, DEFAULT_PAGE_SIZE};
+use gausstree::tree::ReadView;
 use gausstree::tree::{GaussTree, TreeConfig};
 use gausstree::workloads::dataset::sample_standard_normal;
 use rand::rngs::StdRng;

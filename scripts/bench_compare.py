@@ -194,6 +194,25 @@ def cmd_compare(args):
             f"{dur_none / dur_fsync:.2f}x overhead)"
         )
 
+    # The MVCC datapoint must be present: k-MLIQ throughput over a pinned
+    # snapshot while a writer commits new epochs. Its absolute value is
+    # gated by the generic qps rule above (the leaf key contains "qps");
+    # this check only refuses a bench build that stopped measuring it or
+    # one where the snapshot read path produced no work at all.
+    qps_ingest = require(pr, "throughput.qps_during_ingest", args.pr)
+    if qps_ingest is None:
+        pass
+    elif qps_ingest <= 0:
+        failures.append(
+            f"snapshot-during-ingest datapoint degenerate: "
+            f"{qps_ingest} queries/s"
+        )
+    else:
+        print(
+            f"mvcc datapoint ok: {qps_ingest:.0f} snapshot queries/s "
+            f"during concurrent ingest"
+        )
+
     # Bench numbers are only meaningful with the lock-order detector
     # compiled out: a release bench build must report lock_tracking == 0.
     # (The field is emitted by the throughput binary from the

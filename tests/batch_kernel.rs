@@ -10,6 +10,7 @@
 use gausstree::pfv::batch::{log_densities, ColumnarLeaf};
 use gausstree::pfv::{combine, CombineMode, ParamRect, Pfv};
 use gausstree::storage::{AccessStats, BufferPool, MemStore};
+use gausstree::tree::ReadView;
 use gausstree::tree::{GaussTree, TreeConfig};
 use proptest::prelude::*;
 

@@ -11,6 +11,7 @@
 
 use gausstree::pfv::Pfv;
 use gausstree::storage::{AccessStats, BufferPool, MemStore, PageId, PageStore};
+use gausstree::tree::ReadView;
 use gausstree::tree::{BulkLoadOptions, GaussTree, SpillKind, TreeConfig};
 use proptest::prelude::*;
 

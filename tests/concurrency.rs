@@ -4,6 +4,7 @@
 //! independent of the thread count when the cache holds the whole tree.
 
 use gausstree::storage::{AccessStats, BufferPool, MemStore, DEFAULT_PAGE_SIZE};
+use gausstree::tree::ReadView;
 use gausstree::tree::{GaussTree, TreeConfig};
 use gausstree::workloads::{generate_query_batch, uniform_dataset, SigmaSpec};
 use pfv::Pfv;

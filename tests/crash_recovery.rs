@@ -22,7 +22,8 @@ use gausstree::storage::{
     AccessStats, BufferPool, Durability, FaultStore, FileStore, KillMode, MemStore, PageId,
     PageStore, StoreError,
 };
-use gausstree::tree::{BulkLoadOptions, GaussTree, SpillKind, TreeConfig, TreeError};
+use gausstree::tree::ReadView;
+use gausstree::tree::{BulkLoadOptions, GaussTree, SpillKind, TreeConfig, TreeError, TreeOptions};
 use proptest::prelude::*;
 use std::sync::{Arc, Mutex};
 
@@ -102,6 +103,10 @@ struct Scenario {
     base: Vec<(u64, Pfv)>,
     extra: Vec<(u64, Pfv)>,
     op: Op,
+    /// Hold a pinned `Snapshot` of the base commit across the op phase, so
+    /// the kill sweep also covers the epoch-publish / deferred-reclaim
+    /// (`free_aging`) write path a live reader forces.
+    pin_snapshot: bool,
 }
 
 impl Scenario {
@@ -115,9 +120,18 @@ impl Scenario {
         &self,
         pool: BufferPool<FaultStore<SharedMem>>,
     ) -> Result<GaussTree<FaultStore<SharedMem>>, TreeError> {
-        let mut tree = GaussTree::create_durable(pool, self.config(), self.durability)?;
+        let mut tree = GaussTree::create_with(
+            pool,
+            self.config(),
+            &TreeOptions::new().durability(self.durability),
+        )?;
         tree.extend(self.base.clone())?;
         tree.flush()?;
+        let _pin = if self.pin_snapshot {
+            Some(tree.snapshot()?)
+        } else {
+            None
+        };
         match self.op {
             Op::InsertRun => {
                 for (id, v) in &self.extra {
@@ -147,7 +161,12 @@ fn dry_run(sc: &Scenario) -> (LogicalState, LogicalState, u64) {
     // Pre-state: replay only the base phase.
     let mem = SharedMem::new(sc.page_size);
     let pool = sc.pool_over(FaultStore::unlimited(mem));
-    let mut tree = GaussTree::create_durable(pool, sc.config(), sc.durability).expect("dry create");
+    let mut tree = GaussTree::create_with(
+        pool,
+        sc.config(),
+        &TreeOptions::new().durability(sc.durability),
+    )
+    .expect("dry create");
     tree.extend(sc.base.clone()).expect("dry base");
     tree.flush().expect("dry base flush");
     let pre = logical_state(&tree);
@@ -170,8 +189,12 @@ fn dry_run(sc: &Scenario) -> (LogicalState, LogicalState, u64) {
 fn base_ops(sc: &Scenario) -> u64 {
     let mem = SharedMem::new(sc.page_size);
     let pool = sc.pool_over(FaultStore::unlimited(mem));
-    let mut tree =
-        GaussTree::create_durable(pool, sc.config(), sc.durability).expect("base create");
+    let mut tree = GaussTree::create_with(
+        pool,
+        sc.config(),
+        &TreeOptions::new().durability(sc.durability),
+    )
+    .expect("base create");
     tree.extend(sc.base.clone()).expect("base extend");
     tree.flush().expect("base flush");
     tree.stats().snapshot().physical_writes
@@ -264,6 +287,33 @@ fn scenario(op: Op, page_size: usize, durability: Durability, salt: u64) -> Scen
         base: items(40, 2, salt),
         extra: items(12, 2, salt + 71),
         op,
+        pin_snapshot: false,
+    }
+}
+
+fn pinned_scenario(op: Op, page_size: usize, durability: Durability, salt: u64) -> Scenario {
+    Scenario {
+        pin_snapshot: true,
+        ..scenario(op, page_size, durability, salt)
+    }
+}
+
+/// The exhaustive kill sweep again, but with a live snapshot pinning the
+/// base epoch throughout the interrupted mutation: superseded pages age in
+/// `free_aging` instead of being reused, and the commit publishes a new
+/// epoch while the old one is still pinned. Crash atomicity must be
+/// unaffected — every kill point still recovers to exactly the pre- or
+/// post-commit state.
+#[test]
+fn pinned_snapshot_epoch_publish_is_crash_atomic() {
+    for (op, durability, salt) in [
+        (Op::InsertRun, Durability::Fsync, 81),
+        (Op::DeleteRun, Durability::Fsync, 82),
+        (Op::Extend, Durability::Flush, 83),
+    ] {
+        for mode in [KillMode::Drop, KillMode::Tear] {
+            exhaustive_sweep(&pinned_scenario(op, 1024, durability, salt), mode);
+        }
     }
 }
 
@@ -389,7 +439,11 @@ fn file_backed_crashes_recover_through_real_reopen() {
     let run =
         |store: FaultStore<FileStore>| -> Result<GaussTree<FaultStore<FileStore>>, TreeError> {
             let pool = BufferPool::new(store, 4096, AccessStats::new_shared());
-            let mut tree = GaussTree::create_durable(pool, config, Durability::Fsync)?;
+            let mut tree = GaussTree::create_with(
+                pool,
+                config,
+                &TreeOptions::new().durability(Durability::Fsync),
+            )?;
             tree.extend(base.clone())?;
             tree.flush()?;
             tree.extend(extra.clone())?;
@@ -451,6 +505,7 @@ proptest! {
             base: items(n_base, dims, salt),
             extra: items(n_extra, dims, salt + 1000),
             op: Op::Extend,
+            pin_snapshot: false,
         };
         let mode = if tear == 1 { KillMode::Tear } else { KillMode::Drop };
         let (pre, post, total_ops) = dry_run(&sc);

@@ -3,6 +3,7 @@
 
 use gausstree::pfv::Pfv;
 use gausstree::storage::{AccessStats, BufferPool, MemStore, PageId, PageStore, DEFAULT_PAGE_SIZE};
+use gausstree::tree::ReadView;
 use gausstree::tree::{GaussTree, TreeConfig, TreeError};
 
 fn build_small_tree() -> GaussTree<MemStore> {

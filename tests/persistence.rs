@@ -4,6 +4,7 @@
 
 use gausstree::pfv::Pfv;
 use gausstree::storage::{AccessStats, BufferPool, FileStore, MemStore, DEFAULT_PAGE_SIZE};
+use gausstree::tree::ReadView;
 use gausstree::tree::{GaussTree, TreeConfig};
 
 struct TempDir(std::path::PathBuf);

@@ -4,6 +4,7 @@
 
 use gausstree::pfv::{self, CombineMode, Pfv};
 use gausstree::storage::{AccessStats, BufferPool, MemStore};
+use gausstree::tree::ReadView;
 use gausstree::tree::{GaussTree, TreeConfig};
 use proptest::prelude::*;
 
