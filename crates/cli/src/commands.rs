@@ -4,8 +4,8 @@ use crate::args::{parse_pfv, parse_vec, ArgError, Args};
 use crate::csvio;
 use gauss_storage::{AccessStats, BufferPool, Durability, FileStore, DEFAULT_PAGE_SIZE};
 use gauss_tree::{
-    BulkLoadOptions, DeleteOutcome, GaussTree, ReadView, SpillKind, SplitStrategy, TreeConfig,
-    TreeOptions,
+    BulkLoadOptions, DeleteOutcome, GaussTree, LeafFormat, ReadView, SpillKind, SplitStrategy,
+    TreeConfig, TreeOptions,
 };
 use gauss_workloads::{histogram_dataset, uniform_dataset, SigmaSpec};
 use std::path::Path;
@@ -17,7 +17,7 @@ pub const USAGE: &str = "usage:
   gauss-cli build    --data FILE.csv --index FILE.gtree
                      [--page-size BYTES] [--split hull|mu|volume] [--bulk true|false]
                      [--threads N] [--mem-budget BYTES] [--append true|false]
-                     [--durability none|flush|fsync]
+                     [--durability none|flush|fsync] [--leaf-format exact|quantised]
   gauss-cli info     --index FILE.gtree [--check true] [--recover true]
   gauss-cli mliq     --index FILE.gtree --query 'm1,..;s1,..' [--query ...]
                      [-k K] [--accuracy A] [--threads N] [--pin-snapshot true]
@@ -117,6 +117,15 @@ fn build(args: &Args) -> Result<(), ArgError> {
         "volume" => SplitStrategy::MinVolume,
         other => return Err(ArgError(format!("unknown split strategy '{other}'"))),
     };
+    let leaf_format = match args.get("leaf-format").unwrap_or("exact") {
+        "exact" => LeafFormat::Exact,
+        "quantised" | "quantized" => LeafFormat::Quantised,
+        other => {
+            return Err(ArgError(format!(
+                "unknown leaf format '{other}' (exact|quantised)"
+            )))
+        }
+    };
 
     let items = csvio::read_csv(Path::new(data))?;
     if items.is_empty() {
@@ -142,7 +151,9 @@ fn build(args: &Args) -> Result<(), ArgError> {
         return Ok(());
     }
 
-    let config = TreeConfig::new(dims).with_split(split);
+    let config = TreeConfig::new(dims)
+        .with_split(split)
+        .with_leaf_format(leaf_format);
     let store = FileStore::create(index, page_size)
         .map_err(|e| ArgError(format!("cannot create {index}: {e}")))?;
     let pool = BufferPool::with_byte_budget(store, 50 * 1024 * 1024, AccessStats::new_shared());
@@ -220,6 +231,7 @@ fn info(args: &Args) -> Result<(), ArgError> {
     println!("inner capacity: {}", tree.inner_capacity());
     println!("combine mode:   {:?}", tree.config().combine);
     println!("split strategy: {:?}", tree.config().split);
+    println!("leaf format:    {:?}", tree.config().leaf_format);
     println!("epoch:          {}", tree.epoch());
     println!("pinned snaps:   {}", tree.pinned_snapshots());
     let check: bool = args.num("check", false)?;
@@ -675,6 +687,61 @@ mod tests {
             &idx2,
             "--durability",
             "paranoid"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn quantised_build_and_query() {
+        let tmp = TempDir::new();
+        let csv = tmp.p("q.csv");
+        let idx = tmp.p("q.gtree");
+        run(&[
+            "generate", "--out", &csv, "--n", "250", "--dims", "2", "--seed", "11",
+        ])
+        .unwrap();
+        run(&[
+            "build",
+            "--data",
+            &csv,
+            "--index",
+            &idx,
+            "--leaf-format",
+            "quantised",
+        ])
+        .unwrap();
+        // The invariant check includes quantise-stability for this format.
+        run(&["info", "--index", &idx, "--check", "true"]).unwrap();
+        run(&[
+            "mliq",
+            "--index",
+            &idx,
+            "--query",
+            "0.5,0.5;0.1,0.1",
+            "-k",
+            "3",
+        ])
+        .unwrap();
+        run(&[
+            "tiq",
+            "--index",
+            &idx,
+            "--query",
+            "0.5,0.5;0.1,0.1",
+            "--theta",
+            "0.01",
+        ])
+        .unwrap();
+        // Unknown formats are rejected.
+        let bad = tmp.p("bad.gtree");
+        assert!(run(&[
+            "build",
+            "--data",
+            &csv,
+            "--index",
+            &bad,
+            "--leaf-format",
+            "half"
         ])
         .is_err());
     }

@@ -93,6 +93,19 @@ pub enum InvariantError {
         /// The doubly-owned page.
         page: u64,
     },
+    /// A leaf of a [`crate::LeafFormat::Quantised`] tree stores a value
+    /// that is not exactly `f32`-representable. Ingest rounds every
+    /// parameter (see `pfv::quant`), so an unquantised stored value means
+    /// some write path skipped quantisation — and the next leaf encode
+    /// would silently perturb it.
+    UnquantisedLeafValue {
+        /// Page of the offending leaf.
+        page: u64,
+        /// Object id of the offending entry.
+        id: u64,
+        /// Dimension of the offending parameter.
+        dim: usize,
+    },
 }
 
 impl std::fmt::Display for InvariantError {
@@ -138,6 +151,12 @@ impl std::fmt::Display for InvariantError {
             ),
             InvariantError::FreedPageReachable { page } => {
                 write!(f, "freed page {page} is still reachable from the root")
+            }
+            InvariantError::UnquantisedLeafValue { page, id, dim } => {
+                write!(
+                    f,
+                    "leaf page {page}, entry {id}, dimension {dim}: stored value is not f32-exact in a quantised tree"
+                )
             }
         }
     }
@@ -279,6 +298,23 @@ impl<S: PageStore> Plane<'_, S> {
                 }
                 if es.is_empty() {
                     return Err(TreeError::Corrupt("empty leaf in non-empty tree"));
+                }
+                if self.config.leaf_format == crate::config::LeafFormat::Quantised {
+                    // Quantise-stability: every stored parameter must be the
+                    // widened value of an f32 (f32 -> f64 is lossless), or
+                    // the next encode of this leaf would change the data.
+                    for e in &es {
+                        let values = e.pfv.means().iter().chain(e.pfv.sigmas());
+                        for (dim, &v) in values.enumerate() {
+                            if !pfv::quant::is_f32_exact(v) {
+                                errors.push(InvariantError::UnquantisedLeafValue {
+                                    page: page.index(),
+                                    id: e.id,
+                                    dim: dim % e.pfv.dims(),
+                                });
+                            }
+                        }
+                    }
                 }
                 let rect = ParamRect::covering(es.iter().map(|e| &e.pfv));
                 Ok((es.len() as u64, rect))

@@ -42,6 +42,46 @@ impl SplitStrategy {
     }
 }
 
+/// On-disk representation of leaf entries.
+///
+/// [`LeafFormat::Quantised`] stores every `μ` and `σ` as an `f32`
+/// (entry layout `id + 4d + 4d` bytes instead of `id + 8d + 8d`), roughly
+/// doubling leaf fan-out — fewer leaf pages, fewer physical reads (the
+/// paper's Figure-7 metric). Parameters are quantised **once at ingest**
+/// (see `pfv::quant`): the tree stores the widened `f64` of each rounded
+/// `f32`, so encode/decode is a lossless fixpoint and every query remains
+/// exact — and bit-identical between a working tree and a reopened one —
+/// *over the stored parameters*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LeafFormat {
+    /// Full-precision `f64` leaf entries (the classic format).
+    #[default]
+    Exact,
+    /// `f32`-quantised leaf entries (~2x leaf fan-out).
+    Quantised,
+}
+
+impl LeafFormat {
+    /// Stable on-disk tag (persisted in the meta page, format v3).
+    #[must_use]
+    pub fn to_tag(self) -> u8 {
+        match self {
+            LeafFormat::Exact => 0,
+            LeafFormat::Quantised => 1,
+        }
+    }
+
+    /// Parses an on-disk tag.
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(LeafFormat::Exact),
+            1 => Some(LeafFormat::Quantised),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of a [`crate::GaussTree`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreeConfig {
@@ -51,6 +91,8 @@ pub struct TreeConfig {
     pub combine: CombineMode,
     /// Node split strategy.
     pub split: SplitStrategy,
+    /// On-disk leaf entry representation.
+    pub leaf_format: LeafFormat,
     /// Optional cap on leaf entries (defaults to what fits in a page).
     pub max_leaf_entries: Option<usize>,
     /// Optional cap on inner entries (defaults to what fits in a page).
@@ -69,6 +111,7 @@ impl TreeConfig {
             dims,
             combine: CombineMode::default(),
             split: SplitStrategy::default(),
+            leaf_format: LeafFormat::default(),
             max_leaf_entries: None,
             max_inner_entries: None,
         }
@@ -88,6 +131,13 @@ impl TreeConfig {
         self
     }
 
+    /// Sets the on-disk leaf entry representation.
+    #[must_use]
+    pub fn with_leaf_format(mut self, format: LeafFormat) -> Self {
+        self.leaf_format = format;
+        self
+    }
+
     /// Caps node capacities (mainly for tests that want tiny nodes).
     #[must_use]
     pub fn with_capacities(mut self, leaf: usize, inner: usize) -> Self {
@@ -97,10 +147,14 @@ impl TreeConfig {
         self
     }
 
-    /// Bytes of one serialised leaf entry: object id + `d` means + `d` σs.
+    /// Bytes of one serialised leaf entry: object id + `d` means + `d` σs
+    /// (8 bytes per value in the exact format, 4 in the quantised one).
     #[must_use]
     pub fn leaf_entry_bytes(&self) -> usize {
-        8 + 16 * self.dims
+        match self.leaf_format {
+            LeafFormat::Exact => 8 + 16 * self.dims,
+            LeafFormat::Quantised => 8 + 8 * self.dims,
+        }
     }
 
     /// Bytes of one serialised inner entry: child page + subtree count +
@@ -173,6 +227,26 @@ mod tests {
     fn tiny_pages_are_rejected() {
         let c = TreeConfig::new(27);
         let _ = c.leaf_capacity(256);
+    }
+
+    #[test]
+    fn quantised_leaves_roughly_double_fanout() {
+        let exact = TreeConfig::new(10);
+        let quant = TreeConfig::new(10).with_leaf_format(LeafFormat::Quantised);
+        assert_eq!(exact.leaf_entry_bytes(), 168);
+        assert_eq!(quant.leaf_entry_bytes(), 88);
+        let (le, lq) = (exact.leaf_capacity(4096), quant.leaf_capacity(4096));
+        assert!(lq as f64 >= 1.8 * le as f64, "{lq} vs {le}");
+        // Inner nodes are unaffected by the leaf format.
+        assert_eq!(exact.inner_capacity(4096), quant.inner_capacity(4096));
+    }
+
+    #[test]
+    fn leaf_format_tags_round_trip() {
+        for f in [LeafFormat::Exact, LeafFormat::Quantised] {
+            assert_eq!(LeafFormat::from_tag(f.to_tag()), Some(f));
+        }
+        assert_eq!(LeafFormat::from_tag(9), None);
     }
 
     #[test]

@@ -97,7 +97,7 @@ pub mod view;
 
 pub use bulk::{BulkLoadOptions, BulkLoadReport, SpillKind};
 pub use check::InvariantError;
-pub use config::{SplitStrategy, TreeConfig};
+pub use config::{LeafFormat, SplitStrategy, TreeConfig};
 pub use cursor::RankingCursor;
 pub use delete::DeleteOutcome;
 pub use executor::BatchExecutor;

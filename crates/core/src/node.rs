@@ -4,20 +4,31 @@
 //!
 //! ```text
 //! [kind: u8] [count: u16] [reserved: 5 bytes]
-//! leaf entry  := [id: u64] [means: d × f64] [sigmas: d × f64]
-//! inner entry := [child: u64] [subtree count: u64]
-//!                [per dim: mu_lo, mu_hi, sigma_lo, sigma_hi : f64]
+//! leaf entry   := [id: u64] [means: d × f64] [sigmas: d × f64]
+//! leaf-q entry := [id: u64] [means: d × f32] [sigmas: d × f32]
+//! inner entry  := [child: u64] [subtree count: u64]
+//!                 [per dim: mu_lo, mu_hi, sigma_lo, sigma_hi : f64]
 //! ```
+//!
+//! Which leaf layout a tree uses is fixed at creation by
+//! [`LeafFormat`] and persisted in the meta page; the node kind byte is
+//! validated against it on every decode, so an exact tree can never
+//! silently misread a quantised page (or vice versa). Quantised leaves
+//! narrow with [`pfv::quant::to_f32_exact`] — ingest already stored the
+//! widened `f32` value, so encoding is lossless and a decoded node
+//! compares equal to the staged one.
 
+use crate::config::LeafFormat;
 use gauss_storage::{PageId, Reader, Writer};
 use pfv::batch::ColumnarLeaf;
-use pfv::{CombineMode, DimBounds, ParamRect, Pfv};
+use pfv::{quant, CombineMode, DimBounds, ParamRect, Pfv};
 
 /// Bytes reserved at the start of every node page.
 pub const NODE_HEADER_BYTES: usize = 8;
 
 const KIND_LEAF: u8 = 0;
 const KIND_INNER: u8 = 1;
+const KIND_LEAF_Q: u8 = 2;
 
 /// Entry of a leaf node: one pfv plus the external object id.
 #[derive(Debug, Clone, PartialEq)]
@@ -179,14 +190,36 @@ impl Node {
         }
     }
 
-    /// Serialises the node into a page buffer.
+    /// Serialises the node into a page buffer using the tree's leaf
+    /// `format`.
     ///
     /// # Panics
     /// Panics if the node does not fit the page (capacity violations are
-    /// caught by the tree before writing).
-    pub fn write_to(&self, dims: usize, page: &mut [u8]) {
+    /// caught by the tree before writing), or — for
+    /// [`LeafFormat::Quantised`] — if a leaf value is not exactly
+    /// `f32`-representable (ingest quantises every stored parameter, so
+    /// this indicates in-memory corruption, not a data error).
+    pub fn write_to(&self, dims: usize, format: LeafFormat, page: &mut [u8]) {
         let mut w = Writer::new(page);
         match self {
+            Node::Leaf(es) if format == LeafFormat::Quantised => {
+                w.put_u8(KIND_LEAF_Q);
+                // lint: allow(no-panic) -- entry counts are capped by the node capacity, far below u16::MAX
+                w.put_u16(u16::try_from(es.len()).expect("node entry count fits u16"));
+                for _ in 0..(NODE_HEADER_BYTES - 3) {
+                    w.put_u8(0);
+                }
+                for e in es {
+                    debug_assert_eq!(e.pfv.dims(), dims);
+                    w.put_u64(e.id);
+                    for &m in e.pfv.means() {
+                        w.put_f32(quant::to_f32_exact(m));
+                    }
+                    for &s in e.pfv.sigmas() {
+                        w.put_f32(quant::to_f32_exact(s));
+                    }
+                }
+            }
             Node::Leaf(es) => {
                 w.put_u8(KIND_LEAF);
                 // lint: allow(no-panic) -- entry counts are capped by the node capacity, far below u16::MAX
@@ -223,11 +256,13 @@ impl Node {
         }
     }
 
-    /// Deserialises a node from a page buffer.
+    /// Deserialises a node from a page buffer, validating the node kind
+    /// against the tree's leaf `format`.
     ///
     /// # Errors
-    /// [`NodeCodecError`] on malformed pages.
-    pub fn read_from(dims: usize, page: &[u8]) -> Result<Node, NodeCodecError> {
+    /// [`NodeCodecError`] on malformed pages, including a leaf kind byte
+    /// that does not match `format`.
+    pub fn read_from(dims: usize, format: LeafFormat, page: &[u8]) -> Result<Node, NodeCodecError> {
         let mut r = Reader::new(page);
         let kind = r.get_u8()?;
         let count = r.get_u16()? as usize;
@@ -235,12 +270,34 @@ impl Node {
             let _ = r.get_u8()?;
         }
         match kind {
-            KIND_LEAF => {
+            KIND_LEAF | KIND_LEAF_Q => {
+                let expected = match format {
+                    LeafFormat::Exact => KIND_LEAF,
+                    LeafFormat::Quantised => KIND_LEAF_Q,
+                };
+                if kind != expected {
+                    return Err(NodeCodecError::Corrupt(
+                        "leaf kind does not match tree leaf format",
+                    ));
+                }
                 let mut es = Vec::with_capacity(count);
                 for _ in 0..count {
                     let id = r.get_u64()?;
-                    let means = r.get_f64_vec(dims)?;
-                    let sigmas = r.get_f64_vec(dims)?;
+                    let (means, sigmas) = if kind == KIND_LEAF_Q {
+                        // f32 → f64 widening is exact: the decoded node is
+                        // bit-identical to the staged one.
+                        let mut means = Vec::with_capacity(dims);
+                        for _ in 0..dims {
+                            means.push(f64::from(r.get_f32()?));
+                        }
+                        let mut sigmas = Vec::with_capacity(dims);
+                        for _ in 0..dims {
+                            sigmas.push(f64::from(r.get_f32()?));
+                        }
+                        (means, sigmas)
+                    } else {
+                        (r.get_f64_vec(dims)?, r.get_f64_vec(dims)?)
+                    };
                     let pfv = Pfv::new(means, sigmas)
                         .map_err(|_| NodeCodecError::Corrupt("invalid pfv in leaf"))?;
                     es.push(LeafEntry { id, pfv });
@@ -323,21 +380,102 @@ mod tests {
         ])
     }
 
+    /// A leaf whose values are all exactly f32-representable (as ingest
+    /// guarantees for a quantised tree).
+    fn sample_leaf_q() -> Node {
+        let quantise = |v: &Pfv| {
+            let means: Vec<f64> = v
+                .means()
+                .iter()
+                .map(|&m| f64::from(pfv::quant::quantise_mu(m).unwrap()))
+                .collect();
+            let sigmas: Vec<f64> = v
+                .sigmas()
+                .iter()
+                .map(|&s| f64::from(pfv::quant::quantise_sigma(s).unwrap()))
+                .collect();
+            Pfv::new(means, sigmas).unwrap()
+        };
+        Node::Leaf(vec![
+            LeafEntry {
+                id: 7,
+                pfv: quantise(&Pfv::new(vec![1.1, 2.7], vec![0.13, 0.21]).unwrap()),
+            },
+            LeafEntry {
+                id: 42,
+                pfv: quantise(&Pfv::new(vec![-3.51, 0.004], vec![0.57, 1.53]).unwrap()),
+            },
+        ])
+    }
+
     #[test]
     fn leaf_round_trip() {
         let node = sample_leaf();
         let mut page = vec![0u8; 4096];
-        node.write_to(2, &mut page);
-        let back = Node::read_from(2, &page).unwrap();
+        node.write_to(2, LeafFormat::Exact, &mut page);
+        let back = Node::read_from(2, LeafFormat::Exact, &page).unwrap();
         assert_eq!(back, node);
+    }
+
+    #[test]
+    fn quantised_leaf_round_trip_is_bit_exact() {
+        let node = sample_leaf_q();
+        let mut page = vec![0u8; 4096];
+        node.write_to(2, LeafFormat::Quantised, &mut page);
+        assert_eq!(page[0], 2, "quantised leaves use their own kind byte");
+        let back = Node::read_from(2, LeafFormat::Quantised, &page).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn quantised_entries_are_half_the_size() {
+        let node = sample_leaf_q();
+        let mut exact = vec![0u8; 4096];
+        let mut quant = vec![0u8; 4096];
+        node.write_to(2, LeafFormat::Exact, &mut exact);
+        node.write_to(2, LeafFormat::Quantised, &mut quant);
+        // 2 entries × (8 + 2·8·f64) vs 2 entries × (8 + 2·8·f32): find the
+        // last non-zero byte as a proxy for the payload extent.
+        let used = |p: &[u8]| p.iter().rposition(|&b| b != 0).unwrap() + 1;
+        assert!(used(&quant) < used(&exact));
+        assert!(used(&quant) <= NODE_HEADER_BYTES + 2 * (8 + 2 * 4 + 2 * 4));
+    }
+
+    #[test]
+    fn leaf_kind_must_match_format() {
+        let node = sample_leaf_q();
+        let mut page = vec![0u8; 4096];
+        node.write_to(2, LeafFormat::Quantised, &mut page);
+        let err = Node::read_from(2, LeafFormat::Exact, &page).unwrap_err();
+        assert!(err.to_string().contains("leaf format"), "{err}");
+        let mut page = vec![0u8; 4096];
+        node.write_to(2, LeafFormat::Exact, &mut page);
+        let err = Node::read_from(2, LeafFormat::Quantised, &page).unwrap_err();
+        assert!(err.to_string().contains("leaf format"), "{err}");
+        // Inner nodes are format-agnostic.
+        let inner = sample_inner();
+        let mut page = vec![0u8; 4096];
+        inner.write_to(2, LeafFormat::Quantised, &mut page);
+        assert!(Node::read_from(2, LeafFormat::Exact, &page).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "not exactly f32-representable")]
+    fn quantised_encode_rejects_unquantised_values() {
+        // 0.1 is not f32-exact — staging such a leaf into a quantised tree
+        // is a bug upstream (ingest must quantise), and must not silently
+        // lose precision.
+        let node = sample_leaf();
+        let mut page = vec![0u8; 4096];
+        node.write_to(2, LeafFormat::Quantised, &mut page);
     }
 
     #[test]
     fn inner_round_trip() {
         let node = sample_inner();
         let mut page = vec![0u8; 4096];
-        node.write_to(2, &mut page);
-        let back = Node::read_from(2, &page).unwrap();
+        node.write_to(2, LeafFormat::Exact, &mut page);
+        let back = Node::read_from(2, LeafFormat::Exact, &page).unwrap();
         assert_eq!(back, node);
     }
 
@@ -369,30 +507,30 @@ mod tests {
     fn rejects_unknown_kind() {
         let mut page = vec![0u8; 64];
         page[0] = 9;
-        assert!(Node::read_from(2, &page).is_err());
+        assert!(Node::read_from(2, LeafFormat::Exact, &page).is_err());
     }
 
     #[test]
     fn rejects_truncated_page() {
         let node = sample_leaf();
         let mut page = vec![0u8; 4096];
-        node.write_to(2, &mut page);
+        node.write_to(2, LeafFormat::Exact, &mut page);
         // Cut the page short mid-entry.
-        assert!(Node::read_from(2, &page[..40]).is_err());
+        assert!(Node::read_from(2, LeafFormat::Exact, &page[..40]).is_err());
     }
 
     #[test]
     fn rejects_reversed_bounds() {
         let node = sample_inner();
         let mut page = vec![0u8; 4096];
-        node.write_to(2, &mut page);
+        node.write_to(2, LeafFormat::Exact, &mut page);
         // Swap mu_lo/mu_hi of the first dim of the first entry:
         // header(8) + child(8) + count(8) = offset 24 for mu_lo.
         let mu_lo = f64::from_le_bytes(page[24..32].try_into().unwrap());
         let mu_hi = f64::from_le_bytes(page[32..40].try_into().unwrap());
         page[24..32].copy_from_slice(&mu_hi.to_le_bytes());
         page[32..40].copy_from_slice(&mu_lo.to_le_bytes());
-        assert!(Node::read_from(2, &page).is_err());
+        assert!(Node::read_from(2, LeafFormat::Exact, &page).is_err());
     }
 
     #[test]
@@ -449,8 +587,8 @@ mod tests {
         // If the header layout changes, capacity maths must change with it.
         let node = Node::Leaf(vec![]);
         let mut page = vec![0u8; 64];
-        node.write_to(2, &mut page);
-        let r = Node::read_from(2, &page).unwrap();
+        node.write_to(2, LeafFormat::Exact, &mut page);
+        let r = Node::read_from(2, LeafFormat::Exact, &page).unwrap();
         assert!(r.is_empty());
     }
 }

@@ -232,8 +232,9 @@ impl<S: PageStore> Plane<'_, S> {
         });
         // Min-heap keeping the k best candidates.
         let mut best: BinaryHeap<std::cmp::Reverse<Candidate>> = BinaryHeap::new();
-        // Scratch buffer for the batched leaf kernel, reused across leaves.
+        // Scratch buffers for the batched leaf kernels, reused across leaves.
         let mut dens: Vec<f64> = Vec::new();
+        let mut fast = batch::FastScratch::new();
 
         while let Some(top) = active.pop() {
             if best.len() == target {
@@ -245,19 +246,36 @@ impl<S: PageStore> Plane<'_, S> {
             }
             match &*self.read_node_cached(top.page)? {
                 CachedNode::Leaf(leaf) => {
-                    dens.resize(leaf.columns.len(), 0.0);
-                    batch::log_densities(mode, q, &leaf.columns, &mut dens);
-                    for (&id, &ld) in leaf.ids.iter().zip(dens.iter()) {
-                        let cand = Candidate {
-                            log_density: ld,
-                            id,
-                        };
-                        if best.len() < target {
-                            best.push(std::cmp::Reverse(cand));
-                        // lint: allow(no-panic) -- the else branch runs only when best.len() >= target > 0
-                        } else if cand > best.peek().expect("non-empty").0 {
-                            best.pop();
-                            best.push(std::cmp::Reverse(cand));
+                    if best.len() == target {
+                        // Fast tier: the heap is full, so a conservative
+                        // upper bound below the worst kept density rules an
+                        // entry out without the exact kernel. The bounds
+                        // never undershoot the exact value (overflow turns
+                        // them NaN, which fails the `<` screen), and ties
+                        // fall through to exact evaluation, so the result
+                        // set is identical to the unscreened path.
+                        // lint: allow(no-panic) -- best.len() == target > 0, so the heap is non-empty
+                        let worst = best.peek().expect("non-empty").0.log_density;
+                        // Query-independent precomputed peak bounds first:
+                        // if no entry's peak clears the bar, skip the leaf.
+                        if leaf.columns.log_norm_col().iter().all(|&p| p < worst) {
+                            continue;
+                        }
+                        batch::log_densities_upper(mode, q, &leaf.columns, &mut fast);
+                        for (e, &id) in leaf.ids.iter().enumerate() {
+                            if fast.upper()[e] < worst {
+                                continue;
+                            }
+                            // Refine tier: exact, bit-identical to the
+                            // batched kernel for this entry.
+                            let ld = batch::log_density_one(mode, q, &leaf.columns, e);
+                            push_candidate(&mut best, target, ld, id);
+                        }
+                    } else {
+                        dens.resize(leaf.columns.len(), 0.0);
+                        batch::log_densities(mode, q, &leaf.columns, &mut dens);
+                        for (&id, &ld) in leaf.ids.iter().zip(dens.iter()) {
+                            push_candidate(&mut best, target, ld, id);
                         }
                     }
                 }

@@ -1,7 +1,7 @@
 //! The Gauss-tree structure: creation, persistence, insertion, bulk loading.
 
 use crate::bulk::{BulkLoadOptions, BulkLoadReport};
-use crate::config::TreeConfig;
+use crate::config::{LeafFormat, TreeConfig};
 use crate::node::{CachedNode, InnerEntry, LeafEntry, Node, NodeCodecError};
 use crate::split::{group_rect, node_cost, split_items, split_many};
 use crate::view::{Plane, ReadView};
@@ -9,14 +9,19 @@ use gauss_storage::store::{Durability, PageStore, StoreError};
 use gauss_storage::{
     fnv1a64, EpochRegistry, PageId, Reader, SharedBufferPool, SideCache, WriteBatch, Writer,
 };
-use pfv::{CombineMode, ParamRect, Pfv};
+use pfv::{quant, CombineMode, ParamRect, Pfv};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 const META_MAGIC: u32 = 0x4754_5245; // "GTRE"
 /// Current metadata format: two versioned, checksummed slots (pages 0–1)
-/// committed alternately — see the `flush` docs for the protocol.
-const META_VERSION: u32 = 2;
+/// committed alternately — see the `flush` docs for the protocol. v3 adds
+/// the leaf-format tag byte to the v2 layout; everything else is
+/// identical.
+const META_VERSION: u32 = 3;
+/// The dual-slot format without the leaf-format byte; still readable
+/// (such trees are [`LeafFormat::Exact`]), rewritten as v3 on commit.
+const META_VERSION_V2: u32 = 2;
 /// The pre-durability single-slot format; still readable (and writable,
 /// in place) for files created before the dual-slot commit existed.
 const META_VERSION_V1: u32 = 1;
@@ -29,11 +34,11 @@ const META_SLOT_B: PageId = PageId(1);
 /// few inserts before splitting.
 const BULK_FILL: f64 = 0.75;
 
-/// Base metadata bytes in a v2 meta slot before the persisted free-list
+/// Base metadata bytes in a v3 meta slot before the persisted free-list
 /// ids: magic + version + checksum + epoch + allocated-page count, the
-/// fixed tree fields, the in-meta id count (u32) and the overflow chain
-/// pointer (u64).
-const META_BASE_BYTES: usize = 4 + 4 + 8 + 8 + 8 + 4 + 1 + 1 + 4 + 4 + 8 + 4 + 8 + 4 + 8;
+/// fixed tree fields (including the leaf-format byte added in v3), the
+/// in-meta id count (u32) and the overflow chain pointer (u64).
+const META_BASE_BYTES: usize = 4 + 4 + 8 + 8 + 8 + 4 + 1 + 1 + 1 + 4 + 4 + 8 + 4 + 8 + 4 + 8;
 
 /// Byte offset of the checksum field inside a v2 meta slot.
 const META_CHECKSUM_OFFSET: usize = 8;
@@ -71,6 +76,16 @@ pub enum TreeError {
         /// The doubly freed page id.
         page: u64,
     },
+    /// A parameter of an ingested pfv cannot be quantised to `f32` — it
+    /// overflows the `f32` range or is non-finite. Raised only by trees
+    /// built with [`crate::LeafFormat::Quantised`]; the exact format
+    /// stores any finite `f64`.
+    QuantisationRange {
+        /// Dimension of the offending parameter.
+        dim: usize,
+        /// The unquantisable value.
+        value: f64,
+    },
     /// No committed epoch is available to pin as a [`Snapshot`] — either
     /// the file uses the legacy v1 format (no epochs), or uncommitted
     /// in-place writes have diverged the store from the last commit (call
@@ -92,6 +107,12 @@ impl std::fmt::Display for TreeError {
             TreeError::NotAGaussTree => write!(f, "store does not contain a Gauss-tree"),
             TreeError::Corrupt(what) => write!(f, "corrupt tree: {what}"),
             TreeError::DoubleFree { page } => write!(f, "page {page} freed twice"),
+            TreeError::QuantisationRange { dim, value } => {
+                write!(
+                    f,
+                    "value {value:e} in dimension {dim} does not fit the quantised leaf format"
+                )
+            }
             TreeError::SnapshotUnavailable(why) => {
                 write!(f, "no committed epoch to snapshot: {why}")
             }
@@ -249,6 +270,7 @@ pub struct RecoveryReport {
 pub struct TreeOptions {
     durability: Durability,
     node_cache_capacity: Option<usize>,
+    leaf_format: Option<crate::config::LeafFormat>,
 }
 
 impl TreeOptions {
@@ -272,6 +294,15 @@ impl TreeOptions {
     #[must_use]
     pub fn node_cache_capacity(mut self, nodes: usize) -> Self {
         self.node_cache_capacity = Some(nodes);
+        self
+    }
+
+    /// On-disk leaf entry representation for trees *created* with these
+    /// options (overrides the [`TreeConfig`]'s format). Ignored on open —
+    /// an existing tree's format is part of its persisted metadata.
+    #[must_use]
+    pub fn leaf_format(mut self, format: crate::config::LeafFormat) -> Self {
+        self.leaf_format = Some(format);
         self
     }
 
@@ -445,6 +476,28 @@ enum ChildUpdate {
     },
 }
 
+/// Quantises an ingested pfv to the stored representation of a
+/// [`LeafFormat::Quantised`] tree: every parameter becomes the widened
+/// `f64` of its rounded `f32` (see [`pfv::quant`]), so leaf encoding is an
+/// exact narrowing and queries stay exact over the stored parameters.
+/// Returns `Ok(None)` for exact trees (store as-is).
+fn quantise_for(format: LeafFormat, v: &Pfv) -> Result<Option<Pfv>, TreeError> {
+    if format == LeafFormat::Exact {
+        return Ok(None);
+    }
+    let mut means = Vec::with_capacity(v.dims());
+    let mut sigmas = Vec::with_capacity(v.dims());
+    for (dim, (&m, &s)) in v.means().iter().zip(v.sigmas()).enumerate() {
+        let mq = quant::quantise_mu(m).ok_or(TreeError::QuantisationRange { dim, value: m })?;
+        let sq = quant::quantise_sigma(s).ok_or(TreeError::QuantisationRange { dim, value: s })?;
+        means.push(f64::from(mq));
+        sigmas.push(f64::from(sq));
+    }
+    // lint: allow(no-panic) -- quantised parameters are finite with σ at or above the floor
+    let q = Pfv::new(means, sigmas).expect("quantised parameters are valid");
+    Ok(Some(q))
+}
+
 impl<S: PageStore> GaussTree<S> {
     /// Creates an empty Gauss-tree in a fresh store with default
     /// [`TreeOptions`] — [`Durability::None`] (fast in-place writes, no
@@ -488,6 +541,9 @@ impl<S: PageStore> GaussTree<S> {
         if pool.num_pages() != 0 {
             return Err(TreeError::Corrupt("create requires an empty store"));
         }
+        let config = opts
+            .leaf_format
+            .map_or(config, |f| config.with_leaf_format(f));
         let page_size = pool.page_size();
         let leaf_cap = config.leaf_capacity(page_size);
         let inner_cap = config.inner_capacity(page_size);
@@ -756,8 +812,8 @@ impl<S: PageStore> GaussTree<S> {
         Err(TreeError::NotAGaussTree)
     }
 
-    /// Parses and validates one v2 meta slot; `None` if the slot is not a
-    /// committed epoch (torn, stale, out of bounds, or plain garbage).
+    /// Parses and validates one v2/v3 meta slot; `None` if the slot is not
+    /// a committed epoch (torn, stale, out of bounds, or plain garbage).
     fn parse_slot(
         pool: &SharedBufferPool<S>,
         slot: PageId,
@@ -767,7 +823,7 @@ impl<S: PageStore> GaussTree<S> {
         let mut r = Reader::new(&page);
         let magic = r.get_u32().ok()?;
         let version = r.get_u32().ok()?;
-        if magic != META_MAGIC || version != META_VERSION {
+        if magic != META_MAGIC || !(version == META_VERSION || version == META_VERSION_V2) {
             return None;
         }
         let stored_sum = r.get_u64().ok()?;
@@ -785,6 +841,13 @@ impl<S: PageStore> GaussTree<S> {
             _ => return None,
         };
         let split = crate::config::SplitStrategy::from_tag(r.get_u8().ok()?)?;
+        // v3 appends the leaf-format byte here; v2 slots predate the
+        // quantised format and are always exact.
+        let leaf_format = if version == META_VERSION_V2 {
+            crate::config::LeafFormat::Exact
+        } else {
+            crate::config::LeafFormat::from_tag(r.get_u8().ok()?)?
+        };
         let leaf_cap = r.get_u32().ok()? as usize;
         let inner_cap = r.get_u32().ok()? as usize;
         let root = PageId(r.get_u64().ok()?);
@@ -850,7 +913,8 @@ impl<S: PageStore> GaussTree<S> {
         }
         let mut config = TreeConfig::new(dims)
             .with_combine(combine)
-            .with_split(split);
+            .with_split(split)
+            .with_leaf_format(leaf_format);
         config.max_leaf_entries = Some(leaf_cap);
         config.max_inner_entries = Some(inner_cap);
         Some(ParsedMeta {
@@ -1080,7 +1144,26 @@ impl<S: PageStore> GaussTree<S> {
             config,
             &TreeOptions::new().durability(opts.durability),
         )?;
-        let report = crate::bulk::run(&mut tree, items, opts)?;
+        // Quantise while streaming: the bulk pipeline never re-reads the
+        // source, so rounding here covers every leaf it will write. An
+        // unquantisable item stops the stream and surfaces its error after
+        // the (now moot) run finishes.
+        let format = tree.config.leaf_format;
+        let mut quant_err = None;
+        let quantised = items
+            .into_iter()
+            .map_while(|(id, pfv)| match quantise_for(format, &pfv) {
+                Ok(Some(q)) => Some((id, q)),
+                Ok(None) => Some((id, pfv)),
+                Err(e) => {
+                    quant_err = Some(e);
+                    None
+                }
+            });
+        let report = crate::bulk::run(&mut tree, quantised, opts)?;
+        if let Some(e) = quant_err {
+            return Err(e);
+        }
         Ok((tree, report))
     }
 
@@ -1264,6 +1347,7 @@ impl<S: PageStore> GaussTree<S> {
             CombineMode::AdditiveSigma => 1,
         });
         w.put_u8(self.config.split.to_tag());
+        w.put_u8(self.config.leaf_format.to_tag());
         // lint: allow(no-panic) -- leaf capacity derives from the page size, far below u32::MAX
         w.put_u32(u32::try_from(self.leaf_cap).expect("leaf cap fits u32"));
         // lint: allow(no-panic) -- node capacities derive from the page size, far below u32::MAX
@@ -1477,7 +1561,7 @@ impl<S: PageStore> GaussTree<S> {
     /// Serialises `node` into a fresh page-sized buffer.
     pub(crate) fn encode_node(&self, node: &Node) -> Vec<u8> {
         let mut buf = vec![0u8; self.pool.page_size()];
-        node.write_to(self.config.dims, &mut buf);
+        node.write_to(self.config.dims, self.config.leaf_format, &mut buf);
         buf
     }
 
@@ -1505,6 +1589,7 @@ impl<S: PageStore> GaussTree<S> {
                 got: v.dims(),
             });
         }
+        let v = &quantise_for(self.config.leaf_format, v)?.unwrap_or_else(|| v.clone());
         match self.insert_rec(self.root, self.height, id, v)? {
             ChildUpdate::Updated(page, ..) => self.root = page,
             ChildUpdate::Split {
@@ -1651,6 +1736,7 @@ impl<S: PageStore> GaussTree<S> {
                     got: pfv.dims(),
                 });
             }
+            let pfv = quantise_for(self.config.leaf_format, &pfv)?.unwrap_or(pfv);
             batch.push(LeafEntry { id, pfv });
         }
         if batch.is_empty() {
@@ -1840,7 +1926,11 @@ impl<S: PageStore> GaussTree<S> {
     /// Store / codec errors.
     pub(crate) fn read_node(&self, page: PageId) -> Result<Node, TreeError> {
         let bytes = self.pool.page(page)?;
-        Ok(Node::read_from(self.config.dims, &bytes)?)
+        Ok(Node::read_from(
+            self.config.dims,
+            self.config.leaf_format,
+            &bytes,
+        )?)
     }
 
     /// The decoded-node companion cache (size/occupancy introspection).
@@ -1895,7 +1985,7 @@ impl<S: PageStore> GaussTree<S> {
             self.dirty_since_commit = true;
         }
         let mut buf = vec![0u8; self.pool.page_size()];
-        node.write_to(self.config.dims, &mut buf);
+        node.write_to(self.config.dims, self.config.leaf_format, &mut buf);
         // Invalidate the decoded form before the bytes change so no reader
         // of the new page content can ever see the stale decode (mutation
         // holds `&mut self`, but keep the ordering airtight regardless).
@@ -2387,7 +2477,7 @@ mod tests {
             w.put_u64(PageId::INVALID.index());
             store.write_page(meta, &page).unwrap();
             let mut node_page = vec![0u8; 1024];
-            Node::Leaf(entries.clone()).write_to(dims, &mut node_page);
+            Node::Leaf(entries.clone()).write_to(dims, LeafFormat::Exact, &mut node_page);
             store.write_page(root, &node_page).unwrap();
         }
         let pool = BufferPool::new(store, 64, AccessStats::new_shared());
@@ -2465,7 +2555,11 @@ mod tests {
         t.flush().unwrap(); // epoch 3: a second chain, epoch 2 stays intact
         let newest_slot = PageId(1); // epoch 3 is odd -> slot B
         let slot_bytes = t.pool().page(newest_slot).unwrap();
-        let first_carrier = PageId(u64::from_le_bytes(slot_bytes[70..78].try_into().unwrap()));
+        // Overflow chain pointer: the last 8 bytes of the fixed v3 header.
+        let chain_off = META_BASE_BYTES - 8;
+        let first_carrier = PageId(u64::from_le_bytes(
+            slot_bytes[chain_off..chain_off + 8].try_into().unwrap(),
+        ));
         assert!(first_carrier.is_valid(), "test needs an overflow chain");
         let mut cycle = vec![0u8; 1024];
         cycle[..8].copy_from_slice(&first_carrier.index().to_le_bytes()); // next = itself
@@ -2566,5 +2660,186 @@ mod tests {
         let mut n = 0;
         t.for_each_entry(|_, _| n += 1).unwrap();
         assert_eq!(n, 150);
+    }
+
+    fn quantised_mem_tree(dims: usize, leaf: usize, inner: usize) -> GaussTree<MemStore> {
+        let config = TreeConfig::new(dims).with_capacities(leaf, inner);
+        let pool = BufferPool::new(MemStore::new(8192), 1024, AccessStats::new_shared());
+        GaussTree::create_with(
+            pool,
+            config,
+            &TreeOptions::new().leaf_format(LeafFormat::Quantised),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn quantised_tree_stores_rounded_parameters() {
+        let mut t = quantised_mem_tree(1, 4, 4);
+        assert_eq!(t.config().leaf_format, LeafFormat::Quantised);
+        // 0.1 is not f32-exact: the stored parameters must be the rounded
+        // ones, every one of them exactly f32-representable.
+        for i in 0..40u64 {
+            t.insert(i, &pfv1(i as f64 + 0.1, 0.1)).unwrap();
+        }
+        let mut checked = 0;
+        t.for_each_entry(|_, v| {
+            for &x in v.means().iter().chain(v.sigmas()) {
+                assert!(
+                    pfv::quant::is_f32_exact(x),
+                    "stored value {x:e} not rounded"
+                );
+            }
+            checked += 1;
+        })
+        .unwrap();
+        assert_eq!(checked, 40);
+        // The quantise-stability invariant passes (and would catch a write
+        // path that skipped rounding).
+        assert!(t.check_invariants(false).unwrap().is_empty());
+    }
+
+    #[test]
+    fn quantised_tree_queries_match_brute_force_over_stored_parameters() {
+        let mut t = quantised_mem_tree(2, 4, 4);
+        let items: Vec<(u64, Pfv)> = (0..120u64)
+            .map(|i| {
+                let v = Pfv::new(
+                    vec![(i as f64 * 0.37).sin() * 9.0, (i as f64 * 0.59).cos() * 9.0],
+                    vec![0.1 + (i % 5) as f64 * 0.07, 0.2 + (i % 3) as f64 * 0.05],
+                )
+                .unwrap();
+                (i, v)
+            })
+            .collect();
+        for (id, v) in &items {
+            t.insert(*id, v).unwrap();
+        }
+        // Brute force over the *stored* (quantised) parameters.
+        let mode = t.config().combine;
+        let mut stored: Vec<(u64, Pfv)> = Vec::new();
+        t.for_each_entry(|id, v| stored.push((id, v.clone())))
+            .unwrap();
+        let q = Pfv::new(vec![1.25, -2.5], vec![0.25, 0.5]).unwrap();
+        let mut expect: Vec<(f64, u64)> = stored
+            .iter()
+            .map(|(id, v)| (pfv::combine::log_joint(mode, v, &q), *id))
+            .collect();
+        expect.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let got = t.k_mliq(&q, 7).unwrap();
+        assert_eq!(got.len(), 7);
+        for (r, (ld, id)) in got.iter().zip(&expect) {
+            assert_eq!(r.id, *id);
+            assert_eq!(r.log_density, *ld, "density must be exact, not approximate");
+        }
+    }
+
+    #[test]
+    fn quantised_format_survives_reopen() {
+        let mut t = quantised_mem_tree(1, 4, 4);
+        for i in 0..30u64 {
+            t.insert(i, &pfv1(i as f64 * 0.3, 0.1)).unwrap();
+        }
+        t.flush().unwrap();
+        let store = t.into_store();
+        let pool = BufferPool::new(store, 1024, AccessStats::new_shared());
+        let t2 = GaussTree::open(pool).unwrap();
+        assert_eq!(t2.config().leaf_format, LeafFormat::Quantised);
+        assert_eq!(t2.len(), 30);
+        assert!(t2.check_invariants(false).unwrap().is_empty());
+        let mut n = 0;
+        t2.for_each_entry(|_, v| {
+            assert!(v
+                .means()
+                .iter()
+                .chain(v.sigmas())
+                .all(|&x| pfv::quant::is_f32_exact(x)));
+            n += 1;
+        })
+        .unwrap();
+        assert_eq!(n, 30);
+    }
+
+    #[test]
+    fn quantised_ingest_rejects_out_of_range_values() {
+        let mut t = quantised_mem_tree(1, 4, 4);
+        // |μ| beyond the f32 range cannot be stored losslessly.
+        let err = t.insert(1, &pfv1(1e39, 0.1)).unwrap_err();
+        assert!(matches!(err, TreeError::QuantisationRange { dim: 0, .. }));
+        assert_eq!(t.len(), 0, "failed insert must not change the tree");
+        // The exact format accepts the same value.
+        let mut exact = mem_tree(1, 4, 4);
+        exact.insert(1, &pfv1(1e39, 0.1)).unwrap();
+    }
+
+    #[test]
+    fn quantised_bulk_load_rounds_the_stream() {
+        let items: Vec<(u64, Pfv)> = (0..200u64)
+            .map(|i| (i, pfv1(i as f64 * 0.7 + 0.1, 0.05 + (i % 7) as f64 * 0.1)))
+            .collect();
+        let config = TreeConfig::new(1)
+            .with_capacities(8, 6)
+            .with_leaf_format(LeafFormat::Quantised);
+        let pool = BufferPool::new(MemStore::new(8192), 1024, AccessStats::new_shared());
+        let t = GaussTree::bulk_load(pool, config, items).unwrap();
+        assert_eq!(t.len(), 200);
+        assert!(t.check_invariants(false).unwrap().is_empty());
+
+        // An unquantisable item surfaces its range error.
+        let config = TreeConfig::new(1)
+            .with_capacities(8, 6)
+            .with_leaf_format(LeafFormat::Quantised);
+        let pool = BufferPool::new(MemStore::new(8192), 1024, AccessStats::new_shared());
+        let bad = vec![(0u64, pfv1(0.5, 0.1)), (1, pfv1(-1e39, 0.1))];
+        assert!(matches!(
+            GaussTree::bulk_load(pool, config, bad),
+            Err(TreeError::QuantisationRange { .. })
+        ));
+    }
+
+    #[test]
+    fn v2_meta_slots_open_as_exact_trees() {
+        // Reconstruct a v2 slot from a v3 one: drop the leaf-format byte,
+        // set the version back, and re-checksum. Opening must still work
+        // and classify the tree as LeafFormat::Exact.
+        let mut t = mem_tree(1, 4, 4);
+        for i in 0..20u64 {
+            t.insert(i, &pfv1(i as f64, 0.1)).unwrap();
+        }
+        t.flush().unwrap();
+        let epoch = t.epoch();
+        let slot = if epoch.is_multiple_of(2) {
+            META_SLOT_A
+        } else {
+            META_SLOT_B
+        };
+        let other = if slot == META_SLOT_A {
+            META_SLOT_B
+        } else {
+            META_SLOT_A
+        };
+        let v3 = t.pool().page(slot).unwrap();
+        // Offset of the leaf-format byte: everything up to and including
+        // the split-strategy byte.
+        let fmt_off = 4 + 4 + 8 + 8 + 8 + 4 + 1 + 1;
+        let mut v2 = Vec::with_capacity(v3.len());
+        v2.extend_from_slice(&v3[..fmt_off]);
+        v2.extend_from_slice(&v3[fmt_off + 1..]);
+        v2.push(0);
+        v2[4..8].copy_from_slice(&META_VERSION_V2.to_le_bytes());
+        v2[META_CHECKSUM_OFFSET..META_CHECKSUM_OFFSET + 8].fill(0);
+        let sum = fnv1a64(&v2);
+        v2[META_CHECKSUM_OFFSET..META_CHECKSUM_OFFSET + 8].copy_from_slice(&sum.to_le_bytes());
+        t.pool().write(slot, &v2).unwrap();
+        // Wipe the other slot so the v2 one is the only candidate.
+        t.pool().write(other, &vec![0u8; v3.len()]).unwrap();
+
+        let store = t.into_store();
+        let pool = BufferPool::new(store, 1024, AccessStats::new_shared());
+        let t2 = GaussTree::open(pool).unwrap();
+        assert_eq!(t2.config().leaf_format, LeafFormat::Exact);
+        assert_eq!(t2.epoch(), epoch);
+        assert_eq!(t2.len(), 20);
+        assert!(t2.check_invariants(false).unwrap().is_empty());
     }
 }

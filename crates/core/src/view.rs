@@ -82,7 +82,11 @@ impl<'a, S: PageStore> Plane<'a, S> {
     /// Reads and decodes the node stored at `page`.
     pub(crate) fn read_node(&self, page: PageId) -> Result<Node, TreeError> {
         let bytes = self.pool.page(page)?;
-        Ok(Node::read_from(self.config.dims, &bytes)?)
+        Ok(Node::read_from(
+            self.config.dims,
+            self.config.leaf_format,
+            &bytes,
+        )?)
     }
 
     /// Reads the node stored at `page` in query-ready cached form. The
@@ -94,7 +98,7 @@ impl<'a, S: PageStore> Plane<'a, S> {
         if let Some(cached) = self.node_cache.get(page) {
             return Ok(cached);
         }
-        let node = Node::read_from(self.config.dims, &bytes)?;
+        let node = Node::read_from(self.config.dims, self.config.leaf_format, &bytes)?;
         let cached = Arc::new(node.into_cached(self.config.dims));
         self.node_cache.insert(page, Arc::clone(&cached));
         Ok(cached)

@@ -12,7 +12,7 @@
 //! | `no-panic`      | non-test lib code (all crates)     | `.unwrap()`, `.expect(…)`, `panic!`, `todo!`, `unimplemented!` |
 //! | `raw-mutex`     | non-test first-party code          | `std::sync::Mutex`/`MutexGuard`/`Condvar` outside `storage/src/sync.rs` |
 //! | `float-eq`      | `pfv` lib code                     | `==`/`!=` against a float literal (use `to_bits()` for bit identity) |
-//! | `cast-truncation` | `pfv`/`storage`/`core` lib code  | bare `as u8/u16/u32/i8/i16/i32` narrowing (use `try_from`) |
+//! | `cast-truncation` | `pfv`/`storage`/`core` lib code  | bare `as u8/u16/u32/i8/i16/i32` narrowing (use `try_from`) and `as f32` rounding outside `pfv/src/quant.rs` (use the checked quantisation helpers) |
 //! | `missing-docs`  | `pfv`/`storage`/`core` lib code    | undocumented `pub` items at module/impl scope |
 //! | `forbid-unsafe` | every crate root                   | missing `#![forbid(unsafe_code)]` / `#![deny(unsafe_code)]` |
 //! | `bad-allow`     | everywhere                         | malformed `lint:` comments, unknown rule names in `allow(...)` |
@@ -70,7 +70,8 @@ pub fn all_rules() -> &'static [(&'static str, &'static str)] {
         (
             CAST_TRUNCATION,
             "page-id/byte-count code must not use bare narrowing `as` casts \
-             (use try_from or a checked helper)",
+             (use try_from), and `as f32` quantisation belongs in pfv::quant's \
+             checked helpers",
         ),
         (
             MISSING_DOCS,
@@ -460,6 +461,11 @@ fn first_token_after(code: &str, i: usize) -> Option<String> {
 }
 
 fn cast_truncation_rule(cx: &FileCx<'_>, toks: &[(usize, &str)], out: &mut Vec<Finding>) {
+    // `as f32` silently rounds an f64 payload; the sanctioned
+    // quantisation sites are the checked helpers in `pfv::quant`
+    // (validated result, outward hull correction), which the rule exempts
+    // wholesale the way `raw-mutex` exempts `storage::sync`.
+    let quant_module = cx.file.rel_path == "crates/pfv/src/quant.rs";
     for w in toks.windows(2) {
         let (pos, tok) = w[0];
         let (_, next) = w[1];
@@ -475,6 +481,15 @@ fn cast_truncation_rule(cx: &FileCx<'_>, toks: &[(usize, &str)], out: &mut Vec<F
                     "bare `as {next}` narrowing cast: use `{next}::try_from` (or annotate \
                      with the range invariant that makes truncation impossible)"
                 ),
+            );
+        } else if next == "f32" && !quant_module {
+            cx.report(
+                out,
+                CAST_TRUNCATION,
+                pos,
+                "bare `as f32` rounding cast: go through the checked quantisation \
+                 helpers in `pfv::quant` (quantise_mu/quantise_sigma/to_f32_exact)"
+                    .to_string(),
             );
         }
     }
@@ -778,6 +793,31 @@ mod tests {
         .is_empty());
         // Out-of-scope crate.
         assert!(lint_str("crates/workloads/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cast_truncation_flags_f32_outside_quant() {
+        let src = "fn f(x: f64) -> f32 { x as f32 }\n";
+        for path in [
+            "crates/pfv/src/batch.rs",
+            "crates/core/src/x.rs",
+            "crates/storage/src/x.rs",
+        ] {
+            let f = lint_str(path, src);
+            assert_eq!(rules_of(&f), vec![CAST_TRUNCATION], "path {path}");
+            assert!(f[0].message.contains("pfv::quant"));
+        }
+        // The checked helpers live in pfv::quant — the one sanctioned home
+        // for the cast, exempted like raw-mutex exempts storage::sync.
+        assert!(lint_str("crates/pfv/src/quant.rs", src).is_empty());
+        // Widening f32 -> f64 is lossless and not flagged.
+        assert!(lint_str(
+            "crates/pfv/src/batch.rs",
+            "fn g(x: f32) -> f64 { x as f64 }\n"
+        )
+        .is_empty());
+        // Out-of-scope crates keep their casts.
+        assert!(lint_str("crates/bench/src/x.rs", src).is_empty());
     }
 
     #[test]

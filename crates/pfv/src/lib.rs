@@ -21,8 +21,14 @@
 //! * [`logsum`] — numerically robust log-space accumulation (products of 27
 //!   univariate densities overflow/underflow `f64` in linear space);
 //! * [`batch`] — struct-of-arrays leaf columns ([`ColumnarLeaf`]) and the
-//!   vectorized Lemma-1 kernel [`batch::log_densities`] that evaluates a
-//!   whole leaf against one query, bit-identical to the scalar path.
+//!   vectorized Lemma-1 kernels: the exact batch kernel
+//!   [`batch::log_densities`] (bit-identical to the scalar path — the
+//!   *refine* tier) and the conservative-bounds kernel
+//!   [`batch::log_densities_upper`] (the *fast* tier, built on
+//!   [`fastlog`]);
+//! * [`quant`] — checked `f64 → f32` quantisation for compressed leaves
+//!   and the outward-rounded hull correction that keeps pruning over
+//!   quantised parameters conservative.
 //!
 //! All probability-density computations are performed in **log space**; the
 //! linear-space entry points are thin wrappers provided for convenience and
@@ -38,6 +44,8 @@ pub mod bayes;
 pub mod combine;
 /// Distributional distance measures between Gaussians.
 pub mod divergence;
+/// Vectorisable `ln` approximation for the fast density tier.
+pub mod fastlog;
 /// Univariate Gaussian parameters and densities.
 pub mod gaussian;
 /// Piecewise hull bounds on the Gaussian density term.
@@ -48,10 +56,12 @@ pub mod logsum;
 pub mod phi;
 /// Numeric integration fallbacks for validation.
 pub mod quadrature;
+/// Checked f32 quantisation with outward-rounded hull correction.
+pub mod quant;
 /// Probabilistic feature vectors (vectors of Gaussians).
 pub mod vector;
 
-pub use batch::ColumnarLeaf;
+pub use batch::{ColumnarLeaf, FastScratch};
 pub use bayes::{posterior, posteriors, Posterior};
 pub use combine::CombineMode;
 pub use gaussian::Gaussian;

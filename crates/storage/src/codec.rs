@@ -96,6 +96,11 @@ impl<'a> Writer<'a> {
         self.put(&v.to_le_bytes());
     }
 
+    /// Writes an `f32` (quantised leaf columns).
+    pub fn put_f32(&mut self, v: f32) {
+        self.put(&v.to_le_bytes());
+    }
+
     /// Writes a slice of `f64`s (length is *not* encoded).
     pub fn put_f64_slice(&mut self, vs: &[f64]) {
         for &v in vs {
@@ -188,6 +193,15 @@ impl<'a> Reader<'a> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
+    /// Reads an `f32` (quantised leaf columns).
+    ///
+    /// # Errors
+    /// [`ShortBuffer`] if the buffer is exhausted.
+    pub fn get_f32(&mut self) -> Result<f32, ShortBuffer> {
+        // lint: allow(no-panic) -- take(4) returned exactly 4 bytes; the array conversion is infallible
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
     /// Reads `n` `f64`s into a fresh vector.
     ///
     /// # Errors
@@ -239,6 +253,7 @@ mod tests {
         w.put_u32(0xDEAD_BEEF);
         w.put_u64(0x0123_4567_89AB_CDEF);
         w.put_f64(-1.5e300);
+        w.put_f32(2.5e-7);
         w.put_f64_slice(&[1.0, 2.0, 3.0]);
         let written = w.position();
 
@@ -248,6 +263,7 @@ mod tests {
         assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
         assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89AB_CDEF);
         assert_eq!(r.get_f64().unwrap(), -1.5e300);
+        assert_eq!(r.get_f32().unwrap(), 2.5e-7);
         assert_eq!(r.get_f64_vec(3).unwrap(), vec![1.0, 2.0, 3.0]);
         assert_eq!(r.remaining(), 0);
     }

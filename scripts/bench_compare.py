@@ -18,7 +18,17 @@ Gating rules (see README "Performance tracking"):
   more than the threshold above the baseline;
 * within the PR file alone, the batched kernel must beat the scalar one
   (``kernel_bench.batched_ns_per_entry < kernel_bench.scalar_ns_per_entry``)
-  — the whole point of the columnar path;
+  — the whole point of the columnar path — and the fast screen tier must
+  beat the batched kernel at the paper's two dimensionalities
+  (``kernel_bench.d10.fast_ns_per_entry < …d10.batched_ns_per_entry``,
+  same at ``d27``);
+* within the PR file alone, the quantised leaf format must earn its keep:
+  fewer physical page reads than the exact format on the fig7-style
+  datapoint (``kernel_bench.quantised_physical_reads <
+  kernel_bench.exact_physical_reads``; deterministic for the fixed seed)
+  and a smaller per-entry leaf encoding
+  (``kernel_bench.leaf_bytes_per_entry <
+  kernel_bench.exact_leaf_bytes_per_entry``);
 * within the PR file alone, batched page writes must cut physical write
   calls at least 4x against per-node writes
   (``build_bench.write_call_reduction >= 4``; deterministic for the fixed
@@ -156,6 +166,56 @@ def cmd_compare(args):
             f"kernel invariant ok: batched {batched:.2f} ns/entry beats "
             f"scalar {scalar:.2f} ns/entry ({scalar / batched:.2f}x)"
         )
+
+    # The fast screen tier must beat the exact batched kernel at both of
+    # the paper's dimensionalities (data set 2: d=10, data set 1: d=27) —
+    # otherwise the two-tier screen is pure overhead.
+    for d in ("d10", "d27"):
+        fast = require(pr, f"kernel_bench.{d}.fast_ns_per_entry", args.pr)
+        batched_d = require(pr, f"kernel_bench.{d}.batched_ns_per_entry", args.pr)
+        if fast is None or batched_d is None:
+            pass
+        elif not fast < batched_d:
+            failures.append(
+                f"fast screen tier does not beat the batched kernel at {d}: "
+                f"{fast:.2f} ns/entry vs {batched_d:.2f} ns/entry"
+            )
+        else:
+            print(
+                f"kernel invariant ok ({d}): fast tier {fast:.2f} ns/entry "
+                f"beats batched {batched_d:.2f} ({batched_d / fast:.2f}x)"
+            )
+
+    # The quantised leaf format must pay off in the paper's fig7 metric:
+    # fewer physical page reads for the identical answer set, from a
+    # smaller per-entry encoding. Both are deterministic for the fixed
+    # bench seed (MemStore, fixed cache), so equality means the datapoint
+    # degenerated, not that the runner was slow.
+    q_ns = require(pr, "kernel_bench.quantised_ns_per_entry", args.pr)
+    q_bytes = require(pr, "kernel_bench.leaf_bytes_per_entry", args.pr)
+    e_bytes = require(pr, "kernel_bench.exact_leaf_bytes_per_entry", args.pr)
+    e_reads = require(pr, "kernel_bench.exact_physical_reads", args.pr)
+    q_reads = require(pr, "kernel_bench.quantised_physical_reads", args.pr)
+    if None in (q_ns, q_bytes, e_bytes, e_reads, q_reads):
+        pass  # per-key failures already recorded by require()
+    else:
+        if not q_bytes < e_bytes:
+            failures.append(
+                f"quantised leaf entries are not smaller than exact ones: "
+                f"{q_bytes:.0f} vs {e_bytes:.0f} bytes/entry"
+            )
+        if not q_reads < e_reads:
+            failures.append(
+                f"quantised tree did not reduce physical reads on the fig7 "
+                f"datapoint: {q_reads:.0f} vs {e_reads:.0f}"
+            )
+        if q_bytes < e_bytes and q_reads < e_reads:
+            print(
+                f"quantised-leaf invariant ok: {q_bytes:.0f} vs {e_bytes:.0f} "
+                f"bytes/entry, fig7 physical reads {q_reads:.0f} vs "
+                f"{e_reads:.0f} ({e_reads / max(q_reads, 1):.2f}x fewer), "
+                f"kernel {q_ns:.2f} ns/entry"
+            )
 
     # Batched page writes must actually coalesce (deterministic: write-call
     # counts depend only on the fixed-seed tree shape, not the hardware).
