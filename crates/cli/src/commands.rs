@@ -2,12 +2,15 @@
 
 use crate::args::{parse_pfv, parse_vec, ArgError, Args};
 use crate::csvio;
+use gauss_storage::forest::DirComponentStores;
 use gauss_storage::{AccessStats, BufferPool, Durability, FileStore, DEFAULT_PAGE_SIZE};
 use gauss_tree::{
-    BulkLoadOptions, DeleteOutcome, GaussTree, LeafFormat, ReadView, SpillKind, SplitStrategy,
-    TreeConfig, TreeOptions,
+    BulkLoadOptions, DeleteOutcome, ForestOptions, GaussForest, GaussTree, LeafFormat, ReadView,
+    SpillKind, SplitStrategy, TreeConfig, TreeOptions,
 };
-use gauss_workloads::{histogram_dataset, uniform_dataset, SigmaSpec};
+use gauss_workloads::{
+    histogram_dataset, uniform_dataset, DriftConfig, DriftStream, SigmaSpec, StreamOp,
+};
 use std::path::Path;
 
 /// Top-level usage text.
@@ -18,13 +21,20 @@ pub const USAGE: &str = "usage:
                      [--page-size BYTES] [--split hull|mu|volume] [--bulk true|false]
                      [--threads N] [--mem-budget BYTES] [--append true|false]
                      [--durability none|flush|fsync] [--leaf-format exact|quantised]
-  gauss-cli info     --index FILE.gtree [--check true] [--recover true]
-  gauss-cli mliq     --index FILE.gtree --query 'm1,..;s1,..' [--query ...]
+                     [--forest true]  (then --index is a forest DIRECTORY;
+                      also [--memtable N] [--merge-factor F])
+  gauss-cli ingest   --index DIR (--data FILE.csv | --events N [--sensors S]
+                     [--dims D] [--seed X] [--update-frac U] [--delete-frac V])
+                     [--maintain true]
+  gauss-cli compact  --index DIR
+  gauss-cli info     --index FILE.gtree|DIR [--check true] [--recover true]
+  gauss-cli mliq     --index FILE.gtree|DIR --query 'm1,..;s1,..' [--query ...]
                      [-k K] [--accuracy A] [--threads N] [--pin-snapshot true]
-  gauss-cli tiq      --index FILE.gtree --query 'm1,..;s1,..' [--query ...]
+  gauss-cli tiq      --index FILE.gtree|DIR --query 'm1,..;s1,..' [--query ...]
                      --theta T [--accuracy A] [--threads N] [--pin-snapshot true]
-  gauss-cli boxq     --index FILE.gtree --lo a,b,.. --hi c,d,.. --tau T
-  gauss-cli delete   --index FILE.gtree --id N --query 'm1,..;s1,..'";
+  gauss-cli boxq     --index FILE.gtree|DIR --lo a,b,.. --hi c,d,.. --tau T
+  gauss-cli delete   --index FILE.gtree --id N --query 'm1,..;s1,..'
+                     (forests delete through ingest streams)";
 
 /// Dispatches a full argv (subcommand first).
 ///
@@ -38,6 +48,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), ArgError> {
     match cmd.as_str() {
         "generate" => generate(&args),
         "build" => build(&args),
+        "ingest" => ingest(&args),
+        "compact" => compact(&args),
         "info" => info(&args),
         "mliq" => mliq(&args),
         "tiq" => tiq(&args),
@@ -99,7 +111,60 @@ fn parse_durability(args: &Args) -> Result<Durability, ArgError> {
     }
 }
 
+/// Whether `--index` names a Gauss-forest directory (vs a single-tree
+/// file). Forests live in directories; trees in flat files.
+fn is_forest_index(index: &str) -> bool {
+    Path::new(index).is_dir()
+}
+
+/// Parses the forest tuning flags shared by `build --forest`, `ingest`
+/// and `compact`.
+fn forest_opts(args: &Args) -> Result<ForestOptions, ArgError> {
+    let memtable: usize = args.num("memtable", 4096)?;
+    let merge_factor: usize = args.num("merge-factor", 2)?;
+    let threads: usize = args.num("threads", 1)?;
+    if threads == 0 {
+        return Err(ArgError("--threads must be at least 1".into()));
+    }
+    if merge_factor < 2 {
+        return Err(ArgError("--merge-factor must be at least 2".into()));
+    }
+    Ok(ForestOptions::new()
+        .memtable_capacity(memtable)
+        .merge_factor(merge_factor)
+        .threads(threads)
+        .durability(parse_durability(args)?))
+}
+
+/// Opens the forest directory named by `--index`.
+fn open_forest(args: &Args) -> Result<GaussForest<DirComponentStores>, ArgError> {
+    let index = args.required("index")?;
+    let page_size: usize = args.num("page-size", DEFAULT_PAGE_SIZE)?;
+    let backend = DirComponentStores::new(index, page_size)
+        .map_err(|e| ArgError(format!("cannot open {index}: {e}")))?;
+    GaussForest::open(backend, forest_opts(args)?)
+        .map_err(|e| ArgError(format!("cannot open forest {index}: {e}")))
+}
+
+fn print_forest_stats(forest: &GaussForest<DirComponentStores>) {
+    println!("objects:        {}", forest.len());
+    println!("dimensionality: {}", forest.config().dims);
+    println!("epoch:          {}", forest.epoch());
+    println!("memtable:       {} records", forest.memtable_len());
+    let comps = forest.component_stats();
+    println!("components:     {}", comps.len());
+    for c in comps {
+        println!(
+            "  c{:<5} level {:<2} {:>8} entries, {} tombstones",
+            c.id, c.level, c.len, c.tombstones
+        );
+    }
+}
+
 fn build(args: &Args) -> Result<(), ArgError> {
+    if args.num("forest", false)? {
+        return build_forest(args);
+    }
     let data = args.required("data")?;
     let index = args.required("index")?;
     let page_size: usize = args.num("page-size", DEFAULT_PAGE_SIZE)?;
@@ -200,7 +265,135 @@ fn build(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `build --forest true`: seed a new forest directory from a CSV, through
+/// the memtable/flush write path rather than a monolithic bulk load.
+fn build_forest(args: &Args) -> Result<(), ArgError> {
+    let data = args.required("data")?;
+    let index = args.required("index")?;
+    let page_size: usize = args.num("page-size", DEFAULT_PAGE_SIZE)?;
+    let split = match args.get("split").unwrap_or("hull") {
+        "hull" => SplitStrategy::HullIntegral,
+        "mu" => SplitStrategy::WidestMu,
+        "volume" => SplitStrategy::MinVolume,
+        other => return Err(ArgError(format!("unknown split strategy '{other}'"))),
+    };
+    let leaf_format = match args.get("leaf-format").unwrap_or("exact") {
+        "exact" => LeafFormat::Exact,
+        "quantised" | "quantized" => LeafFormat::Quantised,
+        other => {
+            return Err(ArgError(format!(
+                "unknown leaf format '{other}' (exact|quantised)"
+            )))
+        }
+    };
+    let items = csvio::read_csv(Path::new(data))?;
+    if items.is_empty() {
+        return Err(ArgError("data file holds no objects".into()));
+    }
+    let dims = items[0].1.dims();
+    let config = TreeConfig::new(dims)
+        .with_split(split)
+        .with_leaf_format(leaf_format);
+    let backend = DirComponentStores::new(index, page_size)
+        .map_err(|e| ArgError(format!("cannot create {index}: {e}")))?;
+    let mut forest = GaussForest::create(backend, config, forest_opts(args)?)
+        .map_err(|e| ArgError(format!("cannot create forest {index}: {e}")))?;
+    let t0 = std::time::Instant::now();
+    let n = items.len();
+    for (id, v) in items {
+        forest.insert(id, &v).map_err(|e| ArgError(e.to_string()))?;
+    }
+    forest.flush().map_err(|e| ArgError(e.to_string()))?;
+    let report = forest.maintain().map_err(|e| ArgError(e.to_string()))?;
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "built forest {index}: {} objects in {dt:.2}s ({:.0} objs/s), {} merges",
+        forest.len(),
+        n as f64 / dt.max(1e-9),
+        report.merges
+    );
+    print_forest_stats(&forest);
+    Ok(())
+}
+
+/// `ingest`: stream upserts/deletes into an existing forest — either every
+/// row of a CSV (as upserts) or `--events N` drawn from the drifting-sensor
+/// generator (which mixes updates, fresh sensors and deletes).
+fn ingest(args: &Args) -> Result<(), ArgError> {
+    let mut forest = open_forest(args)?;
+    let t0 = std::time::Instant::now();
+    let mut upserts = 0u64;
+    let mut deletes = 0u64;
+    if let Some(data) = args.get("data") {
+        for (id, v) in csvio::read_csv(Path::new(data))? {
+            forest.insert(id, &v).map_err(|e| ArgError(e.to_string()))?;
+            upserts += 1;
+        }
+    } else {
+        let events: u64 = args.num_required("events")?;
+        let drift = DriftConfig {
+            initial_sensors: args.num("sensors", 64)?,
+            dims: forest.config().dims,
+            update_fraction: args.num("update-frac", 0.6)?,
+            delete_fraction: args.num("delete-frac", 0.05)?,
+            ..DriftConfig::default()
+        };
+        let seed: u64 = args.num("seed", 42)?;
+        for op in DriftStream::new(drift, seed).take(events as usize) {
+            match op {
+                StreamOp::Upsert(id, v) => {
+                    forest.insert(id, &v).map_err(|e| ArgError(e.to_string()))?;
+                    upserts += 1;
+                }
+                StreamOp::Delete(id) => {
+                    forest.delete(id).map_err(|e| ArgError(e.to_string()))?;
+                    deletes += 1;
+                }
+            }
+        }
+    }
+    forest.flush().map_err(|e| ArgError(e.to_string()))?;
+    if args.num("maintain", false)? {
+        forest.maintain().map_err(|e| ArgError(e.to_string()))?;
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "ingested {upserts} upserts + {deletes} deletes in {dt:.2}s ({:.0} ops/s); {} live objects, epoch {}",
+        (upserts + deletes) as f64 / dt.max(1e-9),
+        forest.len(),
+        forest.epoch()
+    );
+    Ok(())
+}
+
+/// `compact`: flush the memtable and run merges until every level is
+/// below the merge factor.
+fn compact(args: &Args) -> Result<(), ArgError> {
+    let mut forest = open_forest(args)?;
+    forest.flush().map_err(|e| ArgError(e.to_string()))?;
+    let report = forest.maintain().map_err(|e| ArgError(e.to_string()))?;
+    println!(
+        "compacted: {} merges over {} components, {} entries rewritten, {} tombstones dropped",
+        report.merges,
+        report.components_merged,
+        report.entries_rewritten,
+        report.tombstones_dropped
+    );
+    print_forest_stats(&forest);
+    Ok(())
+}
+
 fn info(args: &Args) -> Result<(), ArgError> {
+    if is_forest_index(args.required("index")?) {
+        let forest = open_forest(args)?;
+        print_forest_stats(&forest);
+        println!("memtable cap:   {}", forest.memtable_capacity());
+        println!("merge factor:   {}", forest.merge_factor());
+        println!("combine mode:   {:?}", forest.config().combine);
+        println!("split strategy: {:?}", forest.config().split);
+        println!("leaf format:    {:?}", forest.config().leaf_format);
+        return Ok(());
+    }
     let recover: bool = args.num("recover", false)?;
     let tree = if recover {
         // Verified open: checks invariants and falls back across meta
@@ -278,9 +471,7 @@ fn parse_pin(args: &Args) -> Result<bool, ArgError> {
 }
 
 fn mliq(args: &Args) -> Result<(), ArgError> {
-    let tree = open_tree(args)?;
     let (queries, threads) = parse_batch(args)?;
-    let pin = parse_pin(args)?;
     let k: usize = args.num("k", 1)?;
     let accuracy: f64 = args.num("accuracy", 1e-4)?;
     if accuracy.is_nan() || accuracy <= 0.0 {
@@ -288,6 +479,21 @@ fn mliq(args: &Args) -> Result<(), ArgError> {
             "--accuracy must be positive, got {accuracy}"
         )));
     }
+    if is_forest_index(args.required("index")?) {
+        // Forest queries always run on a pinned snapshot — that *is* the
+        // forest's read plane.
+        let forest = open_forest(args)?;
+        let snap = forest.snapshot().map_err(|e| ArgError(e.to_string()))?;
+        eprintln!("(forest snapshot of epoch {})", snap.epoch());
+        let t0 = std::time::Instant::now();
+        let batches = snap
+            .batch(threads)
+            .k_mliq_refined(&queries, k, accuracy)
+            .map_err(|e| ArgError(e.to_string()))?;
+        return print_mliq(&batches, threads, t0.elapsed(), forest.stats());
+    }
+    let tree = open_tree(args)?;
+    let pin = parse_pin(args)?;
     let t0 = std::time::Instant::now();
     let batches = if pin {
         let snap = tree.snapshot().map_err(|e| ArgError(e.to_string()))?;
@@ -297,7 +503,16 @@ fn mliq(args: &Args) -> Result<(), ArgError> {
         tree.batch(threads).k_mliq_refined(&queries, k, accuracy)
     }
     .map_err(|e| ArgError(e.to_string()))?;
-    let elapsed = t0.elapsed();
+    print_mliq(&batches, threads, t0.elapsed(), tree.stats())
+}
+
+/// Shared k-MLIQ result printer for trees and forests.
+fn print_mliq(
+    batches: &[Vec<gauss_tree::RefinedResult>],
+    threads: usize,
+    elapsed: std::time::Duration,
+    stats: &std::sync::Arc<AccessStats>,
+) -> Result<(), ArgError> {
     let mut total = 0usize;
     for (qi, hits) in batches.iter().enumerate() {
         let prefix = if batches.len() > 1 {
@@ -313,7 +528,7 @@ fn mliq(args: &Args) -> Result<(), ArgError> {
         }
         total += hits.len();
     }
-    let snap = tree.stats().snapshot();
+    let snap = stats.snapshot();
     eprintln!(
         "({total} results over {} queries, {threads} threads, {:.2} ms, {} page reads)",
         batches.len(),
@@ -324,7 +539,6 @@ fn mliq(args: &Args) -> Result<(), ArgError> {
 }
 
 fn tiq(args: &Args) -> Result<(), ArgError> {
-    let tree = open_tree(args)?;
     let (queries, threads) = parse_batch(args)?;
     let theta: f64 = args.num_required("theta")?;
     if !(theta > 0.0 && theta <= 1.0) {
@@ -338,13 +552,20 @@ fn tiq(args: &Args) -> Result<(), ArgError> {
             "--accuracy must be positive, got {accuracy}"
         )));
     }
-    let pin = parse_pin(args)?;
-    let batches = if pin {
-        let snap = tree.snapshot().map_err(|e| ArgError(e.to_string()))?;
-        eprintln!("(pinned snapshot of committed epoch {})", snap.epoch());
+    let batches = if is_forest_index(args.required("index")?) {
+        let forest = open_forest(args)?;
+        let snap = forest.snapshot().map_err(|e| ArgError(e.to_string()))?;
+        eprintln!("(forest snapshot of epoch {})", snap.epoch());
         snap.batch(threads).tiq(&queries, theta, accuracy)
     } else {
-        tree.batch(threads).tiq(&queries, theta, accuracy)
+        let tree = open_tree(args)?;
+        if parse_pin(args)? {
+            let snap = tree.snapshot().map_err(|e| ArgError(e.to_string()))?;
+            eprintln!("(pinned snapshot of committed epoch {})", snap.epoch());
+            snap.batch(threads).tiq(&queries, theta, accuracy)
+        } else {
+            tree.batch(threads).tiq(&queries, theta, accuracy)
+        }
     }
     .map_err(|e| ArgError(e.to_string()))?;
     let mut total = 0usize;
@@ -367,13 +588,17 @@ fn tiq(args: &Args) -> Result<(), ArgError> {
 }
 
 fn boxq(args: &Args) -> Result<(), ArgError> {
-    let tree = open_tree(args)?;
     let lo = parse_vec(args.required("lo")?)?;
     let hi = parse_vec(args.required("hi")?)?;
     let tau: f64 = args.num_required("tau")?;
-    let hits = tree
-        .probabilistic_box_query(&lo, &hi, tau)
-        .map_err(|e| ArgError(e.to_string()))?;
+    let hits = if is_forest_index(args.required("index")?) {
+        let forest = open_forest(args)?;
+        let snap = forest.snapshot().map_err(|e| ArgError(e.to_string()))?;
+        snap.probabilistic_box_query(&lo, &hi, tau)
+    } else {
+        open_tree(args)?.probabilistic_box_query(&lo, &hi, tau)
+    }
+    .map_err(|e| ArgError(e.to_string()))?;
     for h in &hits {
         println!("id={} P={:.4}", h.id, h.probability);
     }
@@ -744,6 +969,77 @@ mod tests {
             "half"
         ])
         .is_err());
+    }
+
+    #[test]
+    fn forest_lifecycle() {
+        let tmp = TempDir::new();
+        let csv = tmp.p("f.csv");
+        let dir = tmp.p("forest");
+
+        run(&[
+            "generate", "--out", &csv, "--kind", "uniform", "--n", "400", "--dims", "3", "--seed",
+            "2",
+        ])
+        .unwrap();
+        run(&[
+            "build",
+            "--forest",
+            "true",
+            "--data",
+            &csv,
+            "--index",
+            &dir,
+            "--memtable",
+            "64",
+        ])
+        .unwrap();
+        run(&["info", "--index", &dir]).unwrap();
+        // Stream drift events (upserts + deletes) into the forest.
+        run(&[
+            "ingest",
+            "--index",
+            &dir,
+            "--events",
+            "500",
+            "--sensors",
+            "32",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        run(&["compact", "--index", &dir]).unwrap();
+        run(&[
+            "mliq",
+            "--index",
+            &dir,
+            "--query",
+            "0.5,0.5,0.5;0.1,0.1,0.1",
+            "-k",
+            "3",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        run(&[
+            "tiq",
+            "--index",
+            &dir,
+            "--query",
+            "0.5,0.5,0.5;0.1,0.1,0.1",
+            "--theta",
+            "0.001",
+        ])
+        .unwrap();
+        run(&[
+            "boxq", "--index", &dir, "--lo", "0,0,0", "--hi", "1,1,1", "--tau", "0.1",
+        ])
+        .unwrap();
+        // CSV ingest (pure upserts) also lands.
+        run(&["ingest", "--index", &dir, "--data", &csv]).unwrap();
+        run(&["info", "--index", &dir]).unwrap();
+        // Building a forest over an existing one is refused.
+        assert!(run(&["build", "--forest", "true", "--data", &csv, "--index", &dir]).is_err());
     }
 
     #[test]

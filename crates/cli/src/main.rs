@@ -8,6 +8,12 @@
 //! gauss-cli tiq      --index faces.gtree --query "1.0,2.0;0.1,0.2" --theta 0.1
 //! gauss-cli boxq     --index faces.gtree --lo 0,0 --hi 1,1 --tau 0.5
 //! gauss-cli delete   --index faces.gtree --id 7 --query "1.0,2.0;0.1,0.2"
+//!
+//! # write-optimized Gauss-forest (index is a directory)
+//! gauss-cli build    --forest true --data data.csv --index sensors/
+//! gauss-cli ingest   --index sensors/ --events 100000 --sensors 512
+//! gauss-cli compact  --index sensors/
+//! gauss-cli mliq     --index sensors/ --query "1.0,2.0;0.1,0.2" -k 5
 //! ```
 //!
 //! Queries are written `means;sigmas` with comma-separated components.

@@ -8,23 +8,38 @@
 //! only the pages needed so far. Expanded leaves are evaluated through the
 //! batched columnar kernel ([`pfv::batch::log_densities`]), so the cursor's
 //! per-hit densities are bit-identical to the scalar per-entry path.
+//!
+//! Over a [`crate::ForestSnapshot`] the same frontier simply spans every
+//! component: memtable entries enter as ready objects, each component
+//! contributes its root, and node bounds carry their component index so
+//! expansion reads the right tree (shadowed ids are skipped). Because
+//! emission is ordered by exact density, the ranking equals the
+//! single-tree ranking over the live set.
 
 use crate::node::CachedNode;
 use crate::query::MliqResult;
 use crate::tree::TreeError;
-use crate::view::Plane;
+use crate::view::{Plane, ViewPlane};
 use gauss_storage::store::PageStore;
 use gauss_storage::PageId;
-use pfv::{batch, Pfv};
+use pfv::{batch, combine, Pfv};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// An element of the traversal frontier: either an unexpanded node or a
-/// concrete object, ordered by its (bound on the) log density.
+/// An element of the traversal frontier: either an unexpanded node (tagged
+/// with the component it belongs to; 0 for a single tree) or a concrete
+/// object, ordered by its (bound on the) log density.
 #[derive(Debug, Clone, Copy)]
 enum Frontier {
-    NodeBound { log_upper: f64, page: PageId },
-    Object { log_density: f64, id: u64 },
+    NodeBound {
+        log_upper: f64,
+        comp: usize,
+        page: PageId,
+    },
+    Object {
+        log_density: f64,
+        id: u64,
+    },
 }
 
 impl Frontier {
@@ -38,7 +53,7 @@ impl Frontier {
 
 impl PartialEq for Frontier {
     fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for Frontier {}
@@ -49,36 +64,52 @@ impl PartialOrd for Frontier {
 }
 impl Ord for Frontier {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap on the key; objects win ties against node bounds so an
-        // object equal to a bound is emitted without expanding the node.
-        self.key().total_cmp(&other.key()).then_with(|| {
-            let rank = |f: &Frontier| match f {
-                Frontier::Object { .. } => 1,
-                Frontier::NodeBound { .. } => 0,
-            };
-            rank(self).cmp(&rank(other))
-        })
+        // Max-heap on the key. On exact key ties node bounds win, so a
+        // node whose upper bound equals a ready object's density is
+        // expanded *before* that object is emitted — it may hide an
+        // equal-density entry with a smaller id, which the (density desc,
+        // id asc) contract must rank first. Tied objects then emit in
+        // ascending id order. Together this is a strict total order, so
+        // emission is independent of heap arrival order — and over a
+        // forest, of component order.
+        self.key()
+            .total_cmp(&other.key())
+            .then_with(|| match (self, other) {
+                (Frontier::NodeBound { .. }, Frontier::Object { .. }) => Ordering::Greater,
+                (Frontier::Object { .. }, Frontier::NodeBound { .. }) => Ordering::Less,
+                (Frontier::Object { id: a, .. }, Frontier::Object { id: b, .. }) => b.cmp(a),
+                (Frontier::NodeBound { .. }, Frontier::NodeBound { .. }) => Ordering::Equal,
+            })
     }
 }
 
-/// Lazy best-first ranking over one tree state.
+/// Lazy best-first ranking over one view state.
 ///
 /// Created by [`ReadView::ranking_cursor`] — on a
-/// [`GaussTree`](crate::tree::GaussTree) (working state) or a pinned
-/// [`Snapshot`](crate::tree::Snapshot) (committed epoch); call
-/// [`RankingCursor::next_hit`] repeatedly. Holds the query and frontier;
-/// borrows the view *shared*, so several cursors (even on different
-/// threads) can rank over one tree at once.
+/// [`GaussTree`](crate::tree::GaussTree) (working state), a pinned
+/// [`Snapshot`](crate::tree::Snapshot) (committed epoch) or a
+/// [`ForestSnapshot`](crate::ForestSnapshot) (committed forest manifest);
+/// call [`RankingCursor::next_hit`] repeatedly. Holds the query and
+/// frontier; borrows the view *shared*, so several cursors (even on
+/// different threads) can rank over one tree at once.
 ///
 /// [`ReadView::ranking_cursor`]: crate::view::ReadView::ranking_cursor
-#[derive(Debug)]
 pub struct RankingCursor<'t, S: PageStore> {
-    plane: Plane<'t, S>,
+    view: ViewPlane<'t, S>,
     query: Pfv,
     heap: BinaryHeap<Frontier>,
     emitted: u64,
     /// Scratch buffer for the batched leaf kernel, reused across leaves.
     dens: Vec<f64>,
+}
+
+impl<S: PageStore> std::fmt::Debug for RankingCursor<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankingCursor")
+            .field("emitted", &self.emitted)
+            .field("frontier", &self.heap.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'t, S: PageStore> RankingCursor<'t, S> {
@@ -88,38 +119,62 @@ impl<'t, S: PageStore> RankingCursor<'t, S> {
         self.emitted
     }
 
+    /// The component plane and shadow set behind frontier entry `comp`.
+    fn comp_plane(
+        &self,
+        comp: usize,
+    ) -> (Plane<'t, S>, Option<&'t std::collections::HashSet<u64>>) {
+        match &self.view {
+            ViewPlane::Tree(plane) => (*plane, None),
+            ViewPlane::Forest(fp) => {
+                let c = &fp.comps()[comp];
+                (
+                    c.snap.tree_plane(),
+                    (!c.hidden.is_empty()).then_some(&c.hidden),
+                )
+            }
+        }
+    }
+
     /// Returns the next-most-likely object, or `None` when the database is
     /// exhausted.
     ///
     /// # Errors
     /// Storage / codec errors while expanding nodes.
     pub fn next_hit(&mut self) -> Result<Option<MliqResult>, TreeError> {
-        let mode = self.plane.config().combine;
+        let mode = self.view.config().combine;
         while let Some(top) = self.heap.pop() {
             match top {
                 Frontier::Object { log_density, id } => {
                     self.emitted += 1;
                     return Ok(Some(MliqResult { id, log_density }));
                 }
-                Frontier::NodeBound { page, .. } => match &*self.plane.read_node_cached(page)? {
-                    CachedNode::Leaf(leaf) => {
-                        self.dens.resize(leaf.columns.len(), 0.0);
-                        batch::log_densities(mode, &self.query, &leaf.columns, &mut self.dens);
-                        for (&id, &log_density) in leaf.ids.iter().zip(self.dens.iter()) {
-                            self.heap.push(Frontier::Object { log_density, id });
+                Frontier::NodeBound { comp, page, .. } => {
+                    let (plane, hidden) = self.comp_plane(comp);
+                    match &*plane.read_node_cached(page)? {
+                        CachedNode::Leaf(leaf) => {
+                            self.dens.resize(leaf.columns.len(), 0.0);
+                            batch::log_densities(mode, &self.query, &leaf.columns, &mut self.dens);
+                            for (&id, &log_density) in leaf.ids.iter().zip(self.dens.iter()) {
+                                if hidden.is_some_and(|h| h.contains(&id)) {
+                                    continue;
+                                }
+                                self.heap.push(Frontier::Object { log_density, id });
+                            }
+                        }
+                        CachedNode::Inner(es) => {
+                            // The cursor only orders by the upper bound, so no
+                            // fused lower-bound evaluation is needed here.
+                            for e in es {
+                                self.heap.push(Frontier::NodeBound {
+                                    log_upper: e.rect.log_upper_for_query(&self.query, mode),
+                                    comp,
+                                    page: e.child,
+                                });
+                            }
                         }
                     }
-                    CachedNode::Inner(es) => {
-                        // The cursor only orders by the upper bound, so no
-                        // fused lower-bound evaluation is needed here.
-                        for e in es {
-                            self.heap.push(Frontier::NodeBound {
-                                log_upper: e.rect.log_upper_for_query(&self.query, mode),
-                                page: e.child,
-                            });
-                        }
-                    }
-                },
+                }
             }
         }
         Ok(None)
@@ -146,20 +201,44 @@ impl<'t, S: PageStore> RankingCursor<'t, S> {
     }
 }
 
-impl<'t, S: PageStore> Plane<'t, S> {
+impl<'t, S: PageStore> ViewPlane<'t, S> {
     /// Starts a lazy best-first ranking for `q` — the constructor behind
     /// [`crate::view::ReadView::ranking_cursor`].
     pub(crate) fn ranking_cursor(self, q: &Pfv) -> Result<RankingCursor<'t, S>, TreeError> {
         self.check_dims(q.dims())?;
         let mut heap = BinaryHeap::new();
-        if !self.is_empty() {
-            heap.push(Frontier::NodeBound {
-                log_upper: f64::INFINITY,
-                page: self.root_page(),
-            });
+        match &self {
+            ViewPlane::Tree(plane) => {
+                if !plane.is_empty() {
+                    heap.push(Frontier::NodeBound {
+                        log_upper: f64::INFINITY,
+                        comp: 0,
+                        page: plane.root_page(),
+                    });
+                }
+            }
+            ViewPlane::Forest(fp) => {
+                let mode = fp.config().combine;
+                for (id, v) in fp.mem() {
+                    heap.push(Frontier::Object {
+                        log_density: combine::log_joint(mode, v, q),
+                        id: *id,
+                    });
+                }
+                for (ci, c) in fp.comps().iter().enumerate() {
+                    let plane = c.snap.tree_plane();
+                    if !plane.is_empty() {
+                        heap.push(Frontier::NodeBound {
+                            log_upper: f64::INFINITY,
+                            comp: ci,
+                            page: plane.root_page(),
+                        });
+                    }
+                }
+            }
         }
         Ok(RankingCursor {
-            plane: self,
+            view: self,
             query: q.clone(),
             heap,
             emitted: 0,
@@ -175,7 +254,7 @@ mod tests {
     use crate::tree::GaussTree;
     use crate::view::ReadView;
     use gauss_storage::{AccessStats, BufferPool, MemStore};
-    use pfv::{combine, CombineMode};
+    use pfv::CombineMode;
 
     fn build(n: u64) -> (GaussTree<MemStore>, Vec<Pfv>) {
         let pool = BufferPool::new(MemStore::new(8192), 4096, AccessStats::new_shared());

@@ -1,0 +1,271 @@
+//! The forest manifest: an epoch-tagged component list committed through
+//! the same dual-slot checksummed protocol the single tree uses for its
+//! meta pages.
+//!
+//! Two fixed slots alternate by epoch parity. A commit writes the slot
+//! `epoch % 2` *after* a data barrier on every component's pages, so a
+//! crash at any point leaves at least one slot describing a fully
+//! durable forest. On open both slots are parsed and the valid one with
+//! the higher epoch wins — exactly the recovery rule of
+//! [`crate::GaussTree`]'s meta slots, lifted from pages inside one file
+//! to files inside one directory.
+
+use crate::config::{LeafFormat, SplitStrategy, TreeConfig};
+use gauss_storage::{fnv1a64, Reader, Writer};
+use pfv::CombineMode;
+
+/// Magic number identifying a forest manifest slot ("GFor").
+const MANIFEST_MAGIC: u32 = 0x4746_6F72;
+/// Manifest format version.
+const MANIFEST_VERSION: u32 = 1;
+/// Byte offset of the checksum field (after magic + version).
+const CHECKSUM_OFFSET: usize = 8;
+
+/// One immutable component as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ManifestComponent {
+    /// Backend component id (names the underlying store).
+    pub id: u64,
+    /// LSM level; level `l + 1` components are merge products of level
+    /// `l` runs and therefore older and larger.
+    pub level: u32,
+    /// Number of entries stored in the component's tree.
+    pub len: u64,
+    /// Ids whose deletion this component records: they shadow any entry
+    /// with the same id in an *older* component.
+    pub tombstones: Vec<u64>,
+}
+
+/// The decoded manifest: forest-wide config plus the component list in
+/// newest-first order.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ForestManifest {
+    /// Commit epoch; strictly increasing, the higher valid slot wins.
+    pub epoch: u64,
+    /// Tree configuration shared by every component.
+    pub config: TreeConfig,
+    /// Memtable flush threshold (records, including tombstones).
+    pub memtable_capacity: u64,
+    /// Components per level that trigger a merge in `maintain`.
+    pub merge_factor: u32,
+    /// Next component id the forest will allocate.
+    pub next_component_id: u64,
+    /// Components, newest first.
+    pub components: Vec<ManifestComponent>,
+}
+
+impl ForestManifest {
+    /// Serialises the manifest with its checksum patched in.
+    pub fn encode(&self) -> Vec<u8> {
+        let fixed = 4 + 4 + 8 + 8 + 4 + 4 + 8 + 4 + 8 + 4;
+        let per_comp: usize = self
+            .components
+            .iter()
+            .map(|c| 8 + 4 + 8 + 4 + 8 * c.tombstones.len())
+            .sum();
+        let mut buf = vec![0u8; fixed + per_comp];
+        let mut w = Writer::new(&mut buf);
+        w.put_u32(MANIFEST_MAGIC);
+        w.put_u32(MANIFEST_VERSION);
+        w.put_u64(0); // checksum, patched below
+        w.put_u64(self.epoch);
+        w.put_u32(u32::try_from(self.config.dims).unwrap_or(u32::MAX));
+        w.put_u8(match self.config.combine {
+            CombineMode::Convolution => 0,
+            CombineMode::AdditiveSigma => 1,
+        });
+        w.put_u8(self.config.split.to_tag());
+        w.put_u8(self.config.leaf_format.to_tag());
+        w.put_u8(0); // reserved
+        w.put_u64(self.memtable_capacity);
+        w.put_u32(self.merge_factor);
+        w.put_u64(self.next_component_id);
+        w.put_u32(u32::try_from(self.components.len()).unwrap_or(u32::MAX));
+        for c in &self.components {
+            w.put_u64(c.id);
+            w.put_u32(c.level);
+            w.put_u64(c.len);
+            w.put_u32(u32::try_from(c.tombstones.len()).unwrap_or(u32::MAX));
+            for t in &c.tombstones {
+                w.put_u64(*t);
+            }
+        }
+        debug_assert_eq!(w.remaining(), 0, "manifest size mis-computed");
+        let sum = fnv1a64(&buf);
+        buf[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Parses one slot image. Any validation failure — bad magic,
+    /// version, checksum, or tag — returns `None` so the caller can
+    /// fall back to the other slot.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        if r.get_u32().ok()? != MANIFEST_MAGIC || r.get_u32().ok()? != MANIFEST_VERSION {
+            return None;
+        }
+        let stored_sum = r.get_u64().ok()?;
+        let mut image = bytes.to_vec();
+        image[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].fill(0);
+        if fnv1a64(&image) != stored_sum {
+            return None;
+        }
+        let epoch = r.get_u64().ok()?;
+        let dims = r.get_u32().ok()? as usize;
+        let combine = match r.get_u8().ok()? {
+            0 => CombineMode::Convolution,
+            1 => CombineMode::AdditiveSigma,
+            _ => return None,
+        };
+        let split = SplitStrategy::from_tag(r.get_u8().ok()?)?;
+        let leaf_format = LeafFormat::from_tag(r.get_u8().ok()?)?;
+        let _reserved = r.get_u8().ok()?;
+        let memtable_capacity = r.get_u64().ok()?;
+        let merge_factor = r.get_u32().ok()?;
+        let next_component_id = r.get_u64().ok()?;
+        let n_comps = r.get_u32().ok()? as usize;
+        if epoch == 0 || dims == 0 || merge_factor < 2 {
+            return None;
+        }
+        let mut components = Vec::with_capacity(n_comps.min(1024));
+        for _ in 0..n_comps {
+            let id = r.get_u64().ok()?;
+            let level = r.get_u32().ok()?;
+            let len = r.get_u64().ok()?;
+            let n_tombs = r.get_u32().ok()? as usize;
+            let mut tombstones = Vec::with_capacity(n_tombs.min(1024));
+            for _ in 0..n_tombs {
+                tombstones.push(r.get_u64().ok()?);
+            }
+            if id >= next_component_id {
+                return None;
+            }
+            components.push(ManifestComponent {
+                id,
+                level,
+                len,
+                tombstones,
+            });
+        }
+        // Newest-first means levels never decrease down the list.
+        if components.windows(2).any(|w| w[0].level > w[1].level) {
+            return None;
+        }
+        let config = TreeConfig::new(dims)
+            .with_combine(combine)
+            .with_split(split)
+            .with_leaf_format(leaf_format);
+        Some(Self {
+            epoch,
+            config,
+            memtable_capacity,
+            merge_factor,
+            next_component_id,
+            components,
+        })
+    }
+
+    /// Picks the winning manifest from the two slot images: valid slots
+    /// only, higher epoch wins.
+    pub fn choose(slots: [Option<&[u8]>; 2]) -> Option<Self> {
+        let mut best: Option<Self> = None;
+        for bytes in slots.into_iter().flatten() {
+            if let Some(m) = Self::decode(bytes) {
+                if best.as_ref().is_none_or(|b| m.epoch > b.epoch) {
+                    best = Some(m);
+                }
+            }
+        }
+        best
+    }
+
+    /// The slot index the *next* commit of `epoch` writes to.
+    pub fn slot_for(epoch: u64) -> usize {
+        (epoch % 2) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ForestManifest {
+        ForestManifest {
+            epoch: 7,
+            config: TreeConfig::new(3)
+                .with_combine(CombineMode::AdditiveSigma)
+                .with_leaf_format(LeafFormat::Quantised),
+            memtable_capacity: 512,
+            merge_factor: 2,
+            next_component_id: 5,
+            components: vec![
+                ManifestComponent {
+                    id: 4,
+                    level: 0,
+                    len: 512,
+                    tombstones: vec![9, 11],
+                },
+                ManifestComponent {
+                    id: 3,
+                    level: 1,
+                    len: 1024,
+                    tombstones: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let bytes = m.encode();
+        let back = ForestManifest::decode(&bytes).expect("decodes");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let m = sample();
+        let bytes = m.encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xFF;
+            let got = ForestManifest::decode(&bad);
+            assert!(
+                got.is_none() || got == Some(m.clone()),
+                "flipped byte {i} produced a different valid manifest"
+            );
+        }
+        assert!(ForestManifest::decode(&bytes[..bytes.len() - 1]).is_none());
+        assert!(ForestManifest::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn choose_prefers_higher_epoch() {
+        let mut a = sample();
+        let mut b = sample();
+        a.epoch = 3;
+        b.epoch = 4;
+        let (ea, eb) = (a.encode(), b.encode());
+        let got = ForestManifest::choose([Some(&ea), Some(&eb)]).expect("one wins");
+        assert_eq!(got.epoch, 4);
+        let got = ForestManifest::choose([Some(&ea), None]).expect("one valid");
+        assert_eq!(got.epoch, 3);
+        assert!(ForestManifest::choose([None, None]).is_none());
+        // A corrupt higher slot must lose to a valid lower one.
+        let mut bad = eb.clone();
+        bad[20] ^= 1;
+        let got = ForestManifest::choose([Some(&ea), Some(&bad)]).expect("valid slot wins");
+        assert_eq!(got.epoch, 3);
+    }
+
+    #[test]
+    fn order_violations_rejected() {
+        let mut m = sample();
+        m.components.swap(0, 1); // level 1 before level 0
+        assert!(ForestManifest::decode(&m.encode()).is_none());
+        let mut m = sample();
+        m.components[0].id = 99; // >= next_component_id
+        assert!(ForestManifest::decode(&m.encode()).is_none());
+    }
+}

@@ -1,0 +1,99 @@
+//! The forest's in-memory write buffer.
+//!
+//! A sorted map from object id to the *latest* mutation: `Some(pfv)` for
+//! an upsert, `None` for a tombstone. Values are quantised at insert
+//! time (when the forest's leaf format calls for it), so the density a
+//! memtable entry contributes to a query is bit-identical to what the
+//! same entry contributes after it is flushed into a component tree.
+
+use pfv::Pfv;
+use std::collections::BTreeMap;
+
+/// Latest per-id mutation buffered in memory. `None` is a tombstone.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Memtable {
+    records: BTreeMap<u64, Option<Pfv>>,
+}
+
+impl Memtable {
+    /// An empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffered records, tombstones included — this is what
+    /// the flush threshold compares against.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the buffer holds no records at all.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records a mutation, returning the previous one for the same id.
+    pub fn put(&mut self, id: u64, value: Option<Pfv>) -> Option<Option<Pfv>> {
+        self.records.insert(id, value)
+    }
+
+    /// The buffered mutation for `id`: `None` (nothing buffered),
+    /// `Some(None)` (tombstone) or `Some(Some(_))` (live value).
+    pub fn get(&self, id: u64) -> Option<&Option<Pfv>> {
+        self.records.get(&id)
+    }
+
+    /// Live entries in ascending id order — the flush input.
+    pub fn live_entries(&self) -> Vec<(u64, Pfv)> {
+        self.records
+            .iter()
+            .filter_map(|(id, v)| v.as_ref().map(|p| (*id, p.clone())))
+            .collect()
+    }
+
+    /// Ids with a buffered tombstone, ascending.
+    pub fn tombstones(&self) -> Vec<u64> {
+        self.records
+            .iter()
+            .filter_map(|(id, v)| v.is_none().then_some(*id))
+            .collect()
+    }
+
+    /// All buffered ids (live and tombstoned), ascending.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.records.keys().copied()
+    }
+
+    /// Drops every buffered record, e.g. after a flush.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(mu: f64) -> Pfv {
+        Pfv::new(vec![mu], vec![1.0]).unwrap()
+    }
+
+    #[test]
+    fn latest_mutation_wins() {
+        let mut m = Memtable::new();
+        assert!(m.is_empty());
+        m.put(1, Some(v(1.0)));
+        m.put(2, None);
+        m.put(1, None);
+        m.put(3, Some(v(3.0)));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(1), Some(&None));
+        assert!(m.get(9).is_none());
+        assert_eq!(m.live_entries().len(), 1);
+        assert_eq!(m.live_entries()[0].0, 3);
+        assert_eq!(m.tombstones(), vec![1, 2]);
+        assert_eq!(m.ids().collect::<Vec<_>>(), vec![1, 2, 3]);
+        m.clear();
+        assert!(m.is_empty());
+    }
+}

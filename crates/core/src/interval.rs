@@ -89,14 +89,39 @@ impl<S: PageStore> Plane<'_, S> {
             assert!(lo[i] <= hi[i], "reversed box in dim {i}");
         }
         let mut out = Vec::new();
+        self.box_query_scan(lo, hi, tau, None, &mut out)?;
+        out.sort_by(|a, b| {
+            b.probability
+                .total_cmp(&a.probability)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        Ok(out)
+    }
+
+    /// The pruned box-query descent over *this* tree, appending qualifying
+    /// objects to a caller-owned vector (unsorted). `hidden` names entry
+    /// ids to skip — the forest passes ids shadowed by newer components.
+    /// Inputs are assumed validated by the caller.
+    pub(crate) fn box_query_scan(
+        &self,
+        lo: &[f64],
+        hi: &[f64],
+        tau: f64,
+        hidden: Option<&std::collections::HashSet<u64>>,
+        out: &mut Vec<BoxQueryResult>,
+    ) -> Result<(), TreeError> {
         if self.is_empty() {
-            return Ok(out);
+            return Ok(());
         }
+        let skip = |id: u64| hidden.is_some_and(|h| h.contains(&id));
         let mut stack = vec![self.root_page()];
         while let Some(page) = stack.pop() {
             match self.read_node(page)? {
                 Node::Leaf(es) => {
                     for e in &es {
+                        if skip(e.id) {
+                            continue;
+                        }
                         let p = containment_probability(&e.pfv, lo, hi);
                         if p >= tau {
                             out.push(BoxQueryResult {
@@ -122,12 +147,7 @@ impl<S: PageStore> Plane<'_, S> {
                 }
             }
         }
-        out.sort_by(|a, b| {
-            b.probability
-                .total_cmp(&a.probability)
-                .then_with(|| a.id.cmp(&b.id))
-        });
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -49,6 +49,14 @@
 //! lock-free while a writer shadow-builds the next (see the *Snapshots &
 //! MVCC* section of the README).
 //!
+//! For write-heavy workloads the [`forest`] module layers an LSM-style
+//! store on top: [`GaussForest`] absorbs inserts/deletes in a memtable
+//! (deletes as tombstones), flushes it through the bulk loader into
+//! immutable components of doubling sizes, and merges components on
+//! [`GaussForest::maintain`]; queries fan out across the memtable and
+//! every component behind the same [`ReadView`] trait and return results
+//! bit-identical to a single tree over the live set.
+//!
 //! # Example
 //!
 //! ```
@@ -82,6 +90,8 @@ pub mod cursor;
 pub mod delete;
 /// Parallel batch-query execution.
 pub mod executor;
+/// The LSM-style Gauss-forest: memtable + immutable component trees.
+pub mod forest;
 /// Conservative probability-interval bounds for subtree pruning.
 pub mod interval;
 /// On-page node layout: inner/leaf entries and their codecs.
@@ -101,6 +111,7 @@ pub use config::{LeafFormat, SplitStrategy, TreeConfig};
 pub use cursor::RankingCursor;
 pub use delete::DeleteOutcome;
 pub use executor::BatchExecutor;
+pub use forest::{ComponentInfo, ForestOptions, ForestSnapshot, GaussForest, MaintainReport};
 pub use interval::BoxQueryResult;
 pub use node::{children_log_hulls, CachedNode, ColumnarLeafNode};
 pub use query::{MliqResult, RefinedResult, TiqResult};

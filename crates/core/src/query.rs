@@ -75,11 +75,11 @@ pub struct TiqResult {
 
 /// Priority-queue entry: an active node ordered by its upper bound.
 #[derive(Debug, Clone, Copy)]
-struct ActiveNode {
-    log_upper: f64,
-    log_lower: f64,
-    count: u64,
-    page: PageId,
+pub(crate) struct ActiveNode {
+    pub(crate) log_upper: f64,
+    pub(crate) log_lower: f64,
+    pub(crate) count: u64,
+    pub(crate) page: PageId,
 }
 
 impl PartialEq for ActiveNode {
@@ -105,9 +105,9 @@ impl Ord for ActiveNode {
 /// Candidate ordered ascending by (density, id) so a `BinaryHeap<Reverse<_>>`
 /// keeps the k best and peeks the worst kept.
 #[derive(Debug, Clone, Copy)]
-struct Candidate {
-    log_density: f64,
-    id: u64,
+pub(crate) struct Candidate {
+    pub(crate) log_density: f64,
+    pub(crate) id: u64,
 }
 
 impl PartialEq for Candidate {
@@ -135,14 +135,14 @@ impl Ord for Candidate {
 ///
 /// `exact` accumulates the densities of objects already examined; `min_rem`
 /// / `max_rem` accumulate `n·Ň` / `n·N̂` of not-yet-expanded subtrees.
-struct DenomBounds {
+pub(crate) struct DenomBounds {
     exact: LogSumAcc,
     min_rem: ScaledSum,
     max_rem: ScaledSum,
 }
 
 impl DenomBounds {
-    fn new(anchor: f64) -> Self {
+    pub(crate) fn new(anchor: f64) -> Self {
         Self {
             exact: LogSumAcc::new(),
             min_rem: ScaledSum::new(anchor),
@@ -150,37 +150,82 @@ impl DenomBounds {
         }
     }
 
-    fn add_object(&mut self, log_density: f64) {
+    pub(crate) fn add_object(&mut self, log_density: f64) {
         self.exact.add(log_density);
     }
 
-    fn add_node(&mut self, node: &ActiveNode) {
-        // Re-anchor before a term that would overflow the current scale.
-        if node.log_upper - self.max_rem.anchor() > 600.0 {
-            self.min_rem.reanchor(node.log_upper);
-            self.max_rem.reanchor(node.log_upper);
-        }
-        self.min_rem.add(node.log_lower, node.count as f64);
-        self.max_rem.add(node.log_upper, node.count as f64);
+    pub(crate) fn add_node(&mut self, node: &ActiveNode) {
+        self.add_node_counts(
+            node.log_lower,
+            node.count as f64,
+            node.log_upper,
+            node.count as f64,
+        );
     }
 
-    fn remove_node(&mut self, node: &ActiveNode) {
-        self.min_rem.sub(node.log_lower, node.count as f64);
-        self.max_rem.sub(node.log_upper, node.count as f64);
+    /// Like [`DenomBounds::add_node`] but with distinct entry counts for
+    /// the lower and upper remainder terms. The forest query path prices a
+    /// component node with `hi_count` = all stored entries (a correct
+    /// upper bound even when some are shadowed by newer components) and
+    /// `lo_count` = entries guaranteed visible.
+    pub(crate) fn add_node_counts(
+        &mut self,
+        log_lower: f64,
+        lo_count: f64,
+        log_upper: f64,
+        hi_count: f64,
+    ) {
+        // Re-anchor before a term that would overflow the current scale.
+        if log_upper - self.max_rem.anchor() > 600.0 {
+            self.min_rem.reanchor(log_upper);
+            self.max_rem.reanchor(log_upper);
+        }
+        self.min_rem.add(log_lower, lo_count);
+        self.max_rem.add(log_upper, hi_count);
+    }
+
+    pub(crate) fn remove_node(&mut self, node: &ActiveNode) {
+        self.remove_node_counts(
+            node.log_lower,
+            node.count as f64,
+            node.log_upper,
+            node.count as f64,
+        );
+    }
+
+    /// Inverse of [`DenomBounds::add_node_counts`].
+    pub(crate) fn remove_node_counts(
+        &mut self,
+        log_lower: f64,
+        lo_count: f64,
+        log_upper: f64,
+        hi_count: f64,
+    ) {
+        self.min_rem.sub(log_lower, lo_count);
+        self.max_rem.sub(log_upper, hi_count);
     }
 
     /// `ln` of the guaranteed lower bound on the denominator.
-    fn log_lo(&self) -> f64 {
-        log_add_exp(self.exact.value(), self.min_rem.log_value())
+    ///
+    /// Uses the error-deflated reading of the remainder accumulator so the
+    /// bound stays a true lower bound under add/sub cancellation noise.
+    pub(crate) fn log_lo(&self) -> f64 {
+        log_add_exp(self.exact.value(), self.min_rem.log_value_lower())
     }
 
     /// `ln` of the guaranteed upper bound on the denominator.
-    fn log_hi(&self) -> f64 {
-        log_add_exp(self.exact.value(), self.max_rem.log_value())
+    ///
+    /// Uses the error-inflated reading of the remainder accumulator: a raw
+    /// reading can cancel to zero while unexpanded nodes still hold real
+    /// mass, which would collapse the interval early and report a bogus
+    /// zero-width probability (observed as forest-vs-tree TIQ divergence
+    /// far beyond the requested accuracy).
+    pub(crate) fn log_hi(&self) -> f64 {
+        log_add_exp(self.exact.value(), self.max_rem.log_value_upper())
     }
 
     /// `ln` of the interval midpoint (in linear space).
-    fn log_mid(&self) -> f64 {
+    pub(crate) fn log_mid(&self) -> f64 {
         log_add_exp(self.log_lo(), self.log_hi()) - std::f64::consts::LN_2
     }
 
@@ -190,7 +235,7 @@ impl DenomBounds {
     /// accumulator a cancellation residue *below* the lower one, which would
     /// otherwise make the width slightly negative and `width <= accuracy`
     /// comparisons vacuously true for negative widths only.
-    fn prob_width(&self, ld: f64) -> f64 {
+    pub(crate) fn prob_width(&self, ld: f64) -> f64 {
         ((ld - self.log_lo()).exp() - (ld - self.log_hi()).exp()).max(0.0)
     }
 }
@@ -204,7 +249,7 @@ impl DenomBounds {
 /// `exp(−∞ − (−∞)) = NaN`. Returns `(probability, prob_lo, prob_hi)` with
 /// every value finite in `[0, 1]` and `prob_lo <= probability <= prob_hi`
 /// guaranteed (the all-underflow case maps to probability 0).
-fn clamped_probs(ld: f64, log_lo: f64, log_hi: f64, log_mid: f64) -> (f64, f64, f64) {
+pub(crate) fn clamped_probs(ld: f64, log_lo: f64, log_hi: f64, log_mid: f64) -> (f64, f64, f64) {
     let unit = |x: f64| if x.is_nan() { 0.0 } else { x.clamp(0.0, 1.0) };
     let p_lo = unit((ld - log_hi).exp());
     let p_hi = unit((ld - log_lo).exp()).max(p_lo);
@@ -220,8 +265,48 @@ impl<S: PageStore> Plane<'_, S> {
         if k == 0 || self.is_empty() {
             return Ok(Vec::new());
         }
-        let mode = self.config().combine;
         let target = k.min(self.len() as usize);
+        // Min-heap keeping the k best candidates.
+        let mut best: BinaryHeap<std::cmp::Reverse<Candidate>> = BinaryHeap::new();
+        self.k_mliq_scan(q, target, None, &mut best)?;
+
+        let mut out: Vec<MliqResult> = best
+            .into_iter()
+            .map(|std::cmp::Reverse(c)| MliqResult {
+                id: c.id,
+                log_density: c.log_density,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.log_density
+                .total_cmp(&a.log_density)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        Ok(out)
+    }
+
+    /// The best-first k-MLIQ descent over *this* tree, pushing candidates
+    /// into a caller-owned heap capped at `target`.
+    ///
+    /// `hidden` names entry ids to skip — the forest query path passes the
+    /// ids shadowed by newer components / tombstones; `None` is the plain
+    /// single-tree scan. The heap may arrive pre-populated (memtable
+    /// entries, other components): a fuller heap only tightens the pruning
+    /// bound, and because candidate selection is a pure top-`target` under
+    /// the total `(density, id)` order, the surviving set is independent
+    /// of which component was scanned first.
+    pub(crate) fn k_mliq_scan(
+        &self,
+        q: &Pfv,
+        target: usize,
+        hidden: Option<&std::collections::HashSet<u64>>,
+        best: &mut BinaryHeap<std::cmp::Reverse<Candidate>>,
+    ) -> Result<(), TreeError> {
+        if self.is_empty() {
+            return Ok(());
+        }
+        let mode = self.config().combine;
+        let skip = |id: u64| hidden.is_some_and(|h| h.contains(&id));
 
         let mut active: BinaryHeap<ActiveNode> = BinaryHeap::new();
         active.push(ActiveNode {
@@ -230,8 +315,6 @@ impl<S: PageStore> Plane<'_, S> {
             count: self.len(),
             page: self.root_page(),
         });
-        // Min-heap keeping the k best candidates.
-        let mut best: BinaryHeap<std::cmp::Reverse<Candidate>> = BinaryHeap::new();
         // Scratch buffers for the batched leaf kernels, reused across leaves.
         let mut dens: Vec<f64> = Vec::new();
         let mut fast = batch::FastScratch::new();
@@ -240,7 +323,12 @@ impl<S: PageStore> Plane<'_, S> {
             if best.len() == target {
                 // lint: allow(no-panic) -- best.len() == target > 0, so the heap is non-empty
                 let worst = best.peek().expect("non-empty").0.log_density;
-                if worst >= top.log_upper {
+                // Strict: a subtree whose upper bound exactly equals the
+                // worst kept density may still hold an equal-density entry
+                // with a smaller id, which wins the (density, id) tie —
+                // pruning on equality would make the result depend on scan
+                // order (and across forest components, on component order).
+                if worst > top.log_upper {
                     break;
                 }
             }
@@ -263,19 +351,22 @@ impl<S: PageStore> Plane<'_, S> {
                         }
                         batch::log_densities_upper(mode, q, &leaf.columns, &mut fast);
                         for (e, &id) in leaf.ids.iter().enumerate() {
-                            if fast.upper()[e] < worst {
+                            if fast.upper()[e] < worst || skip(id) {
                                 continue;
                             }
                             // Refine tier: exact, bit-identical to the
                             // batched kernel for this entry.
                             let ld = batch::log_density_one(mode, q, &leaf.columns, e);
-                            push_candidate(&mut best, target, ld, id);
+                            push_candidate(best, target, ld, id);
                         }
                     } else {
                         dens.resize(leaf.columns.len(), 0.0);
                         batch::log_densities(mode, q, &leaf.columns, &mut dens);
                         for (&id, &ld) in leaf.ids.iter().zip(dens.iter()) {
-                            push_candidate(&mut best, target, ld, id);
+                            if skip(id) {
+                                continue;
+                            }
+                            push_candidate(best, target, ld, id);
                         }
                     }
                 }
@@ -284,9 +375,11 @@ impl<S: PageStore> Plane<'_, S> {
                     // the children with upper bounds only.
                     for e in es {
                         let up = e.rect.log_upper_for_query(q, mode);
+                        // Strict for the same reason as the break above: an
+                        // exactly-tied child may contain the tie-winning id.
                         if best.len() == target
                             // lint: allow(no-panic) -- best.len() == target > 0, so the heap is non-empty
-                            && up <= best.peek().expect("non-empty").0.log_density
+                            && up < best.peek().expect("non-empty").0.log_density
                         {
                             continue;
                         }
@@ -300,20 +393,7 @@ impl<S: PageStore> Plane<'_, S> {
                 }
             }
         }
-
-        let mut out: Vec<MliqResult> = best
-            .into_iter()
-            .map(|std::cmp::Reverse(c)| MliqResult {
-                id: c.id,
-                log_density: c.log_density,
-            })
-            .collect();
-        out.sort_by(|a, b| {
-            b.log_density
-                .total_cmp(&a.log_density)
-                .then_with(|| a.id.cmp(&b.id))
-        });
-        Ok(out)
+        Ok(())
     }
 
     /// Probability-refined k-MLIQ (§5.2.2) — the algorithm behind
@@ -580,7 +660,7 @@ impl<S: PageStore> Plane<'_, S> {
 /// Prices every child of an inner node in one fused hull sweep (the same
 /// per-child evaluation as [`children_log_hulls`], without materializing
 /// the intermediate bounds vector) and wraps them as queue entries.
-fn active_children(
+pub(crate) fn active_children(
     es: &[crate::node::InnerEntry],
     q: &Pfv,
     mode: pfv::CombineMode,
@@ -598,7 +678,7 @@ fn active_children(
         .collect()
 }
 
-fn push_candidate(
+pub(crate) fn push_candidate(
     best: &mut BinaryHeap<std::cmp::Reverse<Candidate>>,
     target: usize,
     log_density: f64,

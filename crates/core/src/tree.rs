@@ -254,8 +254,7 @@ pub struct RecoveryReport {
 
 /// Builder-style construction options for [`GaussTree::create_with`],
 /// [`GaussTree::open_with`] and [`GaussTree::recover_with`] — the one
-/// place the crash-safety policy and cache sizing are decided, replacing
-/// the deprecated [`GaussTree::set_durability`] mutation.
+/// place the crash-safety policy and cache sizing are decided.
 ///
 /// ```
 /// use gauss_tree::TreeOptions;
@@ -397,9 +396,25 @@ impl<S: PageStore> Snapshot<S> {
         &self,
         strict_fanout: bool,
     ) -> Result<Vec<crate::check::InvariantError>, TreeError> {
-        self.plane()
+        self.tree_plane()
             .check_structure(strict_fanout)
             .map(|(errs, _)| errs)
+    }
+
+    /// The raw single-tree read-plane of this pinned epoch — for the
+    /// in-crate algorithms (structure checks, forest fan-out) that need
+    /// a [`Plane`] rather than the [`ReadView`] dispatch enum.
+    pub(crate) fn tree_plane(&self) -> Plane<'_, S> {
+        Plane {
+            pool: &self.pool,
+            node_cache: &self.node_cache,
+            config: &self.config,
+            leaf_cap: self.leaf_cap,
+            inner_cap: self.inner_cap,
+            root: self.root,
+            height: self.height,
+            len: self.len,
+        }
     }
 }
 
@@ -428,17 +443,8 @@ impl<S: PageStore> Drop for Snapshot<S> {
 }
 
 impl<S: PageStore> ReadView<S> for Snapshot<S> {
-    fn plane(&self) -> Plane<'_, S> {
-        Plane {
-            pool: &self.pool,
-            node_cache: &self.node_cache,
-            config: &self.config,
-            leaf_cap: self.leaf_cap,
-            inner_cap: self.inner_cap,
-            root: self.root,
-            height: self.height,
-            len: self.len,
-        }
+    fn plane(&self) -> crate::view::ViewPlane<'_, S> {
+        crate::view::ViewPlane::Tree(self.tree_plane())
     }
 }
 
@@ -481,7 +487,7 @@ enum ChildUpdate {
 /// `f64` of its rounded `f32` (see [`pfv::quant`]), so leaf encoding is an
 /// exact narrowing and queries stay exact over the stored parameters.
 /// Returns `Ok(None)` for exact trees (store as-is).
-fn quantise_for(format: LeafFormat, v: &Pfv) -> Result<Option<Pfv>, TreeError> {
+pub(crate) fn quantise_for(format: LeafFormat, v: &Pfv) -> Result<Option<Pfv>, TreeError> {
     if format == LeafFormat::Exact {
         return Ok(None);
     }
@@ -511,19 +517,6 @@ impl<S: PageStore> GaussTree<S> {
         config: TreeConfig,
     ) -> Result<Self, TreeError> {
         Self::create_with(pool, config, &TreeOptions::default())
-    }
-
-    /// Deprecated shim over [`GaussTree::create_with`].
-    ///
-    /// # Errors
-    /// As [`GaussTree::create_with`].
-    #[deprecated(note = "use `create_with` with `TreeOptions::new().durability(..)`")]
-    pub fn create_durable(
-        pool: impl Into<SharedBufferPool<S>>,
-        config: TreeConfig,
-        durability: Durability,
-    ) -> Result<Self, TreeError> {
-        Self::create_with(pool, config, &TreeOptions::new().durability(durability))
     }
 
     /// Creates an empty Gauss-tree in a fresh store under the given
@@ -585,23 +578,6 @@ impl<S: PageStore> GaussTree<S> {
     #[must_use]
     pub fn durability(&self) -> Durability {
         self.durability
-    }
-
-    /// Switches the crash-safety policy for subsequent mutations.
-    ///
-    /// Under [`Durability::None`] nodes are updated in place and no
-    /// barriers are issued: fast, but a crash mid-write can corrupt the
-    /// tree. Under `Flush`/`Fsync` every mutation shadow-writes fresh
-    /// pages (the last committed epoch is never overwritten), frees are
-    /// only reused once their free has been committed, and
-    /// [`GaussTree::flush`] orders a data barrier before the meta-slot
-    /// commit — so a crash at any write boundary recovers to either the
-    /// previous or the new committed state. Legacy (v1-format) trees keep
-    /// their single meta slot, so their meta commit itself is not atomic
-    /// regardless of policy; rebuild to upgrade.
-    #[deprecated(note = "pass `TreeOptions::new().durability(..)` to `create_with`/`open_with`")]
-    pub fn set_durability(&mut self, durability: Durability) {
-        self.durability = durability;
     }
 
     /// Last committed epoch (0 for legacy-format trees).

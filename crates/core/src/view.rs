@@ -17,6 +17,8 @@
 use crate::config::TreeConfig;
 use crate::cursor::RankingCursor;
 use crate::executor::BatchExecutor;
+use crate::forest::query::ForestPlane;
+use crate::forest::ForestSnapshot;
 use crate::interval::BoxQueryResult;
 use crate::node::{CachedNode, Node};
 use crate::query::{MliqResult, RefinedResult, TiqResult};
@@ -34,7 +36,7 @@ use std::sync::Arc;
 /// [`Snapshot`](crate::tree::Snapshot), so a `Plane` is a cheap `Copy`
 /// token, not a pinned state by itself.
 #[doc(hidden)]
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 pub struct Plane<'a, S: PageStore> {
     pub(crate) pool: &'a SharedBufferPool<S>,
     pub(crate) node_cache: &'a SideCache<CachedNode>,
@@ -45,6 +47,15 @@ pub struct Plane<'a, S: PageStore> {
     pub(crate) height: u32,
     pub(crate) len: u64,
 }
+
+// Manual impls: the derives would add an implicit `S: Copy` bound, but a
+// `Plane` is all borrows and always copyable regardless of the store.
+impl<S: PageStore> Clone for Plane<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<S: PageStore> Copy for Plane<'_, S> {}
 
 impl<'a, S: PageStore> Plane<'a, S> {
     pub(crate) fn config(&self) -> &'a TreeConfig {
@@ -138,20 +149,114 @@ impl<'a, S: PageStore> Plane<'a, S> {
     }
 }
 
+/// The read-plane behind any [`ReadView`]: either one tree state or a
+/// whole forest snapshot (memtable + components). Every provided query
+/// method dispatches through this enum, so the single-tree algorithms in
+/// `query.rs` / `cursor.rs` / `interval.rs` stay untouched and the
+/// forest fan-out lives in [`crate::forest::query`].
+#[doc(hidden)]
+pub enum ViewPlane<'a, S: PageStore> {
+    /// One tree state (working state or pinned snapshot).
+    Tree(Plane<'a, S>),
+    /// A pinned forest manifest: memtable image + component snapshots.
+    Forest(ForestPlane<'a, S>),
+}
+
+impl<S: PageStore> Clone for ViewPlane<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<S: PageStore> Copy for ViewPlane<'_, S> {}
+
+impl<'a, S: PageStore> ViewPlane<'a, S> {
+    pub(crate) fn config(&self) -> &'a TreeConfig {
+        match self {
+            ViewPlane::Tree(p) => p.config(),
+            ViewPlane::Forest(p) => p.config(),
+        }
+    }
+
+    pub(crate) fn check_dims(&self, got: usize) -> Result<(), TreeError> {
+        match self {
+            ViewPlane::Tree(p) => p.check_dims(got),
+            ViewPlane::Forest(p) => p.check_dims(got),
+        }
+    }
+
+    pub(crate) fn k_mliq(&self, q: &Pfv, k: usize) -> Result<Vec<MliqResult>, TreeError> {
+        match self {
+            ViewPlane::Tree(p) => p.k_mliq(q, k),
+            ViewPlane::Forest(p) => p.k_mliq(q, k),
+        }
+    }
+
+    pub(crate) fn k_mliq_refined(
+        &self,
+        q: &Pfv,
+        k: usize,
+        accuracy: f64,
+    ) -> Result<Vec<RefinedResult>, TreeError> {
+        match self {
+            ViewPlane::Tree(p) => p.k_mliq_refined(q, k, accuracy),
+            ViewPlane::Forest(p) => p.k_mliq_refined(q, k, accuracy),
+        }
+    }
+
+    pub(crate) fn tiq(
+        &self,
+        q: &Pfv,
+        p_theta: f64,
+        accuracy: f64,
+    ) -> Result<Vec<TiqResult>, TreeError> {
+        match self {
+            ViewPlane::Tree(p) => p.tiq(q, p_theta, accuracy),
+            ViewPlane::Forest(p) => p.tiq(q, p_theta, accuracy),
+        }
+    }
+
+    pub(crate) fn tiq_anytime(&self, q: &Pfv, p_theta: f64) -> Result<Vec<TiqResult>, TreeError> {
+        match self {
+            ViewPlane::Tree(p) => p.tiq_anytime(q, p_theta),
+            ViewPlane::Forest(p) => p.tiq_anytime(q, p_theta),
+        }
+    }
+
+    pub(crate) fn probabilistic_box_query(
+        &self,
+        lo: &[f64],
+        hi: &[f64],
+        tau: f64,
+    ) -> Result<Vec<BoxQueryResult>, TreeError> {
+        match self {
+            ViewPlane::Tree(p) => p.probabilistic_box_query(lo, hi, tau),
+            ViewPlane::Forest(p) => p.probabilistic_box_query(lo, hi, tau),
+        }
+    }
+
+    pub(crate) fn for_each_entry(&self, f: impl FnMut(u64, &Pfv)) -> Result<(), TreeError> {
+        match self {
+            ViewPlane::Tree(p) => p.for_each_entry(f),
+            ViewPlane::Forest(p) => p.for_each_entry(f),
+        }
+    }
+}
+
 /// Read-only query surface shared by the writer handle and pinned
 /// snapshots.
 ///
 /// Implemented by [`GaussTree`] (queries run against the tree's *working*
-/// state, exactly as before the snapshot API existed) and by
+/// state, exactly as before the snapshot API existed), by
 /// [`Snapshot`](crate::tree::Snapshot) (queries run lock-free against the
 /// pinned *committed* epoch, concurrently with a writer shadow-building
-/// the next one). Every method is provided — implementors only supply
-/// [`ReadView::plane`].
+/// the next one), and by [`ForestSnapshot`] (queries fan out across the
+/// pinned forest manifest). Every method is provided — implementors only
+/// supply [`ReadView::plane`].
 pub trait ReadView<S: PageStore> {
     /// The raw read-plane this view exposes. Implementation detail —
     /// call the query methods instead.
     #[doc(hidden)]
-    fn plane(&self) -> Plane<'_, S>;
+    fn plane(&self) -> ViewPlane<'_, S>;
 
     /// k-most-likely identification query (paper §5.2.1, Definition 3).
     ///
@@ -266,7 +371,13 @@ pub trait ReadView<S: PageStore> {
 }
 
 impl<S: PageStore> ReadView<S> for GaussTree<S> {
-    fn plane(&self) -> Plane<'_, S> {
-        self.working_plane()
+    fn plane(&self) -> ViewPlane<'_, S> {
+        ViewPlane::Tree(self.working_plane())
+    }
+}
+
+impl<S: PageStore> ReadView<S> for ForestSnapshot<S> {
+    fn plane(&self) -> ViewPlane<'_, S> {
+        ViewPlane::Forest(ForestPlane { snap: self })
     }
 }

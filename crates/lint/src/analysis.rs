@@ -371,13 +371,14 @@ fn query_path_module(file: &SourceFile) -> bool {
         )
 }
 
-/// Modules under the durability-protocol statement-order checks.
+/// Modules under the durability-protocol statement-order checks: the
+/// single-tree commit path and the forest's manifest-commit path.
 fn durability_module(file: &SourceFile) -> bool {
     file.crate_name == "core"
-        && matches!(
+        && (matches!(
             file.rel_path.rsplit('/').next(),
             Some("tree.rs" | "bulk.rs")
-        )
+        ) || file.rel_path.ends_with("forest/mod.rs"))
 }
 
 /// Extracts [`FileFacts`] for one file: token-level rule findings (via
@@ -904,6 +905,21 @@ fn durability_checks(
                 Vec::new(),
             );
         }
+        return;
+    }
+    // Forest commit record: the manifest slot names component pages, so
+    // every component must be synced before the slot write — the
+    // multi-file analogue of the meta-slot rule above.
+    if method && name == "write_manifest_slot" && !sync_seen {
+        report(
+            DURABILITY_PROTOCOL,
+            line,
+            "manifest-slot write is not dominated by a component `sync` barrier in \
+             this function: component pages must be durable before the manifest \
+             commits to them"
+                .to_string(),
+            Vec::new(),
+        );
         return;
     }
     if method
@@ -1443,6 +1459,30 @@ impl T {\n    pub fn flush(&mut self) {\n        self.pool.sync(d);\n        sel
 
         // Outside tree.rs/bulk.rs the rule does not apply.
         let f = facts_for("crates/core/src/node.rs", bad);
+        assert!(f.local.iter().all(|f| f.rule != DURABILITY_PROTOCOL));
+    }
+
+    #[test]
+    fn durability_manifest_write_needs_component_sync() {
+        let bad = "\
+impl T {\n    fn commit_manifest(&mut self) {\n        self.backend.write_manifest_slot(slot, &bytes);\n        self.backend.sync_manifest(d);\n    }\n}\n";
+        let f = facts_for("crates/core/src/forest/mod.rs", bad);
+        let d: Vec<_> = f
+            .local
+            .iter()
+            .filter(|f| f.rule == DURABILITY_PROTOCOL)
+            .collect();
+        assert_eq!(d.len(), 1, "{:?}", f.local);
+        assert_eq!(d[0].line, 3);
+
+        let good = "\
+impl T {\n    fn commit_manifest(&mut self) {\n        for c in &self.comps {\n            c.tree.pool().sync(d);\n        }\n        self.backend.write_manifest_slot(slot, &bytes);\n        self.backend.sync_manifest(d);\n    }\n}\n";
+        let f = facts_for("crates/core/src/forest/mod.rs", good);
+        assert!(f.local.iter().all(|f| f.rule != DURABILITY_PROTOCOL));
+
+        // Backend *implementations* of the slot write are not in scope —
+        // ordering is the committer's obligation, not the store's.
+        let f = facts_for("crates/storage/src/forest.rs", bad);
         assert!(f.local.iter().all(|f| f.rule != DURABILITY_PROTOCOL));
     }
 

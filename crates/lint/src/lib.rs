@@ -24,7 +24,8 @@
 //!   re-acquire its rank, nor across `PageStore` I/O on the query path,
 //! * **durability-protocol**: `tree.rs`/`bulk.rs` must sync data pages
 //!   before the meta-slot commit and must not recycle `free_pending`
-//!   pages before the epoch bump,
+//!   pages before the epoch bump; the forest's `commit_manifest` must
+//!   sync every component before the manifest-slot write,
 //! * **ignored-io-result**: no `let _ =`/`drop(…)` of a storage I/O
 //!   `Result`.
 //!

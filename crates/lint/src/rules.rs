@@ -43,7 +43,8 @@ pub const BAD_ALLOW: &str = "bad-allow";
 pub const STATIC_LOCK_ORDER: &str = "static-lock-order";
 /// Machine name of the guard-held-across-call rule.
 pub const GUARD_ACROSS_CALL: &str = "guard-across-call";
-/// Machine name of the commit-ordering rule for `tree.rs`/`bulk.rs`.
+/// Machine name of the commit-ordering rule for `tree.rs`/`bulk.rs` and
+/// the forest manifest-commit path.
 pub const DURABILITY_PROTOCOL: &str = "durability-protocol";
 /// Machine name of the discarded-I/O-`Result` rule.
 pub const IGNORED_IO_RESULT: &str = "ignored-io-result";
@@ -97,8 +98,9 @@ pub fn all_rules() -> &'static [(&'static str, &'static str)] {
         ),
         (
             DURABILITY_PROTOCOL,
-            "in tree.rs/bulk.rs, meta-slot writes need a preceding data sync barrier \
-             and free_pending pages must not be reused before the epoch commit",
+            "in tree.rs/bulk.rs/forest/mod.rs, meta-slot and manifest-slot writes \
+             need a preceding data sync barrier and free_pending pages must not be \
+             reused before the epoch commit",
         ),
         (
             IGNORED_IO_RESULT,

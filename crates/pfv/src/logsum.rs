@@ -115,9 +115,20 @@ pub struct ScaledSum {
     anchor: f64,
     sum: f64,
     comp: f64, // Neumaier compensation, added at read time
+    /// Monotone `Σ |termᵢ|` over every add/sub ever applied — the scale of
+    /// the worst-case accumulation error (compensated summation is accurate
+    /// to `O(ε · Σ|tᵢ|)`, not `O(ε · |Σ tᵢ|)`).
+    mag: f64,
+    /// Terms added minus terms removed. When zero, the true sum is exactly
+    /// zero no matter what residue cancellation left behind.
+    outstanding: i64,
 }
 
 impl ScaledSum {
+    /// Conservative coefficient for the compensated-summation error bound
+    /// `|computed − exact| ≤ ERR_COEFF · Σ|tᵢ|`.
+    const ERR_COEFF: f64 = 4.0 * f64::EPSILON;
+
     /// Creates an empty accumulator anchored at log value `anchor`.
     ///
     /// Terms with log value near `anchor` map to `exp(0) = 1`; terms hundreds
@@ -129,6 +140,8 @@ impl ScaledSum {
             anchor,
             sum: 0.0,
             comp: 0.0,
+            mag: 0.0,
+            outstanding: 0,
         }
     }
 
@@ -154,7 +167,10 @@ impl ScaledSum {
         if l == f64::NEG_INFINITY || count == 0.0 {
             return;
         }
-        self.kahan_add(count * (l - self.anchor).exp());
+        let term = count * (l - self.anchor).exp();
+        self.mag += term.abs();
+        self.outstanding += 1;
+        self.kahan_add(term);
     }
 
     /// Subtracts `count · exp(l)`.
@@ -163,7 +179,10 @@ impl ScaledSum {
         if l == f64::NEG_INFINITY || count == 0.0 {
             return;
         }
-        self.kahan_add(-(count * (l - self.anchor).exp()));
+        let term = count * (l - self.anchor).exp();
+        self.mag += term.abs();
+        self.outstanding -= 1;
+        self.kahan_add(-term);
     }
 
     /// The scaled linear sum `Σ ± countᵢ·exp(lᵢ − anchor)`, clamped at zero
@@ -185,6 +204,44 @@ impl ScaledSum {
         }
     }
 
+    /// Guaranteed *upper* bound on the true sum, as a log value.
+    ///
+    /// Inflates the computed sum by the worst-case accumulation error
+    /// `ERR_COEFF · Σ|tᵢ|`. Without this, a large term added and later
+    /// subtracted can cancel the running sum to (or below) zero while
+    /// outstanding terms still hold real mass — the raw value would then
+    /// *understate* an upper bound, which is unsound for interval queries.
+    /// Exactly `-∞` when no terms are outstanding: the true sum is zero.
+    #[must_use]
+    pub fn log_value_upper(&self) -> f64 {
+        if self.outstanding == 0 {
+            return f64::NEG_INFINITY;
+        }
+        let s = (self.sum + self.comp + Self::ERR_COEFF * self.mag).max(0.0);
+        // lint: allow(float-eq) -- the max(0.0) clamp yields exactly 0.0
+        if s == 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.anchor + s.ln()
+        }
+    }
+
+    /// Guaranteed *lower* bound on the true sum, as a log value — the
+    /// deflated counterpart of [`ScaledSum::log_value_upper`].
+    #[must_use]
+    pub fn log_value_lower(&self) -> f64 {
+        if self.outstanding == 0 {
+            return f64::NEG_INFINITY;
+        }
+        let s = (self.sum + self.comp - Self::ERR_COEFF * self.mag).max(0.0);
+        // lint: allow(float-eq) -- the max(0.0) clamp yields exactly 0.0
+        if s == 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.anchor + s.ln()
+        }
+    }
+
     /// Moves the accumulator to a new anchor, rescaling the running sum.
     ///
     /// Used by query processing when a term would overflow the current
@@ -194,6 +251,7 @@ impl ScaledSum {
         let factor = (self.anchor - new_anchor).exp();
         self.sum *= factor;
         self.comp *= factor;
+        self.mag *= factor;
         self.anchor = new_anchor;
     }
 }

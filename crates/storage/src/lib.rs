@@ -45,6 +45,8 @@ pub mod codec;
 pub mod disk;
 /// Fault-injection hooks for crash-safety tests.
 pub mod fault;
+/// Multi-component storage + manifest slots for the Gauss-forest.
+pub mod forest;
 mod lru;
 /// Page identifiers and raw page buffers.
 pub mod page;
@@ -63,6 +65,10 @@ pub use buffer::BufferPool;
 pub use codec::{fnv1a64, Reader, Writer};
 pub use disk::DiskModel;
 pub use fault::{FaultStore, KillMode};
+pub use forest::{
+    ComponentStores, DirComponentStores, FaultComponentStores, MemComponentStores, SharedMemStore,
+    MANIFEST_SLOTS,
+};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use shared::{SharedBufferPool, WriteBatch};
 pub use side_cache::SideCache;

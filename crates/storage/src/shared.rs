@@ -281,20 +281,28 @@ impl<S: PageStore> SharedBufferPool<S> {
                 return Ok(Arc::clone(data));
             }
         }
-        // Miss path, in rank order: store first, then the shard, then a
-        // re-check. Holding the store lock across the miss means two
-        // threads can never both read the same page — the loser of the
-        // store-lock race re-checks and finds the winner's frame, keeping
-        // physical-read counts deterministic (eviction pressure aside).
+        // Miss path, in rank order: store first, then the shard for a
+        // re-check, dropped again before the store read so that stores
+        // with their own Store-ranked internals (e.g. `SharedMemStore`)
+        // are never entered with a higher-ranked shard lock held. Holding
+        // the pool's store lock across the whole miss means two threads
+        // can never both read the same page — the loser of the store-lock
+        // race re-checks and finds the winner's frame, keeping
+        // physical-read counts deterministic (eviction pressure aside) —
+        // and no frame for `id` can be installed between the re-check and
+        // the install below, because every install path takes this lock.
         let mut store = self.store.lock();
-        let mut shard = self.shard_of(id).lock();
-        if let Some(data) = shard.get(id) {
-            return Ok(Arc::clone(data));
+        {
+            let mut shard = self.shard_of(id).lock();
+            if let Some(data) = shard.get(id) {
+                return Ok(Arc::clone(data));
+            }
         }
         self.stats.record_physical_read();
         let mut buf = vec![0u8; self.page_size];
         store.read_page(id, &mut buf)?;
         let data: Arc<[u8]> = Arc::from(buf);
+        let mut shard = self.shard_of(id).lock();
         if shard.insert(id, Arc::clone(&data), self.shard_cap) {
             self.stats.record_eviction();
         }

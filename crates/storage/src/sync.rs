@@ -37,12 +37,17 @@
 //! subsequent reader. A panicking query thread therefore cannot wedge the
 //! queries that follow it.
 
+#[cfg(any(debug_assertions, feature = "lock-tracking"))]
 use std::cell::RefCell;
+#[cfg(any(debug_assertions, feature = "lock-tracking"))]
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+#[cfg(any(debug_assertions, feature = "lock-tracking"))]
 use std::panic::Location;
-use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+#[cfg(any(debug_assertions, feature = "lock-tracking"))]
+use std::sync::OnceLock;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Whether lock-order tracking is compiled into this build.
 ///

@@ -21,10 +21,13 @@
 #![forbid(unsafe_code)]
 
 pub mod dataset;
+/// Drifting-sensor streams for sustained-ingest workloads.
+pub mod drift;
 pub mod figure1;
 pub mod metrics;
 pub mod queries;
 
 pub use dataset::{histogram_dataset, uniform_dataset, Dataset, SigmaSpec};
+pub use drift::{DriftConfig, DriftStream, StreamOp};
 pub use metrics::{precision_recall_sweep, HitCurve};
 pub use queries::{generate_queries, generate_query_batch, IdentificationQuery};

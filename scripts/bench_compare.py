@@ -29,6 +29,12 @@ Gating rules (see README "Performance tracking"):
   and a smaller per-entry leaf encoding
   (``kernel_bench.leaf_bytes_per_entry <
   kernel_bench.exact_leaf_bytes_per_entry``);
+* within the PR file alone, the Gauss-forest's sustained mixed ingest
+  must run at least 5x the single-tree read-modify-write baseline with
+  bit-identical snapshot k-MLIQ answers
+  (``sustained_ingest.forest_speedup >= 5`` and
+  ``sustained_ingest.bit_identical == 1``; the speedup is a same-machine
+  ratio, so it gates robustly across runner classes);
 * within the PR file alone, batched page writes must cut physical write
   calls at least 4x against per-node writes
   (``build_bench.write_call_reduction >= 4``; deterministic for the fixed
@@ -318,6 +324,42 @@ def cmd_compare(args):
             f"build parallel>=serial invariant skipped "
             f"(cores={cores:.0f}, threads_max={threads_max:.0f})"
         )
+
+    # The Gauss-forest write path must earn its keep: sustained mixed
+    # ingest (drift-stream upserts + deletes, file-backed both sides) at
+    # least 5x the single-tree read-modify-write baseline, with snapshot
+    # k-MLIQ answers bit-identical to a fresh reference tree over the
+    # same live set. The speedup is a same-machine ratio (both sides run
+    # in one process), so unlike raw objs/s it gates robustly across
+    # runner classes; bit_identical is exact and deterministic.
+    f_ops = require(pr, "sustained_ingest.forest_objs_per_s", args.pr)
+    s_ops = require(pr, "sustained_ingest.single_objs_per_s", args.pr)
+    speedup = require(pr, "sustained_ingest.forest_speedup", args.pr)
+    bit_identical = require(pr, "sustained_ingest.bit_identical", args.pr)
+    p99_us = require(pr, "sustained_ingest.p99_query_us", args.pr)
+    if None in (f_ops, s_ops, speedup, bit_identical, p99_us):
+        pass  # per-key failures already recorded by require()
+    else:
+        if speedup < 5.0:
+            failures.append(
+                f"forest sustained ingest is only {speedup:.2f}x the "
+                f"single-tree baseline (< 5x): {f_ops:.0f} vs {s_ops:.0f} objs/s"
+            )
+        if bit_identical != 1:
+            failures.append(
+                "forest snapshot k-MLIQ answers diverged from the quiesced "
+                "reference tree (sustained_ingest.bit_identical != 1)"
+            )
+        if p99_us <= 0:
+            failures.append(
+                f"mid-ingest query probe degenerate: p99 {p99_us} us"
+            )
+        if speedup >= 5.0 and bit_identical == 1 and p99_us > 0:
+            print(
+                f"forest invariant ok: ingest {f_ops:.0f} objs/s, "
+                f"{speedup:.2f}x single tree, mid-ingest k-MLIQ p99 "
+                f"{p99_us:.0f} us, answers bit-identical"
+            )
 
     if failures:
         print("\nFAIL:", file=sys.stderr)

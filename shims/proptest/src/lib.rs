@@ -203,6 +203,66 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// A weighted choice between boxed strategies of one value type — the
+/// engine behind [`prop_oneof!`]. `Strategy` is object-safe (every
+/// combinator method is `Self: Sized`), so heterogeneous strategy types
+/// unify behind `dyn Strategy`.
+pub struct OneOf<V> {
+    options: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+}
+
+impl<V> OneOf<V> {
+    /// Builds a weighted union; used via [`prop_oneof!`].
+    ///
+    /// # Panics
+    /// Panics if `options` is empty or every weight is zero.
+    #[must_use]
+    pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        assert!(
+            options.iter().map(|(w, _)| u64::from(*w)).sum::<u64>() > 0,
+            "prop_oneof! needs at least one positively weighted variant"
+        );
+        Self { options }
+    }
+}
+
+impl<V> std::fmt::Debug for OneOf<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OneOf")
+            .field("variants", &self.options.len())
+            .finish()
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let total: u32 = self.options.iter().map(|(w, _)| *w).sum();
+        let mut pick = rng.rng().random_range(0..total);
+        for (w, s) in &self.options {
+            if pick < *w {
+                return s.new_value(rng);
+            }
+            pick -= *w;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+/// Weighted (`w => strategy`) or uniform (`strategy, strategy, ...`)
+/// choice between strategies sharing one value type, as in real proptest.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight as u32, Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>)),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -318,8 +378,8 @@ pub mod prop {
 pub mod prelude {
     pub use crate::prop;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
-        Strategy, TestRng,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        OneOf, ProptestConfig, Strategy, TestRng,
     };
 }
 
